@@ -1,0 +1,109 @@
+// Command wagen generates workload trace files in the wasched workload
+// format (see internal/workload).
+//
+// Usage:
+//
+//	wagen -workload w1|w2|mixed|bursty [-poisson SECONDS] [-seed N] [-out FILE]
+//	wagen -swf trace.swf [-io-fraction 0.4] [-max-jobs N] [-out FILE]
+//
+// By default all jobs are submitted at t=0 (the paper's batch protocol);
+// -poisson spreads submissions with exponential inter-arrival gaps. With
+// -swf, a Standard Workload Format trace (Parallel Workloads Archive) is
+// converted instead, with synthetic I/O assigned to -io-fraction of jobs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wasched/internal/des"
+	"wasched/internal/slurm"
+	"wasched/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "wagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	name := flag.String("workload", "w1", "workload: w1, w2, mixed, bursty or ckpt")
+	poisson := flag.Float64("poisson", 0, "mean inter-arrival seconds (0 = batch at t=0)")
+	seed := flag.Uint64("seed", 1, "seed for the arrival process")
+	out := flag.String("out", "", "output file (default stdout)")
+	swf := flag.String("swf", "", "convert a Standard Workload Format trace instead")
+	ioFraction := flag.Float64("io-fraction", 0.4, "fraction of SWF jobs given synthetic I/O")
+	maxJobs := flag.Int("max-jobs", 0, "truncate the SWF trace (0 = all)")
+	flag.Parse()
+
+	if *swf != "" {
+		f, err := os.Open(*swf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		opts := workload.DefaultSWFOptions()
+		opts.IOFraction = *ioFraction
+		opts.MaxJobs = *maxJobs
+		opts.Seed = *seed
+		res, err := workload.ParseSWF(f, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wagen: converted %d jobs (%d dropped)\n", len(res.Jobs), res.Dropped)
+		w := os.Stdout
+		if *out != "" {
+			of, err := os.Create(*out)
+			if err != nil {
+				return err
+			}
+			defer of.Close()
+			w = of
+		}
+		return workload.Encode(w, res.Jobs)
+	}
+
+	var specs []slurm.JobSpec
+	switch *name {
+	case "w1":
+		specs = workload.Workload1()
+	case "w2":
+		specs = workload.Workload2()
+	case "mixed":
+		specs = workload.Mixed()
+	case "ckpt":
+		specs = workload.Checkpointing()
+	case "bursty":
+		for i := 0; i < 60; i++ {
+			specs = append(specs, workload.BurstyJob(3, 120, 8, 5))
+		}
+	default:
+		return fmt.Errorf("unknown workload %q", *name)
+	}
+
+	var jobs []workload.TimedSpec
+	if *poisson > 0 {
+		rng := des.NewRNG(*seed, "wagen/arrivals")
+		at := des.Time(0)
+		for _, s := range specs {
+			at = at.Add(des.FromSeconds(rng.ExpFloat64() * *poisson))
+			jobs = append(jobs, workload.TimedSpec{At: at, Spec: s})
+		}
+	} else {
+		jobs = workload.Timed(specs, 0)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return workload.Encode(w, jobs)
+}

@@ -1,0 +1,125 @@
+// Command wasched runs the paper-reproduction experiments.
+//
+// Usage:
+//
+//	wasched list
+//	wasched workloads
+//	wasched run <experiment> [-seed N]
+//
+// `wasched list` prints the registered experiments (fig3..fig6 plus the
+// ablations); `wasched run` executes one and prints its report, including
+// ASCII renderings of the figures' panels.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wasched/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wasched:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing command")
+	}
+	switch args[0] {
+	case "list":
+		reg := experiments.Registry()
+		for _, name := range experiments.Names() {
+			fmt.Printf("  %-22s %s\n", name, reg[name].Description)
+		}
+		return nil
+	case "workloads":
+		fmt.Println(experiments.WorkloadSizes())
+		return nil
+	case "run":
+		fs := flag.NewFlagSet("run", flag.ContinueOnError)
+		seed := fs.Uint64("seed", 1, "experiment seed (same seed → identical report)")
+		csvDir := fs.String("csv", "", "directory for per-run series/job CSV exports")
+		// Accept flags before or after the experiment name.
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		rest := fs.Args()
+		if len(rest) == 0 {
+			return fmt.Errorf("usage: wasched run <experiment> [-seed N] [-csv DIR]")
+		}
+		name := rest[0]
+		if err := fs.Parse(rest[1:]); err != nil {
+			return err
+		}
+		if fs.NArg() != 0 {
+			return fmt.Errorf("usage: wasched run <experiment> [-seed N] [-csv DIR]")
+		}
+		entry, ok := experiments.Registry()[name]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try `wasched list`)", name)
+		}
+		return entry.Run(os.Stdout, experiments.RunOptions{Seed: *seed, CSVDir: *csvDir})
+	case "verify":
+		fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+		seed := fs.Uint64("seed", 1, "experiment seed")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		claims, err := experiments.Verify(os.Stdout, *seed)
+		if err != nil {
+			return err
+		}
+		for _, c := range claims {
+			if !c.Pass {
+				return fmt.Errorf("claim %s failed", c.ID)
+			}
+		}
+		return nil
+	case "report":
+		fs := flag.NewFlagSet("report", flag.ContinueOnError)
+		seed := fs.Uint64("seed", 1, "experiment seed")
+		out := fs.String("out", "", "output file (default stdout)")
+		csvDir := fs.String("csv", "", "directory for per-run CSV exports")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		w := os.Stdout
+		var progress *os.File
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+			progress = os.Stderr
+		}
+		return experiments.WriteFullReport(w,
+			experiments.RunOptions{Seed: *seed, CSVDir: *csvDir}, progress)
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `wasched — workload-adaptive I/O-aware scheduling experiments
+
+commands:
+  list                 list available experiments
+  workloads            print the standard workloads' sizes
+  run <name> [-seed N] [-csv DIR]
+                       run one experiment and print its report
+  report [-seed N] [-out FILE] [-csv DIR]
+                       run every experiment and write one full report
+  verify [-seed N]     check the headline reproduction claims (exit 1 on failure)`)
+}

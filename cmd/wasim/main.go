@@ -1,0 +1,191 @@
+// Command wasim runs a scheduling simulation over a workload trace file.
+//
+// Usage:
+//
+//	wasim -file workload.txt [-conf slurm.conf]
+//	      [-policy default|easy|io-aware|adaptive|adaptive-naive]
+//	      [-limit GIBPS] [-nodes N] [-seed N] [-pretrain]
+//	      [-csv series.csv] [-jobs-csv jobs.csv] [-plot]
+//
+// With -conf, the slurm.conf-style file (see internal/slurmconf) provides
+// the base configuration; explicit flags override it.
+//
+// It builds the full prototype (file-system model, cluster, LDMS
+// monitoring, analytics, controller), schedules the trace under the chosen
+// policy, and reports the makespan plus optional CSV exports and ASCII
+// plots of the throughput and node-allocation series.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"wasched/internal/core"
+	"wasched/internal/des"
+	"wasched/internal/pfs"
+	"wasched/internal/sched"
+	"wasched/internal/slurm"
+	"wasched/internal/slurmconf"
+	"wasched/internal/trace"
+	"wasched/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "wasim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	file := flag.String("file", "", "workload trace file (required)")
+	confPath := flag.String("conf", "", "slurm.conf-style configuration file")
+	policyName := flag.String("policy", "default", "default, easy, io-aware, adaptive or adaptive-naive")
+	limit := flag.Float64("limit", 20, "throughput limit in GiB/s for io-aware/adaptive")
+	nodes := flag.Int("nodes", 15, "compute node count")
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	pretrain := flag.Bool("pretrain", false, "pre-train the estimator on isolated runs")
+	csvOut := flag.String("csv", "", "write sampled series CSV to this file")
+	jobsOut := flag.String("jobs-csv", "", "write per-job records CSV to this file")
+	sacctOut := flag.String("sacct", "", "write an sacct-style accounting table to this file")
+	htmlOut := flag.String("html", "", "write an HTML report with SVG charts to this file")
+	sosOut := flag.String("sos", "", "dump the SOS metric store (gob) to this file")
+	plot := flag.Bool("plot", false, "print ASCII plots of the run")
+	gantt := flag.Bool("gantt", false, "print an ASCII node-occupancy Gantt chart")
+	flag.Parse()
+
+	if *file == "" {
+		return fmt.Errorf("-file is required")
+	}
+	f, err := os.Open(*file)
+	if err != nil {
+		return err
+	}
+	jobs, err := workload.Decode(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if len(jobs) == 0 {
+		return fmt.Errorf("workload file %s has no jobs", *file)
+	}
+
+	cfg := core.DefaultConfig()
+	scfg := cfg.Control
+	scfg.Options.MaxJobTest = sched.SlurmDefaultTestLimit
+	cfg.Control = scfg
+	if *confPath != "" {
+		f, err := os.Open(*confPath)
+		if err != nil {
+			return err
+		}
+		cfg, err = slurmconf.Parse(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if explicit["nodes"] || *confPath == "" {
+		cfg.Nodes = *nodes
+	}
+	if explicit["seed"] || *confPath == "" {
+		cfg.Seed = *seed
+	}
+	if explicit["policy"] || *confPath == "" {
+		switch *policyName {
+		case "default":
+			cfg.Scheduler.Policy = core.Default
+		case "easy":
+			cfg.Scheduler.Policy = core.EASY
+		case "io-aware":
+			cfg.Scheduler.Policy = core.IOAware
+		case "adaptive":
+			cfg.Scheduler.Policy = core.Adaptive
+		case "adaptive-naive":
+			cfg.Scheduler.Policy = core.AdaptiveNaive
+		default:
+			return fmt.Errorf("unknown policy %q", *policyName)
+		}
+	}
+	if explicit["limit"] || cfg.Scheduler.ThroughputLimit == 0 {
+		cfg.Scheduler.ThroughputLimit = *limit * pfs.GiB
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return err
+	}
+	if *pretrain {
+		specs := make([]slurm.JobSpec, len(jobs))
+		for i, tj := range jobs {
+			specs[i] = tj.Spec
+		}
+		if err := sys.PretrainIsolated(specs); err != nil {
+			return err
+		}
+	}
+	for i, tj := range jobs {
+		if err := sys.SubmitAt(tj.Spec, tj.At); err != nil {
+			return fmt.Errorf("submit %d (%s): %w", i, tj.Spec.Name, err)
+		}
+	}
+	sys.Start()
+	if err := sys.RunToCompletion(1000 * des.Hour); err != nil {
+		return err
+	}
+
+	fmt.Printf("policy=%s jobs=%d makespan=%.0fs rounds=%d\n",
+		sys.Controller.Policy().Name(), sys.Controller.DoneCount(),
+		sys.Controller.Makespan().Seconds(), sys.Controller.Rounds())
+	if *plot {
+		fmt.Print(trace.Plot(&sys.Recorder.Throughput, 100, 8))
+		fmt.Print(trace.Plot(&sys.Recorder.BusyNodes, 100, 5))
+	}
+	if *gantt {
+		fmt.Print(trace.Gantt(sys.Recorder.Jobs(), 100))
+	}
+	if *csvOut != "" {
+		if err := writeFile(*csvOut, sys.Recorder.WriteCSV); err != nil {
+			return err
+		}
+	}
+	if *jobsOut != "" {
+		if err := writeFile(*jobsOut, sys.Recorder.WriteJobsCSV); err != nil {
+			return err
+		}
+	}
+	if *sacctOut != "" {
+		if err := writeFile(*sacctOut, sys.Controller.WriteAccounting); err != nil {
+			return err
+		}
+	}
+	if *htmlOut != "" {
+		title := fmt.Sprintf("wasim: %s under %s", *file, sys.Controller.Policy().Name())
+		if err := writeFile(*htmlOut, func(w io.Writer) error {
+			return sys.Recorder.WriteHTML(w, title)
+		}); err != nil {
+			return err
+		}
+	}
+	if *sosOut != "" {
+		if err := writeFile(*sosOut, sys.Store.Save); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

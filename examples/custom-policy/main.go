@@ -1,0 +1,111 @@
+// Custom policy: the scheduling engine (paper Algorithm 1) is policy-
+// agnostic, so new multi-resource policies plug in by implementing
+// sched.Policy. This example implements "throttle-K" — at most K
+// I/O-active jobs run concurrently, a crude cousin of the paper's
+// approaches — and races it against the built-in schedulers on Workload 1.
+//
+//	go run ./examples/custom-policy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wasched/internal/core"
+	"wasched/internal/des"
+	"wasched/internal/pfs"
+	"wasched/internal/restrack"
+	"wasched/internal/sched"
+	"wasched/internal/workload"
+)
+
+// throttleK allows at most K concurrently running jobs whose estimated
+// Lustre rate is non-zero, regardless of how much bandwidth each needs.
+type throttleK struct {
+	nodes int
+	k     int
+}
+
+func (p throttleK) Name() string { return fmt.Sprintf("throttle-%d", p.k) }
+
+// NewRound treats "I/O slots" as a second resource with capacity K: an
+// I/O-active job consumes one slot for its whole time limit.
+func (p throttleK) NewRound(in sched.RoundInput) sched.Round {
+	nt := restrack.NewNodeTracker(p.nodes)
+	slots := restrack.NewBandwidthTracker(float64(p.k))
+	for _, j := range in.Running {
+		end := j.StartedAt.Add(j.Limit)
+		nt.Reserve(in.Now, end, j.Nodes)
+		if j.Rate > 0 {
+			slots.Reserve(in.Now, end, 1)
+		}
+	}
+	return &throttleRound{nt: nt, slots: slots}
+}
+
+type throttleRound struct {
+	nt    *restrack.NodeTracker
+	slots *restrack.BandwidthTracker
+}
+
+func (r *throttleRound) EarliestStart(j *sched.Job, tmin des.Time) (des.Time, bool) {
+	if j.Nodes > r.nt.Total() {
+		return des.MaxTime, false
+	}
+	t := tmin
+	for {
+		tNT, ok := r.nt.EarliestFit(t, j.Limit, j.Nodes)
+		if !ok {
+			return des.MaxTime, false
+		}
+		if j.Rate <= 0 {
+			return tNT, true
+		}
+		tIO, ok := r.slots.EarliestFit(tNT, j.Limit, 1)
+		if !ok {
+			return des.MaxTime, false
+		}
+		if tIO == tNT {
+			return tIO, true
+		}
+		t = tIO
+	}
+}
+
+func (r *throttleRound) Reserve(j *sched.Job, t des.Time) {
+	end := t.Add(j.Limit)
+	r.nt.Reserve(t, end, j.Nodes)
+	if j.Rate > 0 {
+		r.slots.Reserve(t, end, 1)
+	}
+}
+
+func main() {
+	specs := workload.Workload1()
+	fmt.Printf("Workload 1 (%d jobs) under custom and built-in policies\n\n", len(specs))
+	fmt.Printf("%-24s %12s\n", "policy", "makespan[s]")
+	for _, custom := range []sched.Policy{
+		sched.NodePolicy{TotalNodes: 15},
+		throttleK{nodes: 15, k: 2},
+		throttleK{nodes: 15, k: 6},
+		sched.AdaptivePolicy{TotalNodes: 15, ThroughputLimit: 20 * pfs.GiB, TwoGroup: true},
+	} {
+		cfg := core.DefaultConfig()
+		cfg.Scheduler.Custom = custom
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.PretrainIsolated(specs); err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.SubmitAll(specs); err != nil {
+			log.Fatal(err)
+		}
+		sys.Start()
+		if err := sys.RunToCompletion(1000 * des.Hour); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-24s %12.0f\n", custom.Name(), sys.Makespan().Seconds())
+	}
+}

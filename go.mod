@@ -1,0 +1,3 @@
+module wasched
+
+go 1.24

@@ -1,0 +1,35 @@
+package analytics
+
+import (
+	"fmt"
+	"testing"
+
+	"wasched/internal/des"
+	"wasched/internal/ldms"
+	"wasched/internal/sos"
+)
+
+// BenchmarkCurrentThroughput measures R_now over 15 nodes with an hour of
+// samples — called once per scheduling round.
+func BenchmarkCurrentThroughput(b *testing.B) {
+	eng := des.NewEngine()
+	store := sos.NewStore()
+	c, _ := store.CreateContainer(ldms.Schema())
+	nodes := make([]string, 15)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("n%03d", i)
+	}
+	for sec := 0; sec < 3600; sec++ {
+		for _, n := range nodes {
+			_ = c.Append(n, des.Time(sec)*des.Time(des.Second),
+				[]float64{float64(sec) * 1e8, 0, 1, 0})
+		}
+	}
+	eng.Run(des.TimeFromSeconds(3600))
+	svc, _ := New(eng, store, nodes, DefaultConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = svc.CurrentThroughput()
+	}
+}

@@ -1,0 +1,188 @@
+// Package canary implements a file-system health probe in the spirit of
+// the AI4IO suite's "canary" application that the paper cites as related
+// work (§VIII): a small periodic I/O probe, run from the control node,
+// whose completion latency is tracked against a learned healthy baseline;
+// sustained latency inflation flags an intermittent file-system
+// degradation event.
+//
+// The canary is an optional extension — the paper's scheduler does not
+// consume its events — but it closes the loop for the failure-injection
+// experiments: pfs.SetVolumeDegradation / SetGlobalDegradation create the
+// events, the canary detects them.
+package canary
+
+import (
+	"fmt"
+
+	"wasched/internal/des"
+	"wasched/internal/pfs"
+)
+
+// Config tunes the probe.
+type Config struct {
+	// Interval between probes.
+	Interval des.Duration
+	// ProbeBytes per stream; kept small so the probe itself does not
+	// perturb the file system.
+	ProbeBytes float64
+	// Streams per probe; each targets a random volume, so repeated probes
+	// cover the volume population.
+	Streams int
+	// Threshold is the latency inflation (relative to the baseline) that
+	// flags degradation, e.g. 2.5.
+	Threshold float64
+	// BaselineAlpha is the EWMA weight for healthy-latency updates.
+	BaselineAlpha float64
+	// WarmupProbes are the initial probes used purely to learn the
+	// baseline (no detection).
+	WarmupProbes int
+}
+
+// DefaultConfig probes every 60 s with 4 × 256 MiB streams, flags 2.5×
+// latency inflation, and learns over the first 5 probes.
+func DefaultConfig() Config {
+	return Config{
+		Interval:      60 * des.Second,
+		ProbeBytes:    256 * (1 << 20),
+		Streams:       4,
+		Threshold:     2.5,
+		BaselineAlpha: 0.3,
+		WarmupProbes:  5,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Interval <= 0:
+		return fmt.Errorf("canary: Interval must be positive, got %v", c.Interval)
+	case c.ProbeBytes <= 0:
+		return fmt.Errorf("canary: ProbeBytes must be positive, got %g", c.ProbeBytes)
+	case c.Streams <= 0:
+		return fmt.Errorf("canary: Streams must be positive, got %d", c.Streams)
+	case c.Threshold <= 1:
+		return fmt.Errorf("canary: Threshold must exceed 1, got %g", c.Threshold)
+	case c.BaselineAlpha <= 0 || c.BaselineAlpha > 1:
+		return fmt.Errorf("canary: BaselineAlpha must be in (0,1], got %g", c.BaselineAlpha)
+	case c.WarmupProbes < 1:
+		return fmt.Errorf("canary: WarmupProbes must be at least 1, got %d", c.WarmupProbes)
+	}
+	return nil
+}
+
+// Event is one probe outcome.
+type Event struct {
+	At       des.Time
+	Latency  des.Duration
+	Baseline des.Duration
+	// Degraded is true when Latency exceeded Threshold × Baseline.
+	Degraded bool
+}
+
+// Canary runs the periodic probe.
+type Canary struct {
+	eng     *des.Engine
+	fs      *pfs.FileSystem
+	node    string
+	cfg     Config
+	rng     *des.RNG
+	onEvent func(Event)
+
+	baseline     float64 // seconds; 0 until the first probe lands
+	probes       int
+	degradations int
+	lastLatency  des.Duration
+	inFlight     bool
+	stop         func()
+	streams      []*pfs.Stream
+}
+
+// Start launches the canary on the engine, probing from the given client
+// node (the paper's control node, which is not a compute node). onEvent
+// may be nil.
+func Start(eng *des.Engine, fs *pfs.FileSystem, node string, cfg Config, seed uint64, onEvent func(Event)) (*Canary, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Canary{
+		eng:     eng,
+		fs:      fs,
+		node:    node,
+		cfg:     cfg,
+		rng:     des.NewRNG(seed, "canary"),
+		onEvent: onEvent,
+	}
+	c.stop = eng.Ticker(cfg.Interval, "canary/probe", func(des.Time) { c.probe() })
+	return c, nil
+}
+
+// probe launches one probe unless the previous one is still in flight
+// (an in-flight probe under severe degradation is itself the signal; the
+// measurement completes whenever it completes).
+func (c *Canary) probe() {
+	if c.inFlight {
+		return
+	}
+	c.inFlight = true
+	start := c.eng.Now()
+	remaining := c.cfg.Streams
+	c.streams = c.streams[:0]
+	for i := 0; i < c.cfg.Streams; i++ {
+		s := c.fs.StartStream(c.node, pfs.Write, c.fs.RandomVolume(c.rng), c.cfg.ProbeBytes, func() {
+			remaining--
+			if remaining == 0 {
+				c.finish(start)
+			}
+		})
+		c.streams = append(c.streams, s)
+	}
+}
+
+func (c *Canary) finish(start des.Time) {
+	c.inFlight = false
+	latency := c.eng.Now().Sub(start)
+	c.lastLatency = latency
+	c.probes++
+	ev := Event{At: c.eng.Now(), Latency: latency}
+	sec := latency.Seconds()
+	switch {
+	case c.probes <= c.cfg.WarmupProbes || c.baseline == 0:
+		// Learning phase: fold everything into the baseline.
+		if c.baseline == 0 {
+			c.baseline = sec
+		} else {
+			c.baseline = c.cfg.BaselineAlpha*sec + (1-c.cfg.BaselineAlpha)*c.baseline
+		}
+	case sec > c.cfg.Threshold*c.baseline:
+		ev.Degraded = true
+		c.degradations++
+		// Degraded probes do not pollute the healthy baseline.
+	default:
+		c.baseline = c.cfg.BaselineAlpha*sec + (1-c.cfg.BaselineAlpha)*c.baseline
+	}
+	ev.Baseline = des.FromSeconds(c.baseline)
+	if c.onEvent != nil {
+		c.onEvent(ev)
+	}
+}
+
+// Baseline returns the learned healthy probe latency.
+func (c *Canary) Baseline() des.Duration { return des.FromSeconds(c.baseline) }
+
+// LastLatency returns the most recent probe's latency.
+func (c *Canary) LastLatency() des.Duration { return c.lastLatency }
+
+// Probes returns how many probes have completed.
+func (c *Canary) Probes() int { return c.probes }
+
+// Degradations returns how many probes were flagged as degraded.
+func (c *Canary) Degradations() int { return c.degradations }
+
+// Stop halts probing and cancels any in-flight probe streams.
+func (c *Canary) Stop() {
+	c.stop()
+	for _, s := range c.streams {
+		c.fs.CancelStream(s)
+	}
+	c.inFlight = false
+}

@@ -1,0 +1,189 @@
+package canary
+
+import (
+	"testing"
+
+	"wasched/internal/des"
+	"wasched/internal/pfs"
+)
+
+func quietFS(t *testing.T) (*des.Engine, *pfs.FileSystem) {
+	t.Helper()
+	eng := des.NewEngine()
+	cfg := pfs.DefaultConfig()
+	cfg.NoiseSigma = 0
+	cfg.BurstBoost = 1
+	cfg.MDSLatency = 0
+	cfg.MDSOpsPerSec = 1e9
+	fs, err := pfs.New(eng, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, fs
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Interval = 0 },
+		func(c *Config) { c.ProbeBytes = 0 },
+		func(c *Config) { c.Streams = 0 },
+		func(c *Config) { c.Threshold = 1 },
+		func(c *Config) { c.BaselineAlpha = 0 },
+		func(c *Config) { c.BaselineAlpha = 2 },
+		func(c *Config) { c.WarmupProbes = 0 },
+	}
+	for i, mutate := range bad {
+		c := DefaultConfig()
+		mutate(&c)
+		if c.Validate() == nil {
+			t.Errorf("mutation %d must fail", i)
+		}
+	}
+	eng, fs := quietFS(t)
+	badCfg := DefaultConfig()
+	badCfg.Interval = 0
+	if _, err := Start(eng, fs, "ctl", badCfg, 1, nil); err == nil {
+		t.Fatal("Start must reject a bad config")
+	}
+}
+
+func TestHealthySystemNoDegradations(t *testing.T) {
+	eng, fs := quietFS(t)
+	var events []Event
+	c, err := Start(eng, fs, "ctl", DefaultConfig(), 1, func(e Event) { events = append(events, e) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(des.TimeFromSeconds(3600))
+	if c.Probes() < 50 {
+		t.Fatalf("probes: %d", c.Probes())
+	}
+	if c.Degradations() != 0 {
+		t.Fatalf("healthy file system flagged %d degradations", c.Degradations())
+	}
+	if c.Baseline() <= 0 || c.LastLatency() <= 0 {
+		t.Fatalf("baseline %v latency %v", c.Baseline(), c.LastLatency())
+	}
+	for _, e := range events {
+		if e.Degraded {
+			t.Fatalf("degraded event on healthy system: %+v", e)
+		}
+	}
+}
+
+func TestDetectsGlobalDegradation(t *testing.T) {
+	eng, fs := quietFS(t)
+	c, err := Start(eng, fs, "ctl", DefaultConfig(), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(des.TimeFromSeconds(1200)) // learn the baseline
+	healthyBaseline := c.Baseline()
+	fs.SetGlobalDegradation(0.01) // the backend collapses to 1%
+	eng.Run(des.TimeFromSeconds(2400))
+	if c.Degradations() == 0 {
+		t.Fatal("global degradation must be detected")
+	}
+	// The healthy baseline must not have been polluted by degraded probes.
+	if c.Baseline() > 3*healthyBaseline {
+		t.Fatalf("baseline polluted: %v → %v", healthyBaseline, c.Baseline())
+	}
+	// Recovery: degradations stop accumulating once healed.
+	fs.SetGlobalDegradation(1)
+	before := c.Degradations()
+	eng.Run(des.TimeFromSeconds(4800))
+	after := c.Degradations()
+	if after-before > 1 { // at most the in-flight straggler
+		t.Fatalf("degradations kept accumulating after recovery: %d → %d", before, after)
+	}
+}
+
+func TestDetectsSevereVolumeDegradation(t *testing.T) {
+	eng, fs := quietFS(t)
+	cfg := DefaultConfig()
+	cfg.Streams = 8 // wider stripe: hits a degraded volume sooner
+	c, err := Start(eng, fs, "ctl", cfg, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(des.TimeFromSeconds(1200))
+	// Degrade a quarter of the volumes catastrophically.
+	for v := 0; v < fs.Volumes()/4; v++ {
+		fs.SetVolumeDegradation(v, 0.02)
+	}
+	eng.Run(des.TimeFromSeconds(7200))
+	if c.Degradations() == 0 {
+		t.Fatal("volume-level degradation must eventually be detected")
+	}
+}
+
+func TestStopCancelsProbe(t *testing.T) {
+	eng, fs := quietFS(t)
+	c, err := Start(eng, fs, "ctl", DefaultConfig(), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(des.TimeFromSeconds(61)) // first probe in flight
+	c.Stop()
+	eng.Run(des.TimeFromSeconds(3600))
+	if fs.ActiveStreams() != 0 {
+		t.Fatal("probe streams must be cancelled")
+	}
+	if c.Probes() > 1 {
+		t.Fatalf("no probes after Stop, got %d", c.Probes())
+	}
+}
+
+func TestProbeSkipsWhenInFlight(t *testing.T) {
+	eng, fs := quietFS(t)
+	cfg := DefaultConfig()
+	cfg.ProbeBytes = 500 * pfs.GiB // absurdly slow probe
+	cfg.Interval = 10 * des.Second
+	c, err := Start(eng, fs, "ctl", cfg, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(des.TimeFromSeconds(300))
+	if got := fs.ActiveStreams(); got != cfg.Streams {
+		t.Fatalf("overlapping probes launched: %d active streams", got)
+	}
+	_ = c
+}
+
+func TestFailureInjectionPanics(t *testing.T) {
+	_, fs := quietFS(t)
+	for i, f := range []func(){
+		func() { fs.SetVolumeDegradation(-1, 0.5) },
+		func() { fs.SetVolumeDegradation(fs.Volumes(), 0.5) },
+		func() { fs.SetVolumeDegradation(0, 0) },
+		func() { fs.SetGlobalDegradation(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d must panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestVolumeDegradationSlowsStreams(t *testing.T) {
+	eng, fs := quietFS(t)
+	var doneHealthy, doneDegraded des.Time
+	fs.StartStream("n1", pfs.Write, 0, 4*pfs.GiB, func() { doneHealthy = eng.Now() })
+	fs.SetVolumeDegradation(1, 0.1)
+	fs.StartStream("n1", pfs.Write, 1, 4*pfs.GiB, func() { doneDegraded = eng.Now() })
+	eng.Run(des.TimeFromSeconds(3600))
+	if doneHealthy == 0 || doneDegraded == 0 {
+		t.Fatal("streams must finish")
+	}
+	if float64(doneDegraded) < 8*float64(doneHealthy) {
+		t.Fatalf("degraded volume must be ~10× slower: healthy %v degraded %v",
+			doneHealthy, doneDegraded)
+	}
+}

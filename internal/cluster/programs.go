@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"fmt"
+
+	"wasched/internal/des"
+	"wasched/internal/pfs"
+)
+
+// SleepProgram idles for a fixed duration, using its nodes but neither CPU
+// nor I/O — the paper's "sleep" job (600 s on one node).
+type SleepProgram struct {
+	D des.Duration
+}
+
+// Start implements Program.
+func (p SleepProgram) Start(ctx *Context, nodes []string, done func()) (stop func()) {
+	ev := ctx.Eng.After(p.D, "prog/sleep", done)
+	return func() { ctx.Eng.Cancel(ev) }
+}
+
+// WriteProgram runs Threads parallel writer threads, each writing
+// BytesPerThread to a uniformly random file-system volume — the paper's
+// "write×T" jobs (T threads × 10 GiB). Threads are distributed round-robin
+// over the allocated nodes. The job exits when its slowest thread finishes.
+type WriteProgram struct {
+	Threads        int
+	BytesPerThread float64
+}
+
+// Start implements Program.
+func (p WriteProgram) Start(ctx *Context, nodes []string, done func()) (stop func()) {
+	if p.Threads <= 0 {
+		panic(fmt.Sprintf("cluster: WriteProgram needs threads, got %d", p.Threads))
+	}
+	return startStreams(ctx, nodes, pfs.Write, p.Threads, p.BytesPerThread, done)
+}
+
+// ReadProgram mirrors WriteProgram for read streams.
+type ReadProgram struct {
+	Threads        int
+	BytesPerThread float64
+}
+
+// Start implements Program.
+func (p ReadProgram) Start(ctx *Context, nodes []string, done func()) (stop func()) {
+	if p.Threads <= 0 {
+		panic(fmt.Sprintf("cluster: ReadProgram needs threads, got %d", p.Threads))
+	}
+	return startStreams(ctx, nodes, pfs.Read, p.Threads, p.BytesPerThread, done)
+}
+
+func startStreams(ctx *Context, nodes []string, kind pfs.OpKind, threads int, bytes float64, done func()) (stop func()) {
+	remaining := threads
+	stopped := false
+	streams := make([]*pfs.Stream, 0, threads)
+	for t := 0; t < threads; t++ {
+		node := nodes[t%len(nodes)]
+		vol := ctx.FS.RandomVolume(ctx.RNG)
+		s := ctx.FS.StartStream(node, kind, vol, bytes, func() {
+			remaining--
+			if remaining == 0 && !stopped {
+				done()
+			}
+		})
+		streams = append(streams, s)
+	}
+	return func() {
+		stopped = true
+		for _, s := range streams {
+			ctx.FS.CancelStream(s)
+		}
+	}
+}
+
+// PhasedProgram runs a sequence of programs back to back, modelling the
+// compute-then-I/O cycles of scientific applications (paper §II-B).
+type PhasedProgram struct {
+	Phases []Program
+}
+
+// Start implements Program.
+func (p PhasedProgram) Start(ctx *Context, nodes []string, done func()) (stop func()) {
+	if len(p.Phases) == 0 {
+		panic("cluster: PhasedProgram needs at least one phase")
+	}
+	stopped := false
+	var stopCurrent func()
+	var runPhase func(i int)
+	runPhase = func(i int) {
+		if stopped {
+			return
+		}
+		if i == len(p.Phases) {
+			done()
+			return
+		}
+		stopCurrent = p.Phases[i].Start(ctx, nodes, func() { runPhase(i + 1) })
+	}
+	runPhase(0)
+	return func() {
+		stopped = true
+		if stopCurrent != nil {
+			stopCurrent()
+		}
+	}
+}
+
+// BurstyProgram alternates compute phases with write bursts for a given
+// number of cycles — the lengthy periodic I/O bursts of paper §II-B. It is
+// used by the extension experiments (burst-overlap ablation), not by the
+// paper's two main workloads.
+type BurstyProgram struct {
+	Cycles         int
+	Compute        des.Duration
+	Threads        int
+	BytesPerThread float64
+}
+
+// Start implements Program.
+func (p BurstyProgram) Start(ctx *Context, nodes []string, done func()) (stop func()) {
+	if p.Cycles <= 0 {
+		panic(fmt.Sprintf("cluster: BurstyProgram needs cycles, got %d", p.Cycles))
+	}
+	phases := make([]Program, 0, 2*p.Cycles)
+	for i := 0; i < p.Cycles; i++ {
+		phases = append(phases,
+			SleepProgram{D: p.Compute},
+			WriteProgram{Threads: p.Threads, BytesPerThread: p.BytesPerThread})
+	}
+	return PhasedProgram{Phases: phases}.Start(ctx, nodes, done)
+}

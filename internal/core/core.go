@@ -1,0 +1,368 @@
+// Package core is the top-level API of the workload-adaptive I/O-aware
+// scheduling library. It assembles the full prototype the paper describes
+// (Fig. 2) — the Lustre file-system model, the compute cluster, LDMS
+// monitoring, the SOS store, the analytical services, and the Slurm-like
+// controller with a pluggable scheduling policy — behind one Config/System
+// pair.
+//
+// A minimal session:
+//
+//	cfg := core.DefaultConfig()
+//	cfg.Scheduler = core.SchedulerConfig{Policy: core.Adaptive, ThroughputLimit: 20 * pfs.GiB}
+//	sys, err := core.NewSystem(cfg)
+//	...
+//	sys.MustSubmit(workload.WriteJob(8))
+//	sys.Start()
+//	err = sys.RunToCompletion(100 * des.Hour)
+//	fmt.Println(sys.Makespan())
+//
+// Lower-level control (custom policies, direct tracker manipulation) stays
+// available through the subsystem packages; core only wires them.
+package core
+
+import (
+	"fmt"
+
+	"wasched/internal/analytics"
+	"wasched/internal/cluster"
+	"wasched/internal/des"
+	"wasched/internal/ldms"
+	"wasched/internal/pfs"
+	"wasched/internal/sched"
+	"wasched/internal/slurm"
+	"wasched/internal/sos"
+	"wasched/internal/trace"
+	"wasched/internal/workload"
+)
+
+// PolicyKind selects one of the library's scheduling policies.
+type PolicyKind int
+
+// Scheduling policies (paper §§V–VII).
+const (
+	// Default is the node-only Slurm backfill scheduler.
+	Default PolicyKind = iota
+	// EASY is the node-only scheduler with BackfillMax = 1.
+	EASY
+	// IOAware adds the Lustre throughput resource with a fixed limit
+	// (Algorithms 2–4).
+	IOAware
+	// Adaptive is the workload-adaptive scheduler with the two-group
+	// approximation (Algorithms 5–7).
+	Adaptive
+	// AdaptiveNaive is the workload-adaptive scheduler without the
+	// two-group approximation.
+	AdaptiveNaive
+)
+
+// String names the policy kind.
+func (k PolicyKind) String() string {
+	switch k {
+	case Default:
+		return "default"
+	case EASY:
+		return "easy"
+	case IOAware:
+		return "io-aware"
+	case Adaptive:
+		return "adaptive"
+	case AdaptiveNaive:
+		return "adaptive-naive"
+	default:
+		return fmt.Sprintf("PolicyKind(%d)", int(k))
+	}
+}
+
+// SchedulerConfig selects and parameterises the scheduling policy.
+type SchedulerConfig struct {
+	Policy PolicyKind
+	// ThroughputLimit is R_limit in bytes/s; required for IOAware,
+	// Adaptive and AdaptiveNaive.
+	ThroughputLimit float64
+	// QoSFraction tunes the two-group split (0 = the paper's 1/2).
+	QoSFraction float64
+	// IgnoreMeasured disables the R_now guard (ablations only).
+	IgnoreMeasured bool
+	// Custom overrides everything above with a caller-supplied policy.
+	Custom sched.Policy
+}
+
+// Config assembles a full system.
+type Config struct {
+	// Nodes is the compute-node count (the paper's N = 15).
+	Nodes int
+	// Seed drives every stochastic component; a fixed seed reproduces a
+	// run exactly.
+	Seed      uint64
+	Scheduler SchedulerConfig
+	FS        pfs.Config
+	Monitor   ldms.Config
+	Analytics analytics.Config
+	Control   slurm.Config
+	// TracePeriod is the run recorder's sampling period (0 = 5 s).
+	TracePeriod des.Duration
+}
+
+// DefaultConfig mirrors the paper's testbed: 15 nodes, the calibrated
+// Lustre model, 1 s monitoring, 30 s scheduling rounds with Slurm's
+// default bf_max_job_test, and the default (node-only) policy.
+func DefaultConfig() Config {
+	scfg := slurm.DefaultConfig()
+	scfg.Options.MaxJobTest = sched.SlurmDefaultTestLimit
+	return Config{
+		Nodes:       15,
+		Seed:        1,
+		FS:          pfs.DefaultConfig(),
+		Monitor:     ldms.DefaultConfig(),
+		Analytics:   analytics.DefaultConfig(),
+		Control:     scfg,
+		TracePeriod: 5 * des.Second,
+	}
+}
+
+// policy materialises the configured scheduling policy.
+func (c Config) policy() (sched.Policy, int, error) {
+	if c.Scheduler.Custom != nil {
+		return c.Scheduler.Custom, c.Control.Options.BackfillMax, nil
+	}
+	backfillMax := c.Control.Options.BackfillMax
+	switch c.Scheduler.Policy {
+	case Default:
+		return sched.NodePolicy{TotalNodes: c.Nodes}, backfillMax, nil
+	case EASY:
+		return sched.NodePolicy{TotalNodes: c.Nodes}, sched.EASY, nil
+	case IOAware:
+		if c.Scheduler.ThroughputLimit <= 0 {
+			return nil, 0, fmt.Errorf("core: io-aware policy needs a positive ThroughputLimit")
+		}
+		return sched.IOAwarePolicy{
+			TotalNodes:      c.Nodes,
+			ThroughputLimit: c.Scheduler.ThroughputLimit,
+			IgnoreMeasured:  c.Scheduler.IgnoreMeasured,
+		}, backfillMax, nil
+	case Adaptive, AdaptiveNaive:
+		if c.Scheduler.ThroughputLimit <= 0 {
+			return nil, 0, fmt.Errorf("core: adaptive policy needs a positive ThroughputLimit")
+		}
+		return sched.AdaptivePolicy{
+			TotalNodes:      c.Nodes,
+			ThroughputLimit: c.Scheduler.ThroughputLimit,
+			TwoGroup:        c.Scheduler.Policy == Adaptive,
+			QoSFraction:     c.Scheduler.QoSFraction,
+		}, backfillMax, nil
+	default:
+		return nil, 0, fmt.Errorf("core: unknown policy kind %v", c.Scheduler.Policy)
+	}
+}
+
+// System is a fully wired scheduling system on its own simulated timeline.
+type System struct {
+	Eng        *des.Engine
+	FS         *pfs.FileSystem
+	Cluster    *cluster.Cluster
+	Store      *sos.Store
+	Monitor    *ldms.Daemon
+	Analytics  *analytics.Service
+	Controller *slurm.Controller
+	Recorder   *trace.Recorder
+
+	cfg       Config
+	submitted int
+}
+
+// NewSystem wires a system from the configuration.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("core: node count must be positive, got %d", cfg.Nodes)
+	}
+	policy, backfillMax, err := cfg.policy()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Control.Options.BackfillMax = backfillMax
+	eng := des.NewEngine()
+	fs, err := pfs.New(eng, cfg.FS, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := cluster.New(eng, fs, cfg.Nodes, "node", cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	store := sos.NewStore()
+	daemon, err := ldms.Start(eng, fs, store, cl.NodeNames(), cfg.Monitor, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	svc, err := analytics.New(eng, store, cl.NodeNames(), cfg.Analytics)
+	if err != nil {
+		return nil, err
+	}
+	ctl, err := slurm.New(eng, cl, policy, svc, cfg.Control)
+	if err != nil {
+		return nil, err
+	}
+	period := cfg.TracePeriod
+	if period <= 0 {
+		period = 5 * des.Second
+	}
+	rec := trace.NewRecorder(eng, fs, cl, ctl, period)
+	return &System{
+		Eng:        eng,
+		FS:         fs,
+		Cluster:    cl,
+		Store:      store,
+		Monitor:    daemon,
+		Analytics:  svc,
+		Controller: ctl,
+		Recorder:   rec,
+		cfg:        cfg,
+	}, nil
+}
+
+// Config returns the configuration the system was built from.
+func (s *System) Config() Config { return s.cfg }
+
+// Submit enqueues a job now.
+func (s *System) Submit(spec slurm.JobSpec) (*slurm.JobRecord, error) {
+	r, err := s.Controller.Submit(spec)
+	if err == nil {
+		s.submitted++
+	}
+	return r, err
+}
+
+// MustSubmit submits or panics; convenient in examples and experiments
+// where specs are statically valid.
+func (s *System) MustSubmit(spec slurm.JobSpec) *slurm.JobRecord {
+	r, err := s.Submit(spec)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// SubmitAt schedules a future submission (arrival processes).
+func (s *System) SubmitAt(spec slurm.JobSpec, at des.Time) error {
+	if err := s.Controller.SubmitAt(spec, at); err != nil {
+		return err
+	}
+	s.submitted++
+	return nil
+}
+
+// SubmitAll submits specs in order at the current time.
+func (s *System) SubmitAll(specs []slurm.JobSpec) error {
+	for i, spec := range specs {
+		if _, err := s.Submit(spec); err != nil {
+			return fmt.Errorf("core: submit %d (%s): %w", i, spec.Name, err)
+		}
+	}
+	return nil
+}
+
+// Submitted returns how many jobs have been submitted (or scheduled for
+// submission) through this System.
+func (s *System) Submitted() int { return s.submitted }
+
+// Start begins scheduling. Call once after the initial submissions.
+func (s *System) Start() { s.Controller.Run() }
+
+// RunUntil advances the simulation to the given time.
+func (s *System) RunUntil(t des.Time) { s.Eng.Run(t) }
+
+// RunToCompletion advances the simulation until every submitted job has
+// finished, failing if that takes longer than max simulated time.
+func (s *System) RunToCompletion(max des.Duration) error {
+	deadline := s.Eng.Now().Add(max)
+	for s.Controller.DoneCount() < s.submitted {
+		if s.Eng.Now() >= deadline {
+			return fmt.Errorf("core: %d of %d jobs unfinished after %v (queue=%d running=%d)",
+				s.submitted-s.Controller.DoneCount(), s.submitted, max,
+				s.Controller.QueueLength(), s.Controller.RunningCount())
+		}
+		if !s.Eng.Step() {
+			return fmt.Errorf("core: simulation went idle with %d of %d jobs unfinished",
+				s.submitted-s.Controller.DoneCount(), s.submitted)
+		}
+	}
+	return nil
+}
+
+// Makespan returns the completion time of the last finished job.
+func (s *System) Makespan() des.Time { return s.Controller.Makespan() }
+
+// Pretrain seeds the estimator for one job class (paper "pre-training").
+func (s *System) Pretrain(fingerprint string, rate float64, runtime des.Duration) {
+	s.Analytics.Pretrain(fingerprint, rate, runtime)
+}
+
+// PretrainIsolated reproduces the paper's pre-training protocol: every
+// distinct job class in specs runs once, alone, on a scratch copy of this
+// system, and the measured rate and runtime seed this system's estimator.
+func (s *System) PretrainIsolated(specs []slurm.JobSpec) error {
+	byFP := make(map[string]slurm.JobSpec)
+	var order []string
+	for _, spec := range specs {
+		fp := spec.Fingerprint
+		if fp == "" {
+			fp = spec.Name
+		}
+		if _, ok := byFP[fp]; !ok {
+			byFP[fp] = spec
+			order = append(order, fp)
+		}
+	}
+	for _, fp := range order {
+		est, err := s.measureIsolated(byFP[fp])
+		if err != nil {
+			return fmt.Errorf("core: pretrain %s: %w", fp, err)
+		}
+		s.Analytics.Pretrain(fp, est.Rate, est.Runtime)
+	}
+	return nil
+}
+
+func (s *System) measureIsolated(spec slurm.JobSpec) (analytics.Estimate, error) {
+	cfg := DefaultConfig()
+	cfg.Nodes = s.cfg.Nodes
+	cfg.FS = s.cfg.FS
+	cfg.Seed = s.cfg.Seed ^ 0x9E3779B97F4A7C15 // independent timeline per system seed
+	cfg.TracePeriod = des.Second
+	scratch, err := NewSystem(cfg)
+	if err != nil {
+		return analytics.Estimate{}, err
+	}
+	rec, err := scratch.Submit(spec)
+	if err != nil {
+		return analytics.Estimate{}, err
+	}
+	scratch.Start()
+	if err := scratch.RunToCompletion(des.Duration(spec.Limit) + des.Hour); err != nil {
+		return analytics.Estimate{}, err
+	}
+	if rec.State != slurm.StateCompleted && rec.State != slurm.StateTimeout {
+		return analytics.Estimate{}, fmt.Errorf("isolated run ended in state %v", rec.State)
+	}
+	fp := spec.Fingerprint
+	if fp == "" {
+		fp = spec.Name
+	}
+	est, ok := scratch.Analytics.Estimate(fp)
+	if !ok {
+		return analytics.Estimate{}, fmt.Errorf("no estimate after isolated run")
+	}
+	return est, nil
+}
+
+// FeedAll submits specs progressively through a depth-bounded feeder (see
+// workload.StartFeeder) instead of one batch, counting them toward
+// RunToCompletion. Start the system first or immediately after; the feeder
+// checks the queue every period.
+func (s *System) FeedAll(specs []slurm.JobSpec, depth int, period des.Duration) error {
+	if _, err := workload.StartFeeder(s.Eng, s.Controller, specs, depth, period); err != nil {
+		return err
+	}
+	s.submitted += len(specs)
+	return nil
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"wasched/internal/cluster"
+	"wasched/internal/des"
+	"wasched/internal/pfs"
+	"wasched/internal/sched"
+	"wasched/internal/slurm"
+	"wasched/internal/workload"
+)
+
+func quietConfig() Config {
+	cfg := DefaultConfig()
+	cfg.FS.NoiseSigma = 0
+	cfg.FS.BurstBoost = 1
+	return cfg
+}
+
+func TestPolicyKindString(t *testing.T) {
+	cases := map[PolicyKind]string{
+		Default: "default", EASY: "easy", IOAware: "io-aware",
+		Adaptive: "adaptive", AdaptiveNaive: "adaptive-naive",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Fatalf("%v", k)
+		}
+	}
+	if !strings.Contains(PolicyKind(99).String(), "99") {
+		t.Fatal("unknown kind string")
+	}
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 0
+	if _, err := NewSystem(cfg); err == nil {
+		t.Fatal("zero nodes must fail")
+	}
+	cfg = DefaultConfig()
+	cfg.Scheduler.Policy = IOAware // no limit
+	if _, err := NewSystem(cfg); err == nil {
+		t.Fatal("io-aware without limit must fail")
+	}
+	cfg = DefaultConfig()
+	cfg.Scheduler.Policy = Adaptive
+	if _, err := NewSystem(cfg); err == nil {
+		t.Fatal("adaptive without limit must fail")
+	}
+	cfg = DefaultConfig()
+	cfg.Scheduler.Policy = PolicyKind(42)
+	if _, err := NewSystem(cfg); err == nil {
+		t.Fatal("unknown policy must fail")
+	}
+	cfg = DefaultConfig()
+	cfg.FS.Volumes = 0
+	if _, err := NewSystem(cfg); err == nil {
+		t.Fatal("bad fs config must fail")
+	}
+}
+
+func TestPolicySelection(t *testing.T) {
+	for _, tc := range []struct {
+		kind PolicyKind
+		want string
+	}{
+		{Default, "default"},
+		{EASY, "default"}, // EASY is the node policy with BackfillMax=1
+		{IOAware, "io-aware"},
+		{Adaptive, "adaptive"},
+		{AdaptiveNaive, "adaptive-naive"},
+	} {
+		cfg := quietConfig()
+		cfg.Scheduler.Policy = tc.kind
+		cfg.Scheduler.ThroughputLimit = 20 * pfs.GiB
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.kind, err)
+		}
+		if got := sys.Controller.Policy().Name(); got != tc.want {
+			t.Fatalf("%v: policy %q, want %q", tc.kind, got, tc.want)
+		}
+	}
+}
+
+func TestCustomPolicyOverride(t *testing.T) {
+	cfg := quietConfig()
+	cfg.Scheduler.Custom = sched.IOAwarePolicy{TotalNodes: cfg.Nodes, ThroughputLimit: pfs.GiB}
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Controller.Policy().Name() != "io-aware" {
+		t.Fatal("custom policy must win")
+	}
+}
+
+func TestSystemLifecycle(t *testing.T) {
+	sys, err := NewSystem(quietConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Config().Nodes != 15 {
+		t.Fatal("config accessor")
+	}
+	rec := sys.MustSubmit(workload.SleepJob())
+	if sys.Submitted() != 1 {
+		t.Fatal("submitted counter")
+	}
+	if err := sys.SubmitAt(workload.SleepJob(), des.TimeFromSeconds(100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SubmitAll([]slurm.JobSpec{workload.WriteJob(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Submitted() != 3 {
+		t.Fatalf("submitted = %d", sys.Submitted())
+	}
+	sys.Start()
+	if err := sys.RunToCompletion(10 * des.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != slurm.StateCompleted {
+		t.Fatalf("state: %v", rec.State)
+	}
+	if sys.Makespan() <= 0 {
+		t.Fatal("makespan")
+	}
+	if sys.Recorder.Throughput.Len() == 0 {
+		t.Fatal("recorder must have sampled")
+	}
+}
+
+func TestRunToCompletionTimesOut(t *testing.T) {
+	sys, err := NewSystem(quietConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.MustSubmit(slurm.JobSpec{
+		Name: "long", Nodes: 1, Limit: 10 * des.Hour,
+		Program: cluster.SleepProgram{D: 5 * des.Hour},
+	})
+	sys.Start()
+	if err := sys.RunToCompletion(des.Minute); err == nil {
+		t.Fatal("must report unfinished jobs")
+	}
+}
+
+func TestMustSubmitPanics(t *testing.T) {
+	sys, _ := NewSystem(quietConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid spec must panic via MustSubmit")
+		}
+	}()
+	sys.MustSubmit(slurm.JobSpec{Name: "bad"})
+}
+
+func TestSubmitAllStopsOnError(t *testing.T) {
+	sys, _ := NewSystem(quietConfig())
+	err := sys.SubmitAll([]slurm.JobSpec{workload.SleepJob(), {Name: "bad"}})
+	if err == nil || !strings.Contains(err.Error(), "bad") {
+		t.Fatalf("err: %v", err)
+	}
+}
+
+func TestPretrainIsolated(t *testing.T) {
+	cfg := quietConfig()
+	cfg.Scheduler = SchedulerConfig{Policy: Adaptive, ThroughputLimit: 20 * pfs.GiB}
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []slurm.JobSpec{workload.WriteJob(8), workload.SleepJob(), workload.WriteJob(8)}
+	if err := sys.PretrainIsolated(specs); err != nil {
+		t.Fatal(err)
+	}
+	est, ok := sys.Analytics.Estimate("writex8")
+	if !ok || est.Rate <= 0 {
+		t.Fatalf("pretrained estimate: %+v ok=%v", est, ok)
+	}
+	if _, ok := sys.Analytics.Estimate("sleep"); !ok {
+		t.Fatal("sleep must be pretrained too")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() des.Time {
+		cfg := DefaultConfig() // noise on: determinism must still hold
+		cfg.Scheduler = SchedulerConfig{Policy: IOAware, ThroughputLimit: 15 * pfs.GiB}
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			sys.MustSubmit(workload.WriteJob(8))
+		}
+		for i := 0; i < 20; i++ {
+			sys.MustSubmit(workload.SleepJob())
+		}
+		sys.Start()
+		if err := sys.RunToCompletion(100 * des.Hour); err != nil {
+			t.Fatal(err)
+		}
+		return sys.Makespan()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same config must reproduce exactly: %v vs %v", a, b)
+	}
+}
+
+func TestFeedAll(t *testing.T) {
+	sys, err := NewSystem(quietConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]slurm.JobSpec, 40)
+	for i := range specs {
+		specs[i] = workload.SleepJob()
+	}
+	if err := sys.FeedAll(specs, 5, des.Second); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Submitted() != 40 {
+		t.Fatalf("submitted: %d", sys.Submitted())
+	}
+	sys.Start()
+	if err := sys.RunToCompletion(100 * des.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Controller.DoneCount() != 40 {
+		t.Fatalf("done: %d", sys.Controller.DoneCount())
+	}
+	if err := sys.FeedAll(specs, 0, des.Second); err == nil {
+		t.Fatal("bad depth must fail")
+	}
+}

@@ -1,0 +1,38 @@
+package des
+
+import "testing"
+
+// BenchmarkEngineThroughput measures raw event dispatch (schedule + fire).
+func BenchmarkEngineThroughput(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(Duration(i%1000)*Millisecond, "b", func() {})
+		if e.Pending() > 1024 {
+			for e.Pending() > 0 {
+				e.Step()
+			}
+		}
+	}
+	e.RunUntilIdle(0)
+}
+
+// BenchmarkEngineCancel measures schedule+cancel cycles (the pfs rate
+// solver's dominant event pattern).
+func BenchmarkEngineCancel(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev := e.After(Hour, "b", func() {})
+		e.Cancel(ev)
+	}
+}
+
+// BenchmarkRNG measures the derived-stream draw rate.
+func BenchmarkRNG(b *testing.B) {
+	r := NewRNG(1, "bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.UnitLogNormal(0.16)
+	}
+}

@@ -1,0 +1,212 @@
+package des
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. Events are single-shot; a fired or
+// cancelled event is inert. Events are ordered by time, then by scheduling
+// sequence number, which makes simultaneous events fire in the order they
+// were scheduled.
+type Event struct {
+	at    Time
+	seq   uint64
+	index int // position in the heap, -1 when not queued
+	fn    func()
+	name  string
+}
+
+// At returns the time the event is (or was) scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Name returns the diagnostic label given at scheduling time.
+func (e *Event) Name() string { return e.name }
+
+// Pending reports whether the event is still queued.
+func (e *Event) Pending() bool { return e != nil && e.index >= 0 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event simulation executive. It is not
+// safe for concurrent use: a simulation is a single logical timeline, and
+// all model code runs inside event callbacks on one goroutine.
+type Engine struct {
+	now    Time
+	queue  eventHeap
+	seq    uint64
+	fired  uint64
+	inStep bool
+}
+
+// NewEngine returns an engine positioned at time zero with an empty queue.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Fired returns the total number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// At schedules fn to run at absolute time at. Scheduling in the past
+// (before Now) panics: it would mean the model produced a causality
+// violation, which is always a bug.
+func (e *Engine) At(at Time, name string, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("des: event %q scheduled at %v before now %v", name, at, e.now))
+	}
+	if fn == nil {
+		panic("des: nil event callback")
+	}
+	e.seq++
+	ev := &Event{at: at, seq: e.seq, fn: fn, name: name}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time. Negative d panics.
+func (e *Engine) After(d Duration, name string, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("des: event %q scheduled %v in the past", name, d))
+	}
+	return e.At(e.now.Add(d), name, fn)
+}
+
+// Cancel removes a pending event from the queue. Cancelling a nil, fired or
+// already-cancelled event is a no-op and returns false.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.index < 0 {
+		return false
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+	ev.fn = nil
+	return true
+}
+
+// Reschedule moves a pending event to a new time, preserving its callback.
+// If the event already fired or was cancelled it returns false.
+func (e *Engine) Reschedule(ev *Event, at Time) bool {
+	if ev == nil || ev.index < 0 {
+		return false
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("des: event %q rescheduled to %v before now %v", ev.name, at, e.now))
+	}
+	ev.at = at
+	e.seq++
+	ev.seq = e.seq
+	heap.Fix(&e.queue, ev.index)
+	return true
+}
+
+// Step executes the earliest pending event, advancing the clock to its
+// timestamp. It returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	if ev.at < e.now {
+		panic("des: corrupt event queue (time went backwards)")
+	}
+	e.now = ev.at
+	fn := ev.fn
+	ev.fn = nil
+	e.fired++
+	fn()
+	return true
+}
+
+// Run executes events until the queue drains or the next event would fire
+// after the deadline. The clock is left at the later of its current value
+// and the deadline when the deadline is the binding constraint; otherwise
+// at the time of the last executed event.
+func (e *Engine) Run(until Time) {
+	for len(e.queue) > 0 && e.queue[0].at <= until {
+		e.Step()
+	}
+	if e.now < until && len(e.queue) == 0 {
+		// Nothing left to do; park the clock at the deadline so that
+		// callers observe a consistent "simulated through" time.
+		e.now = until
+	} else if e.now < until {
+		e.now = until
+	}
+}
+
+// RunUntilIdle executes events until the queue is empty. The limit guards
+// against runaway self-rescheduling models: exceeding it panics with a
+// diagnostic rather than hanging the test suite. Pass 0 for no limit.
+func (e *Engine) RunUntilIdle(limit uint64) {
+	start := e.fired
+	for e.Step() {
+		if limit != 0 && e.fired-start > limit {
+			panic(fmt.Sprintf("des: RunUntilIdle exceeded %d events (next %q at %v)",
+				limit, e.peekName(), e.now))
+		}
+	}
+}
+
+func (e *Engine) peekName() string {
+	if len(e.queue) == 0 {
+		return "<none>"
+	}
+	return e.queue[0].name
+}
+
+// Ticker invokes fn every period, starting at the current time plus period,
+// until the returned stop function is called. The callback receives the
+// firing time. Tickers are a convenience for samplers and scheduling rounds.
+func (e *Engine) Ticker(period Duration, name string, fn func(Time)) (stop func()) {
+	if period <= 0 {
+		panic("des: ticker period must be positive")
+	}
+	var ev *Event
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn(e.now)
+		if !stopped {
+			ev = e.After(period, name, tick)
+		}
+	}
+	ev = e.After(period, name, tick)
+	return func() {
+		stopped = true
+		e.Cancel(ev)
+	}
+}

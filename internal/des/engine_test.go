@@ -1,0 +1,313 @@
+package des
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := TimeFromSeconds(10)
+	if got := t0.Add(5 * Second); got != TimeFromSeconds(15) {
+		t.Fatalf("Add: got %v", got)
+	}
+	if got := t0.Sub(TimeFromSeconds(4)); got != 6*Second {
+		t.Fatalf("Sub: got %v", got)
+	}
+	if got := (90 * Second).Seconds(); got != 90 {
+		t.Fatalf("Seconds: got %v", got)
+	}
+	if got := MaxTime.Add(Hour); got != MaxTime {
+		t.Fatalf("Add overflow must saturate, got %v", got)
+	}
+	if MaxTime.String() != "t=inf" {
+		t.Fatalf("MaxTime string: %q", MaxTime.String())
+	}
+}
+
+func TestFromSecondsRoundTrip(t *testing.T) {
+	f := func(s int16) bool {
+		d := FromSeconds(float64(s))
+		return d == Duration(s)*Second
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEngineOrdersEventsByTime(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30*Second.asTime(), "c", func() { order = append(order, 3) })
+	e.At(10*Second.asTime(), "a", func() { order = append(order, 1) })
+	e.At(20*Second.asTime(), "b", func() { order = append(order, 2) })
+	e.RunUntilIdle(0)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("wrong order: %v", order)
+	}
+	if e.Now() != 30*Second.asTime() {
+		t.Fatalf("clock: %v", e.Now())
+	}
+}
+
+// asTime is a test helper to express absolute times tersely.
+func (d Duration) asTime() Time { return Time(d) }
+
+func TestEngineSimultaneousEventsFireInScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(Time(5*Second), "tie", func() { order = append(order, i) })
+	}
+	e.RunUntilIdle(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("ties must fire FIFO, got %v", order)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.After(Second, "x", func() { fired = true })
+	if !ev.Pending() {
+		t.Fatal("event should be pending")
+	}
+	if !e.Cancel(ev) {
+		t.Fatal("cancel should succeed")
+	}
+	if e.Cancel(ev) {
+		t.Fatal("double cancel should fail")
+	}
+	e.RunUntilIdle(0)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if ev.Pending() {
+		t.Fatal("cancelled event still pending")
+	}
+}
+
+func TestEngineCancelNil(t *testing.T) {
+	e := NewEngine()
+	if e.Cancel(nil) {
+		t.Fatal("cancel(nil) must be a no-op")
+	}
+}
+
+func TestEngineReschedule(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	ev := e.After(10*Second, "x", func() { at = e.Now() })
+	e.After(Second, "mover", func() {
+		if !e.Reschedule(ev, e.Now().Add(2*Second)) {
+			t.Error("reschedule failed")
+		}
+	})
+	e.RunUntilIdle(0)
+	if at != Time(3*Second) {
+		t.Fatalf("rescheduled event fired at %v", at)
+	}
+	if e.Reschedule(ev, Time(100*Second)) {
+		t.Fatal("rescheduling a fired event must fail")
+	}
+}
+
+func TestEngineRunStopsAtDeadline(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for i := 1; i <= 5; i++ {
+		i := i
+		e.At(Time(i)*Time(10*Second), "ev", func() { fired = append(fired, e.Now()) })
+	}
+	e.Run(Time(25 * Second))
+	if len(fired) != 2 {
+		t.Fatalf("expected 2 events before deadline, got %d", len(fired))
+	}
+	if e.Now() != Time(25*Second) {
+		t.Fatalf("clock must park at deadline, got %v", e.Now())
+	}
+	e.Run(Time(100 * Second))
+	if len(fired) != 5 {
+		t.Fatalf("remaining events must fire, got %d", len(fired))
+	}
+}
+
+func TestEngineRunParksClockWhenIdle(t *testing.T) {
+	e := NewEngine()
+	e.Run(Time(42 * Second))
+	if e.Now() != Time(42*Second) {
+		t.Fatalf("idle engine must advance to deadline, got %v", e.Now())
+	}
+}
+
+func TestEnginePanicsOnPastEvent(t *testing.T) {
+	e := NewEngine()
+	e.After(10*Second, "later", func() {})
+	e.RunUntilIdle(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past must panic")
+		}
+	}()
+	e.At(Time(Second), "past", func() {})
+}
+
+func TestEnginePanicsOnNilCallback(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil callback must panic")
+		}
+	}()
+	e.At(Time(Second), "nil", nil)
+}
+
+func TestEngineRunUntilIdleLimit(t *testing.T) {
+	e := NewEngine()
+	var tick func()
+	tick = func() { e.After(Second, "loop", tick) }
+	e.After(Second, "loop", tick)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("runaway loop must trip the limit")
+		}
+	}()
+	e.RunUntilIdle(100)
+}
+
+func TestEngineEventsScheduledDuringStepRun(t *testing.T) {
+	e := NewEngine()
+	var seen []string
+	e.After(Second, "outer", func() {
+		seen = append(seen, "outer")
+		e.After(Second, "inner", func() { seen = append(seen, "inner") })
+		// Same-time event scheduled from within a callback must also fire.
+		e.After(0, "now", func() { seen = append(seen, "now") })
+	})
+	e.RunUntilIdle(0)
+	want := []string{"outer", "now", "inner"}
+	for i := range want {
+		if i >= len(seen) || seen[i] != want[i] {
+			t.Fatalf("got %v want %v", seen, want)
+		}
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine()
+	var at []Time
+	stop := e.Ticker(10*Second, "tick", func(now Time) { at = append(at, now) })
+	e.Run(Time(35 * Second))
+	stop()
+	e.Run(Time(200 * Second))
+	if len(at) != 3 {
+		t.Fatalf("expected 3 ticks, got %d (%v)", len(at), at)
+	}
+	for i, ts := range at {
+		if ts != Time((i+1)*10)*Time(Second) {
+			t.Fatalf("tick %d at %v", i, ts)
+		}
+	}
+}
+
+func TestTickerStopFromCallback(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var stop func()
+	stop = e.Ticker(Second, "tick", func(Time) {
+		n++
+		if n == 3 {
+			stop()
+		}
+	})
+	e.RunUntilIdle(1000)
+	if n != 3 {
+		t.Fatalf("ticker must stop from its own callback, fired %d", n)
+	}
+}
+
+func TestTickerPanicsOnBadPeriod(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive period must panic")
+		}
+	}()
+	e.Ticker(0, "bad", func(Time) {})
+}
+
+func TestEngineFiredCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 7; i++ {
+		e.After(Duration(i)*Second, "n", func() {})
+	}
+	e.RunUntilIdle(0)
+	if e.Fired() != 7 {
+		t.Fatalf("fired = %d", e.Fired())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42, "pfs/noise")
+	b := NewRNG(42, "pfs/noise")
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same (seed,name) must produce identical streams")
+		}
+	}
+	c := NewRNG(42, "pfs/placement")
+	d := NewRNG(43, "pfs/noise")
+	same := 0
+	for i := 0; i < 100; i++ {
+		x := NewRNG(42, "pfs/noise")
+		_ = x
+		if c.Uint64() == d.Uint64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("independent streams look correlated: %d/100 equal draws", same)
+	}
+}
+
+func TestRNGFork(t *testing.T) {
+	r := NewRNG(7, "root")
+	a := r.Fork("child")
+	b := NewRNG(7, "root/child")
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Fork must equal direct derivation")
+		}
+	}
+}
+
+func TestRNGUnitLogNormalMean(t *testing.T) {
+	r := NewRNG(1, "ln")
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.UnitLogNormal(0.2)
+	}
+	mean := sum / n
+	if mean < 0.99 || mean > 1.01 {
+		t.Fatalf("unit log-normal mean = %v, want ~1", mean)
+	}
+}
+
+func TestRNGJitter(t *testing.T) {
+	r := NewRNG(1, "j")
+	if r.Jitter(0) != 0 {
+		t.Fatal("jitter(0) must be 0")
+	}
+	for i := 0; i < 1000; i++ {
+		j := r.Jitter(10 * Second)
+		if j < 0 || j >= 10*Second {
+			t.Fatalf("jitter out of range: %v", j)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package des_test
+
+import (
+	"fmt"
+
+	"wasched/internal/des"
+)
+
+// ExampleEngine runs a tiny deterministic simulation: two timers and a
+// ticker on one timeline.
+func ExampleEngine() {
+	eng := des.NewEngine()
+	eng.After(3*des.Second, "hello", func() { fmt.Println("hello at", eng.Now()) })
+	stop := eng.Ticker(2*des.Second, "tick", func(now des.Time) { fmt.Println("tick at", now) })
+	eng.Run(des.TimeFromSeconds(5))
+	stop()
+	// Output:
+	// tick at t=2.000000s
+	// hello at t=3.000000s
+	// tick at t=4.000000s
+}
+
+// ExampleNewRNG shows named random streams: the same seed and name always
+// reproduce the same draws, independent of other streams.
+func ExampleNewRNG() {
+	a := des.NewRNG(42, "pfs/noise")
+	b := des.NewRNG(42, "pfs/noise")
+	fmt.Println(a.Uint64() == b.Uint64())
+	// Output:
+	// true
+}

@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wasched/internal/sched"
+)
+
+func TestExportCSVViaRunner(t *testing.T) {
+	dir := t.TempDir()
+	res, err := RunWorkload(DefaultOptions(sched.NodePolicy{TotalNodes: Nodes}, 1), miniWorkload(), false, "csvtest: hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exportCSV(dir, res); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 2 {
+		t.Fatalf("entries: %d", len(entries))
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "csvtest-series.csv"))
+	if err != nil || !bytes.HasPrefix(b, []byte("time_s,")) {
+		t.Fatalf("series csv: %v %q", err, b[:20])
+	}
+}

@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"wasched/internal/cluster"
+	"wasched/internal/des"
+	"wasched/internal/pfs"
+	"wasched/internal/sched"
+	"wasched/internal/slurm"
+	"wasched/internal/stats"
+	"wasched/internal/workload"
+)
+
+// Variant is one scheduler configuration of the paper's evaluation.
+type Variant struct {
+	// Key is the figure panel key ("a".."e").
+	Key string
+	// Label is the paper's description of the panel.
+	Label string
+	// Policy builds the scheduling policy for the given node count.
+	Policy sched.Policy
+	// Pretrain runs the paper's isolation pre-training before the
+	// workload.
+	Pretrain bool
+}
+
+// Fig3Variants returns the five configurations of paper Fig. 3
+// (Workload 1).
+func Fig3Variants() []Variant {
+	return []Variant{
+		{"a", "default Slurm scheduling", sched.NodePolicy{TotalNodes: Nodes}, false},
+		{"b", "I/O-aware, 20 GiB/s limit, pre-trained", sched.IOAwarePolicy{TotalNodes: Nodes, ThroughputLimit: Limit20}, true},
+		{"c", "I/O-aware, 15 GiB/s limit, pre-trained", sched.IOAwarePolicy{TotalNodes: Nodes, ThroughputLimit: Limit15}, true},
+		{"d", "adaptive, 20 GiB/s limit, pre-trained", sched.AdaptivePolicy{TotalNodes: Nodes, ThroughputLimit: Limit20, TwoGroup: true}, true},
+		{"e", "adaptive, 20 GiB/s limit, untrained", sched.AdaptivePolicy{TotalNodes: Nodes, ThroughputLimit: Limit20, TwoGroup: true}, false},
+	}
+}
+
+// Fig5Variants returns the five configurations of paper Fig. 5
+// (Workload 2). All estimator-driven variants are pre-trained, as in the
+// paper's §VII-A protocol.
+func Fig5Variants() []Variant {
+	return []Variant{
+		{"a", "default Slurm scheduling", sched.NodePolicy{TotalNodes: Nodes}, false},
+		{"b", "I/O-aware, 20 GiB/s limit", sched.IOAwarePolicy{TotalNodes: Nodes, ThroughputLimit: Limit20}, true},
+		{"c", "I/O-aware, 15 GiB/s limit", sched.IOAwarePolicy{TotalNodes: Nodes, ThroughputLimit: Limit15}, true},
+		{"d", "adaptive, 20 GiB/s limit", sched.AdaptivePolicy{TotalNodes: Nodes, ThroughputLimit: Limit20, TwoGroup: true}, true},
+		{"e", "adaptive, 15 GiB/s limit", sched.AdaptivePolicy{TotalNodes: Nodes, ThroughputLimit: Limit15, TwoGroup: true}, true},
+	}
+}
+
+// variantByKey selects a variant by its panel key.
+func variantByKey(vs []Variant, key string) (Variant, error) {
+	for _, v := range vs {
+		if v.Key == key {
+			return v, nil
+		}
+	}
+	return Variant{}, fmt.Errorf("experiments: no variant %q", key)
+}
+
+// RunFig3 runs one panel of paper Fig. 3: Workload 1 under the keyed
+// configuration.
+func RunFig3(key string, seed uint64) (*RunResult, error) {
+	v, err := variantByKey(Fig3Variants(), key)
+	if err != nil {
+		return nil, err
+	}
+	return RunWorkload(DefaultOptions(v.Policy, seed), workload.Workload1(), v.Pretrain,
+		"fig3"+key+": "+v.Label)
+}
+
+// RunFig5 runs one panel of paper Fig. 5: Workload 2 under the keyed
+// configuration.
+func RunFig5(key string, seed uint64) (*RunResult, error) {
+	v, err := variantByKey(Fig5Variants(), key)
+	if err != nil {
+		return nil, err
+	}
+	return RunWorkload(DefaultOptions(v.Policy, seed), workload.Workload2(), v.Pretrain,
+		"fig5"+key+": "+v.Label)
+}
+
+// Fig4Point is one box of paper Fig. 4: the distribution of the total
+// Lustre throughput while k "write×8" jobs run concurrently.
+type Fig4Point struct {
+	Jobs int
+	Box  stats.Box // GiB/s
+}
+
+// Fig4Config tunes the Fig. 4 measurement.
+type Fig4Config struct {
+	MaxJobs int          // sweep 0..MaxJobs (paper: 15)
+	Warmup  des.Duration // discarded lead-in per point
+	Measure des.Duration // sampled window per point
+	Seed    uint64
+	PFS     pfs.Config
+}
+
+// DefaultFig4Config matches the paper's sweep: 0..15 jobs, with a 60 s
+// warm-up and a 600 s measured window per point.
+func DefaultFig4Config() Fig4Config {
+	return Fig4Config{
+		MaxJobs: 15,
+		Warmup:  60 * des.Second,
+		Measure: 600 * des.Second,
+		Seed:    1,
+		PFS:     pfs.DefaultConfig(),
+	}
+}
+
+// RunFig4 reproduces paper Fig. 4: for each k in 0..MaxJobs it keeps k
+// "write×8" jobs running continuously (each job restarts when it finishes,
+// as the paper's steady-state phases do), samples the total throughput
+// every second, and reports the distribution.
+func RunFig4(cfg Fig4Config) ([]Fig4Point, error) {
+	if cfg.MaxJobs < 0 {
+		return nil, fmt.Errorf("experiments: MaxJobs must be non-negative, got %d", cfg.MaxJobs)
+	}
+	if cfg.Warmup < 0 || cfg.Measure <= 0 {
+		return nil, fmt.Errorf("experiments: invalid warmup/measure windows")
+	}
+	out := make([]Fig4Point, 0, cfg.MaxJobs+1)
+	for k := 0; k <= cfg.MaxJobs; k++ {
+		box, err := measureFig4Point(cfg, k)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig4Point{Jobs: k, Box: box})
+	}
+	return out, nil
+}
+
+func measureFig4Point(cfg Fig4Config, jobs int) (stats.Box, error) {
+	eng := des.NewEngine()
+	fs, err := pfs.New(eng, cfg.PFS, cfg.Seed+uint64(jobs)*1000)
+	if err != nil {
+		return stats.Box{}, err
+	}
+	cl, err := cluster.New(eng, fs, Nodes, "node", cfg.Seed+uint64(jobs)*1000)
+	if err != nil {
+		return stats.Box{}, err
+	}
+	prog := cluster.WriteProgram{Threads: 8, BytesPerThread: workload.BytesPerThread}
+	// Keep exactly `jobs` write×8 jobs alive: restart each as it finishes.
+	var launch func(slot int)
+	gen := make([]int, jobs)
+	launch = func(slot int) {
+		gen[slot]++
+		id := fmt.Sprintf("w%d-%d", slot, gen[slot])
+		if _, err := cl.Start(id, 1, prog, func(*cluster.Execution) { launch(slot) }); err != nil {
+			panic(fmt.Sprintf("experiments: fig4 restart: %v", err))
+		}
+	}
+	for s := 0; s < jobs; s++ {
+		launch(s)
+	}
+	var samples []float64
+	warmEnd := des.Time(cfg.Warmup)
+	stop := eng.Ticker(des.Second, "fig4/probe", func(now des.Time) {
+		if now > warmEnd {
+			samples = append(samples, fs.CurrentAggregateRate()/pfs.GiB)
+		}
+	})
+	eng.Run(des.Time(cfg.Warmup + cfg.Measure))
+	stop()
+	if jobs == 0 {
+		// No jobs → no samples needed beyond the implied zeros.
+		samples = []float64{0}
+	}
+	return stats.BoxStats(samples), nil
+}
+
+// Fig6Config tunes the repeated-runs summary.
+type Fig6Config struct {
+	Repeats int
+	Seed    uint64
+}
+
+// Fig6Row is one scheduler configuration's swarm of makespans.
+type Fig6Row struct {
+	Variant  Variant
+	Swarm    stats.Swarm // makespans in seconds
+	VsBase   float64     // median relative to the default scheduler's
+	BootLo   float64     // 95% bootstrap CI of the median
+	BootHi   float64
+	MeanBusy float64 // averaged over repeats
+	// PValue is the two-sided Mann-Whitney p-value against the default
+	// scheduler's swarm (1 for the default row itself).
+	PValue float64
+}
+
+// RunFig6 reproduces paper Fig. 6: Workload 2 is scheduled repeatedly under
+// every Fig. 5 configuration with varying seeds; the rows report the
+// makespan distributions, medians, and the median's change versus default.
+//
+// The (variant, seed) runs are independent simulations on separate
+// engines, so they execute in parallel across the available CPUs; results
+// are deterministic regardless of scheduling because each run's outcome
+// depends only on its own seed.
+func RunFig6(cfg Fig6Config) ([]Fig6Row, error) {
+	if cfg.Repeats <= 0 {
+		cfg.Repeats = 5
+	}
+	specs := workload.Workload2()
+	variants := Fig5Variants()
+
+	type cell struct {
+		res *RunResult
+		err error
+	}
+	results := make([][]cell, len(variants))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for vi, v := range variants {
+		results[vi] = make([]cell, cfg.Repeats)
+		for r := 0; r < cfg.Repeats; r++ {
+			vi, v, r := vi, v, r
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				seed := cfg.Seed + uint64(r)*7919
+				res, err := RunWorkload(DefaultOptions(v.Policy, seed), specs, v.Pretrain,
+					fmt.Sprintf("fig6/%s/seed%d", v.Key, seed))
+				results[vi][r] = cell{res: res, err: err}
+			}()
+		}
+	}
+	wg.Wait()
+
+	rows := make([]Fig6Row, 0, len(variants))
+	for vi, v := range variants {
+		values := make([]float64, 0, cfg.Repeats)
+		busy := 0.0
+		for _, c := range results[vi] {
+			if c.err != nil {
+				return nil, c.err
+			}
+			values = append(values, c.res.Makespan)
+			busy += c.res.MeanBusyNodes
+		}
+		sw := stats.NewSwarm(v.Label, values)
+		lo, hi := stats.Bootstrap(values, 0.95, 2000, cfg.Seed)
+		rows = append(rows, Fig6Row{
+			Variant:  v,
+			Swarm:    sw,
+			BootLo:   lo,
+			BootHi:   hi,
+			MeanBusy: busy / float64(cfg.Repeats),
+		})
+	}
+	base := rows[0].Swarm.Median
+	for i := range rows {
+		rows[i].VsBase = stats.RelChange(rows[i].Swarm.Median, base)
+		if i == 0 {
+			rows[i].PValue = 1
+			continue
+		}
+		_, rows[i].PValue = stats.MannWhitneyU(rows[i].Swarm.Values, rows[0].Swarm.Values)
+	}
+	return rows, nil
+}
+
+// runWith is a helper for ablations that need tweaked options.
+func runWith(policy sched.Policy, specs []slurm.JobSpec, pretrain bool, seed uint64,
+	label string, mutate func(*Options)) (*RunResult, error) {
+	opts := DefaultOptions(policy, seed)
+	if mutate != nil {
+		mutate(&opts)
+	}
+	return RunWorkload(opts, specs, pretrain, label)
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// WriteFullReport runs every registered experiment and writes a single
+// plain-text report — the `wasched report` command. Figure experiments
+// come first in the paper's order, then the ablations alphabetically.
+// Wall-clock progress goes to progress (nil discards it).
+func WriteFullReport(w io.Writer, opts RunOptions, progress io.Writer) error {
+	if progress == nil {
+		progress = io.Discard
+	}
+	order := []string{"fig3", "fig4", "fig5", "fig6"}
+	seen := map[string]bool{"fig3": true, "fig4": true, "fig5": true, "fig6": true}
+	// Single panels are subsumed by the figure aggregates.
+	for _, key := range []string{"a", "b", "c", "d", "e"} {
+		seen["fig3"+key] = true
+		seen["fig5"+key] = true
+	}
+	for _, name := range Names() {
+		if !seen[name] {
+			order = append(order, name)
+		}
+	}
+	reg := Registry()
+	fmt.Fprintf(w, "wasched full experiment report (seed %d)\n", opts.Seed)
+	fmt.Fprintf(w, "%s\n\n", repeat('=', 72))
+	for _, name := range order {
+		entry := reg[name]
+		fmt.Fprintf(w, "\n%s\n%s — %s\n%s\n\n", repeat('-', 72), name, entry.Description, repeat('-', 72))
+		start := time.Now()
+		if err := entry.Run(w, opts); err != nil {
+			return fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		fmt.Fprintf(progress, "%-22s done in %s\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,319 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"wasched/internal/trace"
+	"wasched/internal/workload"
+)
+
+// RunOptions parameterise an experiment invocation.
+type RunOptions struct {
+	// Seed varies the stochastic parts; the same seed reproduces the same
+	// report bit for bit.
+	Seed uint64
+	// CSVDir, when non-empty, receives per-run series and job CSV files
+	// (<experiment>-series.csv, <experiment>-jobs.csv).
+	CSVDir string
+}
+
+// Runner executes one named experiment, writing a human-readable report.
+type Runner func(w io.Writer, opts RunOptions) error
+
+// Entry describes a registered experiment.
+type Entry struct {
+	Name        string
+	Description string
+	Run         Runner
+}
+
+// Registry returns every runnable experiment, keyed by name. The names
+// match DESIGN.md's per-experiment index.
+func Registry() map[string]Entry {
+	entries := []Entry{
+		{"fig3", "paper Fig. 3: Workload 1 under all five scheduler configurations", runFig3All},
+		{"fig3a", "paper Fig. 3(a): Workload 1, default Slurm scheduling", figRunner(RunFig3, "a")},
+		{"fig3b", "paper Fig. 3(b): Workload 1, I/O-aware 20 GiB/s, pre-trained", figRunner(RunFig3, "b")},
+		{"fig3c", "paper Fig. 3(c): Workload 1, I/O-aware 15 GiB/s, pre-trained", figRunner(RunFig3, "c")},
+		{"fig3d", "paper Fig. 3(d): Workload 1, adaptive 20 GiB/s, pre-trained", figRunner(RunFig3, "d")},
+		{"fig3e", "paper Fig. 3(e): Workload 1, adaptive 20 GiB/s, untrained", figRunner(RunFig3, "e")},
+		{"fig4", "paper Fig. 4: throughput vs concurrent write×8 jobs (box plots)", runFig4},
+		{"fig5", "paper Fig. 5: Workload 2 under all five scheduler configurations", runFig5All},
+		{"fig5a", "paper Fig. 5(a): Workload 2, default Slurm scheduling", figRunner(RunFig5, "a")},
+		{"fig5b", "paper Fig. 5(b): Workload 2, I/O-aware 20 GiB/s", figRunner(RunFig5, "b")},
+		{"fig5c", "paper Fig. 5(c): Workload 2, I/O-aware 15 GiB/s", figRunner(RunFig5, "c")},
+		{"fig5d", "paper Fig. 5(d): Workload 2, adaptive 20 GiB/s", figRunner(RunFig5, "d")},
+		{"fig5e", "paper Fig. 5(e): Workload 2, adaptive 15 GiB/s", figRunner(RunFig5, "e")},
+		{"fig6", "paper Fig. 6: Workload 2 makespans over repeats (swarm + medians)", runFig6},
+		{"ablation-two-group", "two-group approximation on/off (W2, adaptive 15 GiB/s)", ablationRunner(AblationTwoGroup)},
+		{"ablation-guard", "measured-throughput guard on/off under lying estimates (staggered arrivals)", ablationRunner(AblationMeasuredGuard)},
+		{"ablation-backfill", "BackfillMax depth sweep on the mixed multi-node workload", ablationRunner(AblationBackfillMax)},
+		{"ablation-licenses", "analytics estimates vs static user-declared licenses (W1)", ablationRunner(AblationLicenses)},
+		{"ablation-qos", "two-group QoS fraction sweep (W2, adaptive 15 GiB/s)", ablationRunner(AblationQoSFraction)},
+		{"ablation-bursty", "bursty-application workload: default vs adaptive", ablationRunner(AblationBurstOverlap)},
+		{"ablation-submission", "submission protocols: batch vs feeder vs poisson (W1, adaptive)", ablationRunner(AblationSubmission)},
+		{"ablation-degradation", "mid-run file-system degradation: default vs adaptive (W1)", ablationRunner(AblationDegradation)},
+		{"ablation-ordering", "FIFO vs TETRIS dot-product window ordering (mixed workload)", ablationRunner(AblationOrdering)},
+		{"sweep-limit", "fixed-limit U-curve vs the self-tuning adaptive scheduler (W1)", ablationRunner(SweepLimit)},
+		{"ablation-plateau", "two-group benefit in the plateau regime (W2, shallow queue)", ablationRunner(AblationPlateau)},
+		{"ablation-checkpoint", "checkpoint/restart read+write workload: default vs io-aware vs adaptive", ablationRunner(AblationCheckpoint)},
+	}
+	m := make(map[string]Entry, len(entries))
+	for _, e := range entries {
+		m[e.Name] = e
+	}
+	return m
+}
+
+// Names returns the registered experiment names in sorted order.
+func Names() []string {
+	reg := Registry()
+	out := make([]string, 0, len(reg))
+	for name := range reg {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func figRunner(run func(string, uint64) (*RunResult, error), key string) Runner {
+	return func(w io.Writer, opts RunOptions) error {
+		res, err := run(key, opts.Seed)
+		if err != nil {
+			return err
+		}
+		printRun(w, res, 0)
+		printPanels(w, res)
+		return exportCSV(opts.CSVDir, res)
+	}
+}
+
+// exportCSV writes a run's sampled series and per-job records when a CSV
+// directory was requested.
+func exportCSV(dir string, res *RunResult) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	slug := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-':
+			return r
+		default:
+			return '_'
+		}
+	}, strings.SplitN(res.Label, ":", 2)[0])
+	series, err := os.Create(filepath.Join(dir, slug+"-series.csv"))
+	if err != nil {
+		return err
+	}
+	if err := res.Recorder.WriteCSV(series); err != nil {
+		series.Close()
+		return err
+	}
+	if err := series.Close(); err != nil {
+		return err
+	}
+	jobs, err := os.Create(filepath.Join(dir, slug+"-jobs.csv"))
+	if err != nil {
+		return err
+	}
+	if err := res.Recorder.WriteJobsCSV(jobs); err != nil {
+		jobs.Close()
+		return err
+	}
+	return jobs.Close()
+}
+
+func runFig3All(w io.Writer, opts RunOptions) error {
+	return runFigAll(w, opts, "Fig. 3 (Workload 1, 720 jobs)", Fig3Variants(), RunFig3)
+}
+
+func runFig5All(w io.Writer, opts RunOptions) error {
+	return runFigAll(w, opts, "Fig. 5 (Workload 2, 1550 jobs)", Fig5Variants(), RunFig5)
+}
+
+func runFigAll(w io.Writer, opts RunOptions, title string, variants []Variant,
+	run func(string, uint64) (*RunResult, error)) error {
+	fmt.Fprintf(w, "=== %s ===\n\n", title)
+	// The panels are independent simulations: run them in parallel.
+	results := make([]*RunResult, len(variants))
+	errs := make([]error, len(variants))
+	var wg sync.WaitGroup
+	for i, v := range variants {
+		i, v := i, v
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = run(v.Key, opts.Seed)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	base := results[0].Makespan
+	for _, res := range results {
+		if err := exportCSV(opts.CSVDir, res); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "%-45s %12s %9s %6s %9s %10s %8s\n",
+		"configuration", "makespan[s]", "vs base", "busy", "tp[GiB/s]", "wait[s]", "bsld")
+	for _, res := range results {
+		printRun(w, res, base)
+	}
+	fmt.Fprintln(w)
+	for _, res := range results {
+		printPanels(w, res)
+	}
+	return nil
+}
+
+func printRun(w io.Writer, res *RunResult, base float64) {
+	vs := "-"
+	if base > 0 && res.Makespan != base {
+		vs = fmt.Sprintf("%+.1f%%", 100*(res.Makespan-base)/base)
+	}
+	fmt.Fprintf(w, "%-45s %12.0f %9s %6.2f %9.2f %10.0f %8.1f\n",
+		res.Label, res.Makespan, vs, res.MeanBusyNodes, res.MeanThroughput, res.MedianWait,
+		res.Sched.MeanBoundedSlowdown)
+}
+
+// printPanels renders the two panels of a Fig. 3/5 plot: Lustre
+// throughput (top) and node allocation (bottom), as the paper draws them.
+func printPanels(w io.Writer, res *RunResult) {
+	fmt.Fprintf(w, "--- %s ---\n", res.Label)
+	fmt.Fprint(w, trace.Plot(&res.Recorder.Throughput, 100, 8))
+	fmt.Fprint(w, trace.Plot(&res.Recorder.BusyNodes, 100, 5))
+	fmt.Fprintln(w)
+}
+
+func runFig4(w io.Writer, opts RunOptions) error {
+	cfg := DefaultFig4Config()
+	cfg.Seed = opts.Seed
+	points, err := RunFig4(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "=== Fig. 4: Lustre total throughput vs concurrent write×8 jobs (GiB/s) ===")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%5s %8s %8s %8s %8s %8s %5s\n", "jobs", "min", "q1", "median", "q3", "max", "n")
+	for _, p := range points {
+		b := p.Box
+		fmt.Fprintf(w, "%5d %8.2f %8.2f %8.2f %8.2f %8.2f %5d\n",
+			p.Jobs, b.Min, b.Q1, b.Median, b.Q3, b.Max, b.N)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "medians as bars:")
+	maxMed := 0.0
+	for _, p := range points {
+		if p.Box.Median > maxMed {
+			maxMed = p.Box.Median
+		}
+	}
+	for _, p := range points {
+		bar := 0
+		if maxMed > 0 {
+			bar = int(p.Box.Median / maxMed * 60)
+		}
+		fmt.Fprintf(w, "%3d | %-60s %6.2f\n", p.Jobs, repeat('#', bar), p.Box.Median)
+	}
+	return nil
+}
+
+func repeat(c byte, n int) string {
+	if n <= 0 {
+		return ""
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = c
+	}
+	return string(b)
+}
+
+func runFig6(w io.Writer, opts RunOptions) error {
+	rows, err := RunFig6(Fig6Config{Repeats: 5, Seed: opts.Seed})
+	if err != nil {
+		return err
+	}
+	PrintFig6(w, rows)
+	return nil
+}
+
+// PrintFig6 renders the Fig. 6 summary table.
+func PrintFig6(w io.Writer, rows []Fig6Row) {
+	fmt.Fprintln(w, "=== Fig. 6: Workload 2 makespans over repeats (seconds) ===")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-40s %10s %9s %21s %7s %6s  %s\n",
+		"configuration", "median", "vs base", "95% CI of median", "p", "busy", "samples")
+	for i, r := range rows {
+		vs := "-"
+		if r.VsBase != 0 {
+			vs = fmt.Sprintf("%+.1f%%", 100*r.VsBase)
+		}
+		pv := "-"
+		if i > 0 {
+			pv = fmt.Sprintf("%.3f", r.PValue)
+		}
+		fmt.Fprintf(w, "%-40s %10.0f %9s [%9.0f,%9.0f] %7s %6.2f  ",
+			r.Variant.Label, r.Swarm.Median, vs, r.BootLo, r.BootHi, pv, r.MeanBusy)
+		for _, v := range r.Swarm.Values {
+			fmt.Fprintf(w, "%.0f ", v)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func ablationRunner(run func(uint64) ([]AblationRow, error)) Runner {
+	return func(w io.Writer, opts RunOptions) error {
+		rows, err := run(opts.Seed)
+		if err != nil {
+			return err
+		}
+		PrintAblation(w, rows)
+		for _, r := range rows {
+			if err := exportCSV(opts.CSVDir, r.Result); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// PrintAblation renders an ablation comparison table.
+func PrintAblation(w io.Writer, rows []AblationRow) {
+	fmt.Fprintf(w, "%-48s %12s %9s %6s %9s %12s %8s\n",
+		"configuration", "makespan[s]", "vs base", "busy", "tp[GiB/s]", "idle[node-s]", "timeouts")
+	for i, r := range rows {
+		vs := "-"
+		if i > 0 {
+			vs = fmt.Sprintf("%+.1f%%", 100*r.VsBase)
+		}
+		fmt.Fprintf(w, "%-48s %12.0f %9s %6.2f %9.2f %12.0f %8d",
+			r.Label, r.Result.Makespan, vs, r.Result.MeanBusyNodes,
+			r.Result.MeanThroughput, r.Result.IdleNodeSeconds, r.Result.Timeouts)
+		if r.Extra != "" {
+			fmt.Fprintf(w, "  %s", r.Extra)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WorkloadSizes reports the job counts of the standard workloads (sanity
+// output for the CLI).
+func WorkloadSizes() string {
+	return fmt.Sprintf("workload1=%d jobs, workload2=%d jobs, mixed=%d jobs",
+		len(workload.Workload1()), len(workload.Workload2()), len(workload.Mixed()))
+}

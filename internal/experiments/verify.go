@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Claim is one verifiable statement about the reproduction: a predicate
+// over measured results with the paper's reference value for context.
+type Claim struct {
+	ID     string
+	Text   string
+	Paper  string // the paper's corresponding number, for the report
+	Pass   bool
+	Actual string
+}
+
+// Verify runs the core experiments and checks every headline claim of the
+// reproduction (the acceptance criteria of DESIGN.md §4). It returns the
+// claims with pass/fail and writes a human-readable report. The run takes
+// roughly half a minute.
+func Verify(w io.Writer, seed uint64) ([]Claim, error) {
+	fmt.Fprintln(w, "verifying the reproduction's headline claims...")
+
+	// Workload 1 (Fig. 3).
+	fig3 := map[string]*RunResult{}
+	for _, key := range []string{"a", "b", "c", "d", "e"} {
+		res, err := RunFig3(key, seed)
+		if err != nil {
+			return nil, err
+		}
+		fig3[key] = res
+	}
+	rel := func(key string) float64 {
+		return 100 * (fig3[key].Makespan - fig3["a"].Makespan) / fig3["a"].Makespan
+	}
+
+	// Fig. 4 curve.
+	f4cfg := DefaultFig4Config()
+	f4cfg.Seed = seed
+	points, err := RunFig4(f4cfg)
+	if err != nil {
+		return nil, err
+	}
+	peak, peakAt := 0.0, 0
+	for _, p := range points {
+		if p.Box.Median > peak {
+			peak, peakAt = p.Box.Median, p.Jobs
+		}
+	}
+
+	// Workload 2 (Fig. 5 panels a and d suffice for the claims).
+	fig5a, err := RunFig5("a", seed)
+	if err != nil {
+		return nil, err
+	}
+	fig5d, err := RunFig5("d", seed)
+	if err != nil {
+		return nil, err
+	}
+	rel5d := 100 * (fig5d.Makespan - fig5a.Makespan) / fig5a.Makespan
+
+	claims := []Claim{
+		{
+			ID:     "fig3-ordering",
+			Text:   "W1 makespans: adaptive < io15 < io20 < default",
+			Paper:  "Fig. 3 panels (d) < (c) < (b) < (a)",
+			Pass:   fig3["d"].Makespan < fig3["c"].Makespan && fig3["c"].Makespan < fig3["b"].Makespan && fig3["b"].Makespan < fig3["a"].Makespan,
+			Actual: fmt.Sprintf("%.0f < %.0f < %.0f < %.0f", fig3["d"].Makespan, fig3["c"].Makespan, fig3["b"].Makespan, fig3["a"].Makespan),
+		},
+		{
+			ID:     "fig3-io20",
+			Text:   "I/O-aware 20 GiB/s gains 5-20% on W1",
+			Paper:  "~10%",
+			Pass:   rel("b") < -5 && rel("b") > -20,
+			Actual: fmt.Sprintf("%.1f%%", rel("b")),
+		},
+		{
+			ID:     "fig3-io15",
+			Text:   "I/O-aware 15 GiB/s gains 15-30% on W1",
+			Paper:  "~20%",
+			Pass:   rel("c") < -15 && rel("c") > -30,
+			Actual: fmt.Sprintf("%.1f%%", rel("c")),
+		},
+		{
+			ID:     "fig3-adaptive",
+			Text:   "adaptive 20 GiB/s gains 20-35% on W1",
+			Paper:  "~26%",
+			Pass:   rel("d") < -20 && rel("d") > -35,
+			Actual: fmt.Sprintf("%.1f%%", rel("d")),
+		},
+		{
+			ID:     "fig3-untrained",
+			Text:   "untrained adaptive within 5% of pre-trained and beats io15",
+			Paper:  "~25%, beat io-aware 15 by 5.5%",
+			Pass:   fig3["e"].Makespan < fig3["c"].Makespan && fig3["e"].Makespan < fig3["d"].Makespan*1.05,
+			Actual: fmt.Sprintf("untrained %.0f vs pre-trained %.0f vs io15 %.0f", fig3["e"].Makespan, fig3["d"].Makespan, fig3["c"].Makespan),
+		},
+		{
+			ID:     "fig4-concave",
+			Text:   "throughput rises concavely to a 2-6 job peak",
+			Paper:  "Fig. 4 rising region",
+			Pass:   peakAt >= 2 && peakAt <= 6 && points[1].Box.Median < points[2].Box.Median,
+			Actual: fmt.Sprintf("peak %.1f GiB/s at %d jobs", peak, peakAt),
+		},
+		{
+			ID:     "fig4-operating-point",
+			Text:   "peak sustained throughput in the 5-16 GiB/s band",
+			Paper:  "adaptive operating point ~10 GiB/s at 2-3 jobs",
+			Pass:   peak >= 5 && peak <= 16,
+			Actual: fmt.Sprintf("%.1f GiB/s", peak),
+		},
+		{
+			ID:     "fig5-adaptive",
+			Text:   "adaptive 20 GiB/s gains 8-20% on W2",
+			Paper:  "~12% (median)",
+			Pass:   rel5d < -8 && rel5d > -20,
+			Actual: fmt.Sprintf("%.1f%%", rel5d),
+		},
+	}
+
+	passed := 0
+	for _, c := range claims {
+		status := "FAIL"
+		if c.Pass {
+			status = "ok"
+			passed++
+		}
+		fmt.Fprintf(w, "  [%-4s] %-14s %s\n         paper: %s | measured: %s\n",
+			status, c.ID, c.Text, c.Paper, c.Actual)
+	}
+	fmt.Fprintf(w, "%d of %d claims hold\n", passed, len(claims))
+	return claims, nil
+}

@@ -1,0 +1,471 @@
+package pfs
+
+import (
+	"fmt"
+	"math"
+
+	"wasched/internal/des"
+)
+
+// OpKind distinguishes read and write streams; counters are kept per kind.
+type OpKind int
+
+// Stream operation kinds.
+const (
+	Write OpKind = iota
+	Read
+)
+
+// String returns "write" or "read".
+func (k OpKind) String() string {
+	if k == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// Counters are cumulative per-node Lustre client counters, mirroring what
+// an LDMS Lustre client sampler reads from /proc on a real system.
+type Counters struct {
+	WriteBytes float64
+	ReadBytes  float64
+	WriteOps   uint64
+	ReadOps    uint64
+}
+
+// Total returns read plus write bytes.
+func (c Counters) Total() float64 { return c.WriteBytes + c.ReadBytes }
+
+// Stream is one client I/O stream transferring a fixed number of bytes to
+// or from a single volume. Jobs with T I/O threads open T streams.
+type Stream struct {
+	fs       *FileSystem
+	node     string
+	kind     OpKind
+	volume   int
+	total    float64
+	done     float64
+	rate     float64
+	idx      int  // position in fs.streams, -1 when inactive
+	started  bool // past the MDS create phase
+	finished bool
+	cancel   bool
+	event    *des.Event // next boundary: completion or burst expiry
+	complete func()
+}
+
+// Node returns the client node the stream belongs to.
+func (s *Stream) Node() string { return s.node }
+
+// Volume returns the index of the volume the stream targets.
+func (s *Stream) Volume() int { return s.volume }
+
+// Rate returns the instantaneous transfer rate in bytes/s.
+func (s *Stream) Rate() float64 { return s.rate }
+
+// Remaining returns the bytes left to transfer as of the last rate change.
+func (s *Stream) Remaining() float64 { return math.Max(0, s.total-s.done) }
+
+// Done reports whether the stream has finished.
+func (s *Stream) Done() bool { return s.finished }
+
+// FileSystem is the Lustre model. All methods must be called from the
+// simulation goroutine (inside event callbacks or before Run).
+type FileSystem struct {
+	eng *des.Engine
+	cfg Config
+
+	// streams holds the active streams in a deterministic order (append on
+	// activate, swap-remove on finish/cancel) so that floating-point
+	// accumulation order — and therefore every simulated byte count — is
+	// identical across runs with the same seed.
+	streams  []*Stream
+	perNode  map[string]*Counters
+	total    Counters
+	lastSync des.Time
+
+	volLogNoise []float64
+	globalLog   float64
+	noiseRNG    *des.RNG
+	stopNoise   func()
+
+	mdsFreeAt des.Time
+
+	// Failure injection (see SetVolumeDegradation / SetGlobalDegradation).
+	volDegrade    []float64 // nil until first injection; factor per volume
+	globalDegrade float64   // 0 means 1 (healthy)
+
+	recomputes uint64
+}
+
+// New creates a file system on the engine. The seed feeds the model's noise
+// process; two file systems with the same seed and event history behave
+// identically.
+func New(eng *des.Engine, cfg Config, seed uint64) (*FileSystem, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	fs := &FileSystem{
+		eng:         eng,
+		cfg:         cfg,
+		perNode:     make(map[string]*Counters),
+		volLogNoise: make([]float64, cfg.Volumes),
+		noiseRNG:    des.NewRNG(seed, "pfs/noise"),
+		lastSync:    eng.Now(),
+	}
+	// Start the noise processes at their stationary distribution.
+	for i := range fs.volLogNoise {
+		fs.volLogNoise[i] = cfg.NoiseSigma * fs.noiseRNG.NormFloat64()
+	}
+	fs.globalLog = cfg.NoiseSigma * fs.noiseRNG.NormFloat64()
+	fs.stopNoise = eng.Ticker(cfg.NoiseInterval, "pfs/noise", func(des.Time) {
+		fs.sync()
+		fs.rollNoise()
+		fs.recompute()
+	})
+	return fs, nil
+}
+
+// Config returns the file system's configuration.
+func (fs *FileSystem) Config() Config { return fs.cfg }
+
+// Close stops the background noise process. The file system remains
+// readable but rates freeze; used when tearing down a simulation early.
+func (fs *FileSystem) Close() { fs.stopNoise() }
+
+// Volumes returns the number of OST volumes.
+func (fs *FileSystem) Volumes() int { return fs.cfg.Volumes }
+
+// RandomVolume picks a volume uniformly at random, as the paper's write
+// jobs do ("written to a randomly chosen Lustre storage volume").
+func (fs *FileSystem) RandomVolume(rng *des.RNG) int { return rng.IntN(fs.cfg.Volumes) }
+
+// ActiveStreams returns the number of streams currently transferring.
+func (fs *FileSystem) ActiveStreams() int { return len(fs.streams) }
+
+// addStream appends s to the active set.
+func (fs *FileSystem) addStream(s *Stream) {
+	s.idx = len(fs.streams)
+	fs.streams = append(fs.streams, s)
+}
+
+// removeStream swap-removes s from the active set.
+func (fs *FileSystem) removeStream(s *Stream) {
+	i := s.idx
+	if i < 0 || i >= len(fs.streams) || fs.streams[i] != s {
+		return
+	}
+	last := len(fs.streams) - 1
+	fs.streams[i] = fs.streams[last]
+	fs.streams[i].idx = i
+	fs.streams[last] = nil
+	fs.streams = fs.streams[:last]
+	s.idx = -1
+}
+
+// Recomputes returns how many times the rate solver has run (diagnostics).
+func (fs *FileSystem) Recomputes() uint64 { return fs.recomputes }
+
+// rollNoise advances the AR(1) log-noise of every volume and the global
+// backend factor by one step, preserving the stationary variance.
+func (fs *FileSystem) rollNoise() {
+	rho := fs.cfg.NoiseCorr
+	innov := fs.cfg.NoiseSigma * math.Sqrt(1-rho*rho)
+	for i := range fs.volLogNoise {
+		fs.volLogNoise[i] = rho*fs.volLogNoise[i] + innov*fs.noiseRNG.NormFloat64()
+	}
+	fs.globalLog = rho*fs.globalLog + innov*fs.noiseRNG.NormFloat64()
+}
+
+// noiseFactor converts a log-noise value into a mean-one multiplier.
+func (fs *FileSystem) noiseFactor(logn float64) float64 {
+	s := fs.cfg.NoiseSigma
+	return math.Exp(logn - s*s/2)
+}
+
+// mdsDelay serializes metadata operations through a single-server queue
+// with fixed per-op latency, returning the delay before a create completes.
+func (fs *FileSystem) mdsDelay() des.Duration {
+	now := fs.eng.Now()
+	start := now
+	if fs.mdsFreeAt > start {
+		start = fs.mdsFreeAt
+	}
+	opTime := des.FromSeconds(1 / fs.cfg.MDSOpsPerSec)
+	done := start.Add(opTime)
+	fs.mdsFreeAt = done
+	return done.Sub(now) + fs.cfg.MDSLatency
+}
+
+// StartStream opens a stream of the given kind transferring bytes to or
+// from the given volume on behalf of node. onComplete fires (once) when the
+// last byte transfers; it may be nil. The stream first spends the metadata
+// create latency before data starts to flow.
+func (fs *FileSystem) StartStream(node string, kind OpKind, volume int, bytes float64, onComplete func()) *Stream {
+	if volume < 0 || volume >= fs.cfg.Volumes {
+		panic(fmt.Sprintf("pfs: volume %d out of range [0,%d)", volume, fs.cfg.Volumes))
+	}
+	if bytes <= 0 {
+		panic(fmt.Sprintf("pfs: stream size must be positive, got %g", bytes))
+	}
+	s := &Stream{fs: fs, node: node, kind: kind, volume: volume, total: bytes, complete: onComplete}
+	c := fs.nodeCounters(node)
+	if kind == Write {
+		c.WriteOps++
+		fs.total.WriteOps++
+	} else {
+		c.ReadOps++
+		fs.total.ReadOps++
+	}
+	fs.eng.After(fs.mdsDelay(), "pfs/mds-create", func() {
+		if s.cancel {
+			return
+		}
+		s.started = true
+		fs.sync()
+		fs.addStream(s)
+		fs.recompute()
+	})
+	return s
+}
+
+// CancelStream aborts a stream; bytes already transferred stay counted.
+func (fs *FileSystem) CancelStream(s *Stream) {
+	if s == nil || s.finished || s.cancel {
+		return
+	}
+	s.cancel = true
+	if !s.started {
+		return
+	}
+	fs.sync()
+	fs.removeStream(s)
+	fs.eng.Cancel(s.event)
+	s.event = nil
+	s.rate = 0
+	fs.recompute()
+}
+
+func (fs *FileSystem) nodeCounters(node string) *Counters {
+	c, ok := fs.perNode[node]
+	if !ok {
+		c = &Counters{}
+		fs.perNode[node] = c
+	}
+	return c
+}
+
+// sync integrates all active streams from the last rate change to now,
+// updating per-node and total counters.
+func (fs *FileSystem) sync() {
+	now := fs.eng.Now()
+	dt := now.Sub(fs.lastSync).Seconds()
+	if dt <= 0 {
+		fs.lastSync = now
+		return
+	}
+	for _, s := range fs.streams {
+		moved := s.rate * dt
+		if moved > s.total-s.done {
+			moved = s.total - s.done
+		}
+		s.done += moved
+		c := fs.nodeCounters(s.node)
+		if s.kind == Write {
+			c.WriteBytes += moved
+			fs.total.WriteBytes += moved
+		} else {
+			c.ReadBytes += moved
+			fs.total.ReadBytes += moved
+		}
+	}
+	fs.lastSync = now
+}
+
+// inBurst reports whether the stream's client-side write-back burst credit
+// still applies.
+func (s *Stream) inBurst() bool {
+	return s.kind == Write && s.fs.cfg.BurstBoost > 1 && s.done < s.fs.cfg.BurstBytes
+}
+
+// recompute solves for every active stream's rate and reschedules each
+// stream's next boundary event (completion or burst expiry). Must be called
+// with counters synced to now.
+func (fs *FileSystem) recompute() {
+	fs.recomputes++
+	cfg := &fs.cfg
+	// Streams per volume.
+	volCount := make([]int, cfg.Volumes)
+	for _, s := range fs.streams {
+		volCount[s.volume]++
+	}
+	// Per-stream demand: min(client cap, fair share of the volume).
+	totalDemand := 0.0
+	for _, s := range fs.streams {
+		cap := cfg.StreamCap
+		if s.inBurst() {
+			cap *= cfg.BurstBoost
+		}
+		volBW := cfg.VolumeBandwidth * fs.noiseFactor(fs.volLogNoise[s.volume])
+		if fs.volDegrade != nil {
+			volBW *= fs.volDegrade[s.volume]
+		}
+		share := volBW / float64(volCount[s.volume])
+		s.rate = math.Min(cap, share)
+		totalDemand += s.rate
+	}
+	// Optional OSS layer: streams on the same server share its bandwidth
+	// proportionally when oversubscribed.
+	if cfg.Servers > 0 {
+		serverDemand := make([]float64, cfg.Servers)
+		for _, s := range fs.streams {
+			serverDemand[s.volume%cfg.Servers] += s.rate
+		}
+		totalDemand = 0
+		for _, s := range fs.streams {
+			if d := serverDemand[s.volume%cfg.Servers]; d > cfg.ServerBandwidth {
+				s.rate *= cfg.ServerBandwidth / d
+			}
+			totalDemand += s.rate
+		}
+	}
+	// Backend cap with congestion-dependent efficiency.
+	k := len(fs.streams)
+	eff := 1.0
+	if k > cfg.CongestionKnee {
+		eff = 1 / (1 + cfg.CongestionPerStream*float64(k-cfg.CongestionKnee))
+	}
+	agg := cfg.ServerCap * eff * fs.noiseFactor(fs.globalLog)
+	if fs.globalDegrade > 0 {
+		agg *= fs.globalDegrade
+	}
+	if totalDemand > agg && totalDemand > 0 {
+		scale := agg / totalDemand
+		for _, s := range fs.streams {
+			s.rate *= scale
+		}
+	}
+	// Reschedule boundaries.
+	now := fs.eng.Now()
+	for _, s := range fs.streams {
+		fs.scheduleBoundary(s, now)
+	}
+}
+
+// scheduleBoundary (re)schedules the stream's next event: either its
+// completion or the expiry of its burst credit, whichever is sooner.
+func (fs *FileSystem) scheduleBoundary(s *Stream, now des.Time) {
+	fs.eng.Cancel(s.event)
+	s.event = nil
+	if s.rate <= 0 {
+		return // stalled; the next noise tick or membership change revives it
+	}
+	remaining := s.total - s.done
+	next := remaining / s.rate
+	if s.inBurst() {
+		burstLeft := (fs.cfg.BurstBytes - s.done) / s.rate
+		if burstLeft < next {
+			next = burstLeft
+		}
+	}
+	// Round up so the stream has moved at least the computed bytes when
+	// the event fires.
+	d := des.Duration(math.Ceil(next * float64(des.Second)))
+	if d < 0 {
+		d = 0
+	}
+	s.event = fs.eng.At(now.Add(d), "pfs/stream", func() {
+		s.event = nil
+		fs.sync()
+		if s.total-s.done <= 1 { // within a byte: finished
+			fs.finish(s)
+			return
+		}
+		// Burst expired (or numerical shortfall): recompute rates.
+		fs.recompute()
+	})
+}
+
+func (fs *FileSystem) finish(s *Stream) {
+	// Attribute any sub-byte residue so cumulative counters equal the
+	// requested sizes exactly.
+	residue := s.total - s.done
+	if residue > 0 {
+		c := fs.nodeCounters(s.node)
+		if s.kind == Write {
+			c.WriteBytes += residue
+			fs.total.WriteBytes += residue
+		} else {
+			c.ReadBytes += residue
+			fs.total.ReadBytes += residue
+		}
+		s.done = s.total
+	}
+	s.finished = true
+	s.rate = 0
+	fs.removeStream(s)
+	fs.recompute()
+	if s.complete != nil {
+		s.complete()
+	}
+}
+
+// NodeCounters returns a snapshot of the cumulative counters for a node,
+// current as of now. Unknown nodes return zero counters.
+func (fs *FileSystem) NodeCounters(node string) Counters {
+	fs.sync()
+	if c, ok := fs.perNode[node]; ok {
+		return *c
+	}
+	return Counters{}
+}
+
+// TotalCounters returns the cluster-wide cumulative counters as of now.
+func (fs *FileSystem) TotalCounters() Counters {
+	fs.sync()
+	return fs.total
+}
+
+// CurrentAggregateRate returns the instantaneous total transfer rate in
+// bytes/s (ground truth; the scheduler must use the sampled value from the
+// analytics service instead).
+func (fs *FileSystem) CurrentAggregateRate() float64 {
+	r := 0.0
+	for _, s := range fs.streams {
+		r += s.rate
+	}
+	return r
+}
+
+// SetVolumeDegradation scales one volume's bandwidth by factor (1 =
+// healthy, 0.1 = severely degraded, 0 < factor). Failure injection for
+// resilience experiments; the canary module detects the resulting
+// slowdowns.
+func (fs *FileSystem) SetVolumeDegradation(volume int, factor float64) {
+	if volume < 0 || volume >= fs.cfg.Volumes {
+		panic(fmt.Sprintf("pfs: volume %d out of range [0,%d)", volume, fs.cfg.Volumes))
+	}
+	if factor <= 0 {
+		panic(fmt.Sprintf("pfs: degradation factor must be positive, got %g", factor))
+	}
+	if fs.volDegrade == nil {
+		fs.volDegrade = make([]float64, fs.cfg.Volumes)
+		for i := range fs.volDegrade {
+			fs.volDegrade[i] = 1
+		}
+	}
+	fs.sync()
+	fs.volDegrade[volume] = factor
+	fs.recompute()
+}
+
+// SetGlobalDegradation scales the backend server capacity by factor
+// (1 = healthy). Models OSS-level degradation events.
+func (fs *FileSystem) SetGlobalDegradation(factor float64) {
+	if factor <= 0 {
+		panic(fmt.Sprintf("pfs: degradation factor must be positive, got %g", factor))
+	}
+	fs.sync()
+	fs.globalDegrade = factor
+	fs.recompute()
+}

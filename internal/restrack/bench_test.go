@@ -1,0 +1,70 @@
+package restrack
+
+import (
+	"testing"
+
+	"wasched/internal/des"
+)
+
+// buildProfile stacks n staggered reservations (the shape a scheduling
+// round's trackers take with n delayed jobs).
+func buildProfile(n int) *Profile {
+	p := NewProfile()
+	for i := 0; i < n; i++ {
+		lo := des.Time(i) * des.Time(30*des.Second)
+		p.Add(lo, lo.Add(1200*des.Second), 2.5e9)
+	}
+	return p
+}
+
+// BenchmarkProfileAdd measures reservation insertion into a busy profile.
+func BenchmarkProfileAdd(b *testing.B) {
+	p := buildProfile(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := des.Time(i%1000) * des.Time(30*des.Second)
+		p.Add(lo, lo.Add(600*des.Second), 1e9)
+		p.Add(lo, lo.Add(600*des.Second), -1e9)
+	}
+}
+
+// BenchmarkProfileEarliestFit measures the scheduler's hot query against a
+// profile with 1000 reservations.
+func BenchmarkProfileEarliestFit(b *testing.B) {
+	p := buildProfile(1000)
+	limit := 20e9
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = p.EarliestFit(des.Time(i%100)*des.Time(des.Second), 1200*des.Second, 18e9, limit)
+	}
+}
+
+// BenchmarkRoundTrackers replays the tracker work of one full backfill
+// round: initialise from 15 running jobs, then EarliestFit+Reserve for 100
+// queued jobs.
+func BenchmarkRoundTrackers(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		nt := NewNodeTracker(15)
+		lt := NewBandwidthTracker(20e9)
+		for j := 0; j < 15; j++ {
+			lo := des.Time(j) * des.Time(10*des.Second)
+			nt.Reserve(lo, lo.Add(1200*des.Second), 1)
+			lt.Reserve(lo, lo.Add(1200*des.Second), 2.5e9)
+		}
+		for j := 0; j < 100; j++ {
+			t, ok := nt.EarliestFit(0, 1200*des.Second, 1)
+			if !ok {
+				b.Fatal("no node fit")
+			}
+			t2, ok := lt.EarliestFit(t, 1200*des.Second, 2.5e9)
+			if !ok {
+				b.Fatal("no bw fit")
+			}
+			nt.Reserve(t2, t2.Add(1200*des.Second), 1)
+			lt.Reserve(t2, t2.Add(1200*des.Second), 2.5e9)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package restrack_test
+
+import (
+	"fmt"
+
+	"wasched/internal/des"
+	"wasched/internal/restrack"
+)
+
+// ExampleProfile shows the reservation primitive behind the paper's
+// trackers: superimpose box reservations and query the earliest window
+// that fits a new demand.
+func ExampleProfile() {
+	p := restrack.NewProfile()
+	// Two running jobs reserve 8 GB/s and 6 GB/s of a 20 GB/s file system.
+	p.Add(0, des.TimeFromSeconds(100), 8e9)
+	p.Add(0, des.TimeFromSeconds(250), 6e9)
+
+	// When can a job needing 10 GB/s for 60 s start?
+	t, ok := p.EarliestFit(0, 60*des.Second, 10e9, 20e9)
+	fmt.Println(ok, t)
+
+	// And one needing 15 GB/s? Only after both reservations end.
+	t, ok = p.EarliestFit(0, 60*des.Second, 15e9, 20e9)
+	fmt.Println(ok, t)
+	// Output:
+	// true t=100.000000s
+	// true t=250.000000s
+}
+
+// ExampleNodeTracker mirrors Slurm's node reservation tracking (NT in the
+// paper's Algorithm 2).
+func ExampleNodeTracker() {
+	nt := restrack.NewNodeTracker(15)
+	// A running 10-node job holds its allocation until its time limit.
+	nt.Reserve(0, des.TimeFromSeconds(600), 10)
+
+	t, ok := nt.EarliestFit(0, 300*des.Second, 5) // fits alongside
+	fmt.Println(ok, t)
+	t, ok = nt.EarliestFit(0, 300*des.Second, 6) // must wait
+	fmt.Println(ok, t)
+	// Output:
+	// true t=0.000000s
+	// true t=600.000000s
+}

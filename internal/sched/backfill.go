@@ -1,0 +1,108 @@
+package sched
+
+import "wasched/internal/des"
+
+// Unlimited directs the backfill engine to reserve resources for every
+// delayed job, which is the paper's characterisation of the default Slurm
+// configuration (BackfillMax = ∞).
+const Unlimited = 0
+
+// EASY is the BackfillMax value that makes the engine equivalent to EASY
+// backfill: only the first delayed job receives a reservation.
+const EASY = 1
+
+// SlurmDefaultTestLimit mirrors Slurm's bf_max_job_test default: at most
+// this many queued jobs are examined per round. Zero means no limit.
+const SlurmDefaultTestLimit = 100
+
+// Decision is the outcome of one scheduling round for one examined job.
+type Decision struct {
+	Job *Job
+	// StartNow is true when the job can start immediately.
+	StartNow bool
+	// PlannedStart is the reservation time for delayed jobs that received
+	// one (valid when Reserved is true).
+	PlannedStart des.Time
+	// Reserved is true when resources were reserved for a delayed job.
+	Reserved bool
+	// Skipped is true when the job was passed over without a reservation
+	// (BackfillMax exhausted, or no feasible start exists).
+	Skipped bool
+}
+
+// Options configure the backfill engine.
+type Options struct {
+	// BackfillMax bounds how many delayed jobs receive reservations per
+	// round (paper Algorithm 1). Unlimited (0) reserves for all; EASY (1)
+	// reserves only for the head of the queue.
+	BackfillMax int
+	// MaxJobTest bounds how many queued jobs are examined per round
+	// (Slurm bf_max_job_test). Zero examines the whole queue.
+	MaxJobTest int
+}
+
+// RunRound executes one round of the backfill algorithm (paper
+// Algorithm 1) under the given policy. The waiting slice must already be
+// sorted (SortQueue); running jobs must carry StartedAt. The returned
+// decisions list one entry per examined job, in queue order; callers start
+// the StartNow jobs. The round state is returned alongside so callers can
+// read per-round diagnostics (Diagnoser).
+//
+// The engine asks the policy for a fresh Round (reservation trackers
+// initialised from the running set), then walks the queue: a job whose
+// earliest start equals the current time starts now and its resources are
+// reserved; otherwise the job receives a future reservation, until
+// BackfillMax reservations have been made, after which jobs are skipped
+// for this round.
+func RunRound(p Policy, in RoundInput, opt Options) ([]Decision, Round) {
+	rt := p.NewRound(in)
+	window := in.Waiting
+	if opt.MaxJobTest > 0 && len(window) > opt.MaxJobTest {
+		window = window[:opt.MaxJobTest]
+	}
+	// Packing policies (WindowOrderer) reorder the examined window; the
+	// copy keeps the controller's queue order intact.
+	if orderer, ok := p.(WindowOrderer); ok {
+		reordered := make([]*Job, len(window))
+		copy(reordered, window)
+		orderer.OrderWindow(in, reordered)
+		window = reordered
+	}
+	decisions := make([]Decision, 0, len(window))
+	backfillCount := 0
+	for _, j := range window {
+		d := Decision{Job: j}
+		t, ok := rt.EarliestStart(j, in.Now)
+		switch {
+		case !ok:
+			// No feasible start under the policy's limits (e.g. the job
+			// demands more than the whole file system): hold the job
+			// without burning a backfill reservation.
+			d.Skipped = true
+		case t == in.Now:
+			d.StartNow = true
+			rt.Reserve(j, in.Now)
+		case opt.BackfillMax != Unlimited && backfillCount >= opt.BackfillMax:
+			d.Skipped = true
+		default:
+			d.PlannedStart = t
+			d.Reserved = true
+			rt.Reserve(j, t)
+			backfillCount++
+		}
+		decisions = append(decisions, d)
+	}
+	return decisions, rt
+}
+
+// StartNowJobs filters a decision list down to the jobs to start now, in
+// queue order.
+func StartNowJobs(decisions []Decision) []*Job {
+	var out []*Job
+	for _, d := range decisions {
+		if d.StartNow {
+			out = append(out, d.Job)
+		}
+	}
+	return out
+}

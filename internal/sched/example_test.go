@@ -1,0 +1,39 @@
+package sched_test
+
+import (
+	"fmt"
+
+	"wasched/internal/des"
+	"wasched/internal/sched"
+)
+
+// Example runs one backfill round of the paper's I/O-aware policy: a
+// 15-node cluster with a 20 GB/s Lustre limit, one running writer, and a
+// queue whose second writer must wait for bandwidth, not nodes.
+func Example() {
+	policy := sched.IOAwarePolicy{TotalNodes: 15, ThroughputLimit: 20e9}
+	running := &sched.Job{ID: "r1", Nodes: 1, Limit: 600 * des.Second, Rate: 12e9}
+	queue := []*sched.Job{
+		{ID: "w1", Nodes: 1, Limit: 600 * des.Second, Rate: 6e9},
+		{ID: "w2", Nodes: 1, Limit: 600 * des.Second, Rate: 6e9},
+		{ID: "s1", Nodes: 1, Limit: 600 * des.Second, Rate: 0},
+	}
+	in := sched.RoundInput{
+		Running:            []*sched.Job{running},
+		Waiting:            queue,
+		MeasuredThroughput: 12e9,
+	}
+	decisions, _ := sched.RunRound(policy, in, sched.Options{})
+	for _, d := range decisions {
+		switch {
+		case d.StartNow:
+			fmt.Printf("%s starts now\n", d.Job.ID)
+		case d.Reserved:
+			fmt.Printf("%s reserved at %v\n", d.Job.ID, d.PlannedStart)
+		}
+	}
+	// Output:
+	// w1 starts now
+	// w2 reserved at t=600.000000s
+	// s1 starts now
+}

@@ -1,0 +1,170 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"wasched/internal/des"
+)
+
+// randomInput builds a random scheduling round: running jobs that respect
+// node capacity, plus a random queue.
+func randomInput(rng *rand.Rand, nodes int, limit float64) RoundInput {
+	in := RoundInput{Now: des.TimeFromSeconds(float64(rng.IntN(5000)))}
+	free := nodes
+	for free > 0 && rng.IntN(4) != 0 {
+		n := 1 + rng.IntN(free)
+		j := &Job{
+			ID:        fmt.Sprintf("r%d", len(in.Running)),
+			Nodes:     n,
+			Limit:     des.Duration(60+rng.IntN(1200)) * des.Second,
+			Rate:      rng.Float64() * limit / 2,
+			StartedAt: in.Now - des.Time(rng.IntN(100))*des.Time(des.Second),
+		}
+		// Keep the running job inside its limit window.
+		if j.StartedAt.Add(j.Limit) <= in.Now {
+			j.StartedAt = in.Now
+		}
+		in.Running = append(in.Running, j)
+		free -= n
+	}
+	qn := 1 + rng.IntN(30)
+	for i := 0; i < qn; i++ {
+		in.Waiting = append(in.Waiting, &Job{
+			ID:         fmt.Sprintf("q%d", i),
+			Nodes:      1 + rng.IntN(nodes),
+			Limit:      des.Duration(60+rng.IntN(1200)) * des.Second,
+			Rate:       rng.Float64() * limit,
+			EstRuntime: des.Duration(30+rng.IntN(600)) * des.Second,
+			Submit:     des.Time(i),
+		})
+	}
+	in.MeasuredThroughput = rng.Float64() * limit * 1.2
+	return in
+}
+
+// TestRoundInvariantsProperty fuzzes every policy with random rounds and
+// checks the safety invariants the backfill algorithm must guarantee:
+//
+//  1. node capacity: running + started jobs never exceed N nodes;
+//  2. bandwidth capacity: the clamped estimated rates of running + started
+//     jobs never exceed the limit plus the measured-throughput allowance;
+//  3. started jobs were genuinely startable (EarliestStart == now on a
+//     fresh equivalent round).
+func TestRoundInvariantsProperty(t *testing.T) {
+	const nodes = 15
+	const limit = 20e9
+	policies := []Policy{
+		NodePolicy{TotalNodes: nodes},
+		IOAwarePolicy{TotalNodes: nodes, ThroughputLimit: limit},
+		AdaptivePolicy{TotalNodes: nodes, ThroughputLimit: limit, TwoGroup: true},
+		AdaptivePolicy{TotalNodes: nodes, ThroughputLimit: limit, TwoGroup: false},
+		TetrisPolicy{Inner: IOAwarePolicy{TotalNodes: nodes, ThroughputLimit: limit},
+			TotalNodes: nodes, ThroughputLimit: limit},
+	}
+	rng := rand.New(rand.NewPCG(42, 1))
+	for trial := 0; trial < 400; trial++ {
+		in := randomInput(rng, nodes, limit)
+		for _, p := range policies {
+			ds, _ := RunRound(p, in, Options{})
+			usedNodes := 0
+			baseRate := 0.0 // what the running set already commits
+			for _, j := range in.Running {
+				usedNodes += j.Nodes
+				r := j.Rate
+				if r > limit {
+					r = limit
+				}
+				baseRate += r
+			}
+			if in.MeasuredThroughput > baseRate && len(in.Running) > 0 {
+				baseRate = in.MeasuredThroughput
+			}
+			startedRate := 0.0
+			for _, d := range ds {
+				if !d.StartNow {
+					continue
+				}
+				usedNodes += d.Job.Nodes
+				r := d.Job.Rate
+				if r > limit {
+					r = limit
+				}
+				startedRate += r
+			}
+			if usedNodes > nodes {
+				t.Fatalf("trial %d policy %s: %d nodes allocated on a %d-node cluster",
+					trial, p.Name(), usedNodes, nodes)
+			}
+			if _, isNode := p.(NodePolicy); !isNode {
+				// Bandwidth safety: newly started I/O must fit inside the
+				// headroom left by the running set (which may itself be
+				// over-committed — the policy cannot evict it, only stop
+				// admitting). Tolerance covers float accumulation.
+				headroom := limit - baseRate
+				if headroom < 0 {
+					headroom = 0
+				}
+				if startedRate > headroom*1.0001+1 {
+					t.Fatalf("trial %d policy %s: started rate %.3g exceeds headroom %.3g (base %.3g, measured %.3g)",
+						trial, p.Name(), startedRate, headroom, baseRate, in.MeasuredThroughput)
+				}
+			}
+			// Decisions are exhaustive and mutually exclusive.
+			for _, d := range ds {
+				states := 0
+				if d.StartNow {
+					states++
+				}
+				if d.Reserved {
+					states++
+				}
+				if d.Skipped {
+					states++
+				}
+				if states != 1 {
+					t.Fatalf("trial %d policy %s: job %s in %d decision states",
+						trial, p.Name(), d.Job.ID, states)
+				}
+				if d.Reserved && d.PlannedStart <= in.Now {
+					t.Fatalf("trial %d policy %s: reservation at %v not after now %v",
+						trial, p.Name(), d.PlannedStart, in.Now)
+				}
+			}
+		}
+	}
+}
+
+// TestEarliestStartMonotoneProperty checks that EarliestStart never returns
+// a time before its lower bound and is monotone in the bound.
+func TestEarliestStartMonotoneProperty(t *testing.T) {
+	const nodes = 15
+	const limit = 20e9
+	rng := rand.New(rand.NewPCG(7, 7))
+	policies := []Policy{
+		NodePolicy{TotalNodes: nodes},
+		IOAwarePolicy{TotalNodes: nodes, ThroughputLimit: limit},
+		AdaptivePolicy{TotalNodes: nodes, ThroughputLimit: limit, TwoGroup: true},
+	}
+	for trial := 0; trial < 200; trial++ {
+		in := randomInput(rng, nodes, limit)
+		for _, p := range policies {
+			rt := p.NewRound(in)
+			j := in.Waiting[rng.IntN(len(in.Waiting))]
+			t1, ok1 := rt.EarliestStart(j, in.Now)
+			if ok1 && t1 < in.Now {
+				t.Fatalf("trial %d policy %s: start %v before bound %v", trial, p.Name(), t1, in.Now)
+			}
+			later := in.Now.Add(des.Duration(1+rng.IntN(2000)) * des.Second)
+			t2, ok2 := rt.EarliestStart(j, later)
+			if ok1 && ok2 && t2 < t1 {
+				t.Fatalf("trial %d policy %s: EarliestStart not monotone: bound %v→%v gave %v→%v",
+					trial, p.Name(), in.Now, later, t1, t2)
+			}
+			if ok2 && t2 < later {
+				t.Fatalf("trial %d policy %s: start %v before bound %v", trial, p.Name(), t2, later)
+			}
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package sched implements multi-resource backfill scheduling: the Slurm
+// backfill algorithm (paper Algorithm 1) as a policy-parameterised engine,
+// with policies for node-only scheduling (default Slurm), I/O-aware
+// scheduling (paper Algorithms 2–4) and workload-adaptive scheduling with
+// the two-group approximation (paper Algorithms 5–7, Equations 1–5).
+//
+// The package is pure scheduling logic: it never touches the simulator or
+// the analytics service. The controller (internal/slurm) assembles a
+// RoundInput — queue order, per-job estimates, measured throughput — and
+// applies the decisions.
+package sched
+
+import (
+	"sort"
+
+	"wasched/internal/des"
+)
+
+// Job is the scheduler's view of one job. The controller fills the
+// identity and request fields at submission and refreshes the estimate
+// fields from the analytics service before every scheduling round.
+type Job struct {
+	// ID is the unique job identifier.
+	ID string
+	// Fingerprint identifies the job's class for estimation purposes.
+	Fingerprint string
+	// Nodes is the requested node count n_j.
+	Nodes int
+	// Limit is the user-requested runtime limit L_j; reservations are
+	// held for this long regardless of estimates.
+	Limit des.Duration
+	// Submit is the submission time s_j (queue-order tiebreak).
+	Submit des.Time
+	// Priority orders the queue (higher first); equal priorities fall
+	// back to FIFO by Submit, then ID.
+	Priority int64
+
+	// StartedAt is the start time b_j; meaningful for running jobs only.
+	StartedAt des.Time
+
+	// Rate is the estimated average Lustre throughput r_j in bytes/s.
+	// Zero for jobs with no estimate (the paper's "untrained" case).
+	Rate float64
+	// EstRuntime is the estimated runtime d_j. Zero means no estimate;
+	// policies fall back to Limit.
+	EstRuntime des.Duration
+}
+
+// estRuntime returns d_j, falling back to the requested limit when the
+// analytics has no estimate.
+func (j *Job) estRuntime() des.Duration {
+	if j.EstRuntime > 0 {
+		return j.EstRuntime
+	}
+	return j.Limit
+}
+
+// remaining returns the estimated remaining runtime of a running job at
+// time now: max(0, b_j + d_j − now).
+func (j *Job) remaining(now des.Time) des.Duration {
+	end := j.StartedAt.Add(j.estRuntime())
+	if end <= now {
+		return 0
+	}
+	return end.Sub(now)
+}
+
+// SortQueue orders waiting jobs by descending priority, then FIFO by
+// submit time, then by ID for total determinism (Algorithm 1 line 2).
+func SortQueue(waiting []*Job) {
+	sort.SliceStable(waiting, func(a, b int) bool {
+		ja, jb := waiting[a], waiting[b]
+		if ja.Priority != jb.Priority {
+			return ja.Priority > jb.Priority
+		}
+		if ja.Submit != jb.Submit {
+			return ja.Submit < jb.Submit
+		}
+		return ja.ID < jb.ID
+	})
+}
+
+// RoundInput is everything a policy sees at the start of a scheduling
+// round: the running set R, the waiting queue Q (already sorted), the
+// current time, and the measured file-system throughput R_now.
+type RoundInput struct {
+	Now                des.Time
+	Running            []*Job
+	Waiting            []*Job
+	MeasuredThroughput float64
+	// UnavailableNodes counts nodes that are down/drained: the node
+	// tracker reserves them for the whole horizon.
+	UnavailableNodes int
+}
+
+// Round is one scheduling round's reservation state. EarliestStart and
+// Reserve correspond to the EarliestStartTime and ReserveResources
+// procedures of the paper's algorithms.
+type Round interface {
+	// EarliestStart returns the earliest time not earlier than tmin at
+	// which all resources required by j are available for L_j. ok is
+	// false when no such time exists under the policy's limits.
+	EarliestStart(j *Job, tmin des.Time) (t des.Time, ok bool)
+	// Reserve commits j's resources starting at t for L_j.
+	Reserve(j *Job, t des.Time)
+}
+
+// Policy builds the reservation trackers for a scheduling round
+// (InitializeReservationTracker in Algorithms 1, 2 and 5).
+type Policy interface {
+	NewRound(in RoundInput) Round
+	// Name identifies the policy in traces and reports.
+	Name() string
+}
+
+// Diagnoser is an optional Round interface exposing per-round internals
+// (adaptive target, two-group threshold, ...) for traces and experiments.
+type Diagnoser interface {
+	Diagnostics() map[string]float64
+}

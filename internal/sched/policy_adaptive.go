@@ -1,0 +1,225 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"wasched/internal/des"
+	"wasched/internal/restrack"
+)
+
+// AdaptivePolicy implements the paper's workload-adaptive scheduling (§VII,
+// Algorithms 5–7). On every round it computes the target throughput
+//
+//	R̃ = Σ r_j d_j · N / Σ n_j d_j                     (Eq. 1)
+//
+// over the queue plus the running jobs' remaining work, splits the queue
+// into "zero jobs" and "regular jobs" by the threshold r* (the two-group
+// approximation, Eqs. 2–5), and refuses to schedule regular jobs into
+// intervals where the adjusted target R̃' is already reached — while still
+// enforcing the hard throughput limit like the I/O-aware policy.
+type AdaptivePolicy struct {
+	// TotalNodes is the cluster size N.
+	TotalNodes int
+	// ThroughputLimit is the hard limit R_limit in bytes/s.
+	ThroughputLimit float64
+	// TwoGroup enables the two-group approximation. When false the policy
+	// is the "naïve" workload-adaptive scheduler: only jobs with zero
+	// estimated throughput count as zero jobs and no adjustment is made.
+	TwoGroup bool
+	// QoSFraction is the fraction of queued node·seconds guaranteed not
+	// to be delayed by throughput regulation (Eq. 2 uses 0.5): the zero
+	// group must hold at least this fraction. Zero defaults to 0.5.
+	QoSFraction float64
+}
+
+// Name implements Policy.
+func (p AdaptivePolicy) Name() string {
+	if p.TwoGroup {
+		return "adaptive"
+	}
+	return "adaptive-naive"
+}
+
+func (p AdaptivePolicy) validate() {
+	if p.TotalNodes <= 0 {
+		panic(fmt.Sprintf("sched: AdaptivePolicy.TotalNodes must be positive, got %d", p.TotalNodes))
+	}
+	if p.ThroughputLimit <= 0 {
+		panic(fmt.Sprintf("sched: AdaptivePolicy.ThroughputLimit must be positive, got %g", p.ThroughputLimit))
+	}
+	if p.QoSFraction < 0 || p.QoSFraction > 1 {
+		panic(fmt.Sprintf("sched: AdaptivePolicy.QoSFraction must be in [0,1], got %g", p.QoSFraction))
+	}
+}
+
+// NewRound implements Policy (Algorithm 5).
+func (p AdaptivePolicy) NewRound(in RoundInput) Round {
+	p.validate()
+	inner := IOAwarePolicy{TotalNodes: p.TotalNodes, ThroughputLimit: p.ThroughputLimit}
+	rt := inner.NewRound(in).(*ioAwareRound)
+
+	// Lines 3–5: the target throughput from the remaining I/O volume and
+	// the minimum node-constrained completion time of the backlog.
+	vIO := 0.0     // bytes: Σ r_j · (remaining or estimated runtime)
+	nodeSec := 0.0 // node·s: Σ n_j · (remaining or estimated runtime)
+	for _, j := range in.Running {
+		rem := j.remaining(in.Now).Seconds()
+		vIO += j.Rate * rem
+		nodeSec += float64(j.Nodes) * rem
+	}
+	for _, j := range in.Waiting {
+		d := j.estRuntime().Seconds()
+		vIO += j.Rate * d
+		nodeSec += float64(j.Nodes) * d
+	}
+	target := 0.0 // R̃
+	if nodeSec > 0 {
+		target = vIO * float64(p.TotalNodes) / nodeSec
+	}
+
+	// Lines 6–8: two-group split of the waiting queue.
+	rStar, rZeroBar := p.twoGroupSplit(in.Waiting)
+	adjTarget := target - float64(p.TotalNodes)*rZeroBar // R̃' (Eq. 4)
+	if adjTarget < 0 {
+		adjTarget = 0
+	}
+
+	// Lines 9–11: the adjusted tracker, seeded with the running jobs'
+	// adjusted contributions r_j − n_j·r̄_zero (signed; see
+	// restrack.ReserveSigned).
+	at := restrack.NewBandwidthTracker(adjTarget)
+	for _, j := range in.Running {
+		at.ReserveSigned(in.Now, j.StartedAt.Add(j.Limit), j.Rate-float64(j.Nodes)*rZeroBar)
+	}
+	return &adaptiveRound{
+		p:        p,
+		rt:       rt,
+		at:       at,
+		rStar:    rStar,
+		rZeroBar: rZeroBar,
+		target:   target,
+	}
+}
+
+// twoGroupSplit chooses the minimum threshold r* such that the zero group
+// holds at least QoSFraction of the queued node·seconds (Eq. 2), and
+// returns it with the zero group's average per-node load r̄_zero (Eq. 3).
+// With TwoGroup disabled it returns (0, 0): only genuinely zero-throughput
+// jobs form the zero group and no adjustment applies.
+func (p AdaptivePolicy) twoGroupSplit(waiting []*Job) (rStar, rZeroBar float64) {
+	if !p.TwoGroup || len(waiting) == 0 {
+		return 0, 0
+	}
+	frac := p.QoSFraction
+	if frac == 0 {
+		frac = 0.5
+	}
+	type entry struct {
+		ratio   float64 // r_j / n_j
+		nodeSec float64 // n_j · d_j
+		rate    float64 // r_j
+	}
+	entries := make([]entry, 0, len(waiting))
+	totalNodeSec := 0.0
+	for _, j := range waiting {
+		ns := float64(j.Nodes) * j.estRuntime().Seconds()
+		entries = append(entries, entry{
+			ratio:   j.Rate / float64(j.Nodes),
+			nodeSec: ns,
+			rate:    j.Rate,
+		})
+		totalNodeSec += ns
+	}
+	if totalNodeSec == 0 {
+		return 0, 0
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].ratio < entries[b].ratio })
+	need := frac * totalNodeSec
+	cum := 0.0
+	i := 0
+	for ; i < len(entries); i++ {
+		cum += entries[i].nodeSec
+		if cum >= need {
+			break
+		}
+	}
+	if i == len(entries) {
+		i = len(entries) - 1
+	}
+	rStar = entries[i].ratio
+	// All jobs with ratio <= r* are zero jobs, including ties beyond i.
+	zeroNodeSec, zeroLoad := 0.0, 0.0
+	for _, e := range entries {
+		if e.ratio <= rStar {
+			zeroNodeSec += e.nodeSec
+			zeroLoad += e.rate * e.nodeSec // Eq. 3 numerator: r_j·n_j·d_j
+		}
+	}
+	if zeroNodeSec == 0 {
+		return rStar, 0
+	}
+	return rStar, zeroLoad / zeroNodeSec
+}
+
+type adaptiveRound struct {
+	p        AdaptivePolicy
+	rt       *ioAwareRound
+	at       *restrack.BandwidthTracker
+	rStar    float64
+	rZeroBar float64
+	target   float64
+}
+
+// isZeroJob applies the two-group classification r_j <= n_j·r*.
+func (r *adaptiveRound) isZeroJob(j *Job) bool {
+	return j.Rate <= float64(j.Nodes)*r.rStar
+}
+
+// EarliestStart implements Algorithm 7: zero jobs schedule under the
+// I/O-aware constraints only; regular jobs additionally wait for intervals
+// where the adjusted reservations stay within the adjusted target R̃'.
+func (r *adaptiveRound) EarliestStart(j *Job, tmin des.Time) (des.Time, bool) {
+	if r.isZeroJob(j) {
+		return r.rt.EarliestStart(j, tmin)
+	}
+	t := tmin
+	for {
+		tRT, ok := r.rt.EarliestStart(j, t)
+		if !ok {
+			return des.MaxTime, false
+		}
+		// "Earliest time not earlier than tRT when no more than R̃' is
+		// reserved in AT": the job's own contribution is not part of the
+		// test — the target is a level to fill up to, not a cap on the
+		// job itself.
+		tAT, ok := r.at.EarliestFit(tRT, j.Limit, 0)
+		if !ok {
+			return des.MaxTime, false
+		}
+		if tAT == tRT {
+			return tAT, true
+		}
+		t = tAT
+	}
+}
+
+// Reserve implements Algorithm 6.
+func (r *adaptiveRound) Reserve(j *Job, t des.Time) {
+	r.rt.Reserve(j, t)
+	if !r.isZeroJob(j) {
+		r.at.ReserveSigned(t, t.Add(j.Limit), j.Rate-float64(j.Nodes)*r.rZeroBar)
+	}
+}
+
+// Diagnostics implements Diagnoser: the adaptive target R̃, the adjusted
+// target R̃', the two-group threshold r* and the zero-group load r̄_zero.
+func (r *adaptiveRound) Diagnostics() map[string]float64 {
+	return map[string]float64{
+		"target":          r.target,
+		"adjusted_target": r.at.Limit(),
+		"r_star":          r.rStar,
+		"r_zero_bar":      r.rZeroBar,
+		"limit":           r.p.ThroughputLimit,
+	}
+}

@@ -1,0 +1,198 @@
+package sched
+
+import (
+	"testing"
+
+	"wasched/internal/des"
+)
+
+func iojob(id string, nodes int, limit des.Duration, rate float64) *Job {
+	j := job(id, nodes, limit)
+	j.Rate = rate
+	return j
+}
+
+func TestIOAwareRespectsThroughputLimit(t *testing.T) {
+	p := IOAwarePolicy{TotalNodes: 10, ThroughputLimit: 10}
+	in := RoundInput{
+		Now: tsec(0),
+		Waiting: []*Job{
+			iojob("w1", 1, 100*sec, 6),
+			iojob("w2", 1, 100*sec, 6), // 6+6 > 10: delayed
+			iojob("w3", 1, 100*sec, 3), // 6+3 <= 10: backfills
+			iojob("s1", 1, 100*sec, 0), // no I/O: starts
+		},
+	}
+	ds, _ := RunRound(p, in, Options{})
+	m := decisionsByID(ds)
+	if !m["w1"].StartNow {
+		t.Fatal("w1 must start")
+	}
+	if m["w2"].StartNow || m["w2"].PlannedStart != tsec(100) {
+		t.Fatalf("w2 must be delayed to 100s: %+v", m["w2"])
+	}
+	if !m["w3"].StartNow {
+		t.Fatal("w3 must backfill under the remaining bandwidth")
+	}
+	if !m["s1"].StartNow {
+		t.Fatal("zero-I/O job must start")
+	}
+}
+
+func TestIOAwareCountsRunningJobs(t *testing.T) {
+	p := IOAwarePolicy{TotalNodes: 10, ThroughputLimit: 10}
+	r1 := iojob("r1", 1, 100*sec, 7)
+	r1.StartedAt = tsec(0)
+	in := RoundInput{
+		Now:     tsec(10),
+		Running: []*Job{r1},
+		Waiting: []*Job{
+			iojob("w1", 1, 50*sec, 5),
+		},
+		MeasuredThroughput: 7, // matches the estimate: no extra reservation
+	}
+	ds, _ := RunRound(p, in, Options{})
+	if ds[0].StartNow {
+		t.Fatal("w1 must wait for r1's bandwidth")
+	}
+	if ds[0].PlannedStart != tsec(100) {
+		t.Fatalf("w1 planned at %v, want 100s (r1's limit expiry)", ds[0].PlannedStart)
+	}
+}
+
+func TestIOAwareMeasuredThroughputGuard(t *testing.T) {
+	// Paper Algorithm 2 lines 7-8: when measurement exceeds the sum of
+	// estimates, the difference is reserved — new jobs without history
+	// cannot overload the file system.
+	p := IOAwarePolicy{TotalNodes: 10, ThroughputLimit: 10}
+	r1 := iojob("r1", 1, 100*sec, 2) // estimate says 2...
+	r1.StartedAt = tsec(0)
+	in := RoundInput{
+		Now:                tsec(10),
+		Running:            []*Job{r1},
+		Waiting:            []*Job{iojob("w1", 1, 50*sec, 5)},
+		MeasuredThroughput: 9, // ...but the file system measures 9
+	}
+	ds, _ := RunRound(p, in, Options{})
+	if ds[0].StartNow {
+		t.Fatal("measured throughput must block w1")
+	}
+	// Without the guard the job would start now (2+5 <= 10).
+	in.MeasuredThroughput = 2
+	ds, _ = RunRound(p, in, Options{})
+	if !ds[0].StartNow {
+		t.Fatal("with accurate measurement w1 must start")
+	}
+}
+
+func TestIOAwareGuardIgnoredWithoutRunningJobs(t *testing.T) {
+	// Residual measured throughput with an empty running set has no
+	// reservation horizon (max over an empty set); the policy skips the
+	// guard rather than inventing one.
+	p := IOAwarePolicy{TotalNodes: 10, ThroughputLimit: 10}
+	in := RoundInput{
+		Now:                tsec(10),
+		Waiting:            []*Job{iojob("w1", 1, 50*sec, 5)},
+		MeasuredThroughput: 9,
+	}
+	ds, _ := RunRound(p, in, Options{})
+	if !ds[0].StartNow {
+		t.Fatal("w1 must start when nothing is running")
+	}
+}
+
+func TestIOAwareClampsAbsurdEstimates(t *testing.T) {
+	p := IOAwarePolicy{TotalNodes: 10, ThroughputLimit: 10}
+	in := RoundInput{
+		Now:     tsec(0),
+		Waiting: []*Job{iojob("w1", 1, 50*sec, 25)}, // estimate above the limit
+	}
+	ds, _ := RunRound(p, in, Options{})
+	if !ds[0].StartNow {
+		t.Fatal("clamped job must be schedulable (alone)")
+	}
+	in.Waiting = []*Job{iojob("w1", 1, 50*sec, 25), iojob("w2", 1, 50*sec, 1)}
+	ds, _ = RunRound(p, in, Options{})
+	m := decisionsByID(ds)
+	if m["w2"].StartNow {
+		t.Fatal("clamped job saturates the limit; w2 must wait")
+	}
+	// Negative rates clamp to zero.
+	in.Waiting = []*Job{iojob("neg", 1, 50*sec, -3)}
+	if ds, _ := RunRound(p, in, Options{}); !ds[0].StartNow {
+		t.Fatal("negative estimate must clamp to zero and start")
+	}
+}
+
+func TestIOAwareNodeAndBandwidthInterleave(t *testing.T) {
+	// Algorithm 4's alternation: the earliest node slot may be bandwidth-
+	// blocked and vice versa; the result must satisfy both.
+	p := IOAwarePolicy{TotalNodes: 2, ThroughputLimit: 10}
+	r1 := iojob("r1", 2, 50*sec, 0) // holds all nodes until 50
+	r1.StartedAt = tsec(0)
+	r2 := iojob("r2", 0, 0, 0) // placeholder: no such job
+	_ = r2
+	in := RoundInput{
+		Now:     tsec(0),
+		Running: []*Job{r1},
+		Waiting: []*Job{
+			iojob("w1", 1, 100*sec, 8), // nodes free at 50; bandwidth free always → 50
+			iojob("w2", 1, 100*sec, 8), // nodes free at 50, but w1 holds bandwidth until 150
+		},
+	}
+	ds, _ := RunRound(p, in, Options{})
+	m := decisionsByID(ds)
+	if m["w1"].PlannedStart != tsec(50) {
+		t.Fatalf("w1 planned: %v", m["w1"].PlannedStart)
+	}
+	if m["w2"].PlannedStart != tsec(150) {
+		t.Fatalf("w2 planned: %v (want 150: after w1's bandwidth reservation)", m["w2"].PlannedStart)
+	}
+}
+
+func TestIOAwareDiagnostics(t *testing.T) {
+	p := IOAwarePolicy{TotalNodes: 2, ThroughputLimit: 10}
+	r := p.NewRound(RoundInput{Now: 0})
+	diag, ok := r.(Diagnoser)
+	if !ok {
+		t.Fatal("io-aware round must expose diagnostics")
+	}
+	if diag.Diagnostics()["limit"] != 10 {
+		t.Fatal("limit diagnostic")
+	}
+	if p.Name() != "io-aware" {
+		t.Fatal("name")
+	}
+}
+
+func TestIOAwarePanicsOnBadConfig(t *testing.T) {
+	for _, p := range []IOAwarePolicy{
+		{TotalNodes: 0, ThroughputLimit: 1},
+		{TotalNodes: 1, ThroughputLimit: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			p.NewRound(RoundInput{})
+		}()
+	}
+}
+
+func TestIOAwareIgnoreMeasuredAblation(t *testing.T) {
+	p := IOAwarePolicy{TotalNodes: 10, ThroughputLimit: 10, IgnoreMeasured: true}
+	r1 := iojob("r1", 1, 100*sec, 2)
+	r1.StartedAt = tsec(0)
+	in := RoundInput{
+		Now:                tsec(10),
+		Running:            []*Job{r1},
+		Waiting:            []*Job{iojob("w1", 1, 50*sec, 5)},
+		MeasuredThroughput: 9,
+	}
+	ds, _ := RunRound(p, in, Options{})
+	if !ds[0].StartNow {
+		t.Fatal("with the guard disabled the under-estimate must slip through")
+	}
+}

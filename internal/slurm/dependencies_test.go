@@ -1,0 +1,312 @@
+package slurm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"wasched/internal/cluster"
+	"wasched/internal/des"
+	"wasched/internal/pfs"
+	"wasched/internal/sched"
+)
+
+func TestDependencyHoldsUntilCompletion(t *testing.T) {
+	r := newRig(t, 4, sched.NodePolicy{TotalNodes: 4}, DefaultConfig())
+	first, _ := r.ctl.Submit(sleepSpec("first", 100*des.Second, 200*des.Second))
+	depSpec := sleepSpec("second", 50*des.Second, 100*des.Second)
+	depSpec.DependsOn = []string{first.ID}
+	second, err := r.ctl.Submit(depSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Held() {
+		t.Fatal("dependent job must be held")
+	}
+	r.ctl.Run()
+	r.eng.Run(des.TimeFromSeconds(50))
+	if second.State != StatePending {
+		t.Fatalf("held job ran early: %v", second.State)
+	}
+	r.eng.Run(des.TimeFromSeconds(1000))
+	if second.State != StateCompleted {
+		t.Fatalf("dependent must run after dependency: %v", second.State)
+	}
+	if second.Start < first.End {
+		t.Fatalf("dependent started %v before dependency ended %v", second.Start, first.End)
+	}
+}
+
+func TestDependencyOnCompletedJobIsImmediate(t *testing.T) {
+	r := newRig(t, 1, sched.NodePolicy{TotalNodes: 1}, DefaultConfig())
+	first, _ := r.ctl.Submit(sleepSpec("first", 10*des.Second, 60*des.Second))
+	r.ctl.Run()
+	r.eng.Run(des.TimeFromSeconds(100))
+	if first.State != StateCompleted {
+		t.Fatal("precondition")
+	}
+	spec := sleepSpec("second", 10*des.Second, 60*des.Second)
+	spec.DependsOn = []string{first.ID}
+	second, err := r.ctl.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Held() {
+		t.Fatal("dependency on a completed job must be satisfied immediately")
+	}
+}
+
+func TestDependencyFailureCancelsChain(t *testing.T) {
+	r := newRig(t, 2, sched.NodePolicy{TotalNodes: 2}, DefaultConfig())
+	// A job that will hit its time limit.
+	doomed, _ := r.ctl.Submit(sleepSpec("doomed", 1000*des.Second, 30*des.Second))
+	mid := sleepSpec("mid", 10*des.Second, 60*des.Second)
+	mid.DependsOn = []string{doomed.ID}
+	midRec, _ := r.ctl.Submit(mid)
+	leaf := sleepSpec("leaf", 10*des.Second, 60*des.Second)
+	leaf.DependsOn = []string{midRec.ID}
+	leafRec, _ := r.ctl.Submit(leaf)
+	r.ctl.Run()
+	r.eng.Run(des.TimeFromSeconds(500))
+	if doomed.State != StateTimeout {
+		t.Fatalf("doomed: %v", doomed.State)
+	}
+	if midRec.State != StateCancelled || midRec.State.String() != "CANCELLED" {
+		t.Fatalf("mid must be cancelled: %v", midRec.State)
+	}
+	if leafRec.State != StateCancelled {
+		t.Fatalf("cancellation must cascade: %v", leafRec.State)
+	}
+	if !r.ctl.Idle() {
+		t.Fatal("cancelled jobs must leave the queue")
+	}
+}
+
+func TestDependencyValidation(t *testing.T) {
+	r := newRig(t, 1, sched.NodePolicy{TotalNodes: 1}, DefaultConfig())
+	spec := sleepSpec("x", 10*des.Second, 60*des.Second)
+	spec.DependsOn = []string{"job-99999"}
+	if _, err := r.ctl.Submit(spec); err == nil {
+		t.Fatal("unknown dependency must be rejected")
+	}
+	// Rejected submissions must not leak IDs: the next job gets a
+	// contiguous ID.
+	a, _ := r.ctl.Submit(sleepSpec("a", des.Second, des.Minute))
+	if a.ID != "job-00001" {
+		t.Fatalf("ID leaked by failed submit: %s", a.ID)
+	}
+	// Dependency on a failed job is rejected at submit time.
+	r.ctl.Run()
+	doomed, _ := r.ctl.Submit(sleepSpec("doom", 1000*des.Second, 10*des.Second))
+	r.eng.Run(des.TimeFromSeconds(200))
+	if doomed.State != StateTimeout {
+		t.Fatal("precondition")
+	}
+	spec = sleepSpec("y", 10*des.Second, 60*des.Second)
+	spec.DependsOn = []string{doomed.ID}
+	if _, err := r.ctl.Submit(spec); err == nil {
+		t.Fatal("dependency on a failed job must be rejected")
+	}
+}
+
+func TestMultipleDependencies(t *testing.T) {
+	r := newRig(t, 3, sched.NodePolicy{TotalNodes: 3}, DefaultConfig())
+	a, _ := r.ctl.Submit(sleepSpec("a", 50*des.Second, 100*des.Second))
+	b, _ := r.ctl.Submit(sleepSpec("b", 150*des.Second, 300*des.Second))
+	spec := sleepSpec("both", 10*des.Second, 60*des.Second)
+	spec.DependsOn = []string{a.ID, b.ID}
+	both, _ := r.ctl.Submit(spec)
+	r.ctl.Run()
+	r.eng.Run(des.TimeFromSeconds(100)) // a done, b still running
+	if !both.Held() {
+		t.Fatal("must hold until ALL dependencies complete")
+	}
+	r.eng.Run(des.TimeFromSeconds(1000))
+	if both.State != StateCompleted || both.Start < b.End {
+		t.Fatalf("both: %v start=%v bEnd=%v", both.State, both.Start, b.End)
+	}
+}
+
+func TestSubmitArray(t *testing.T) {
+	r := newRig(t, 4, sched.NodePolicy{TotalNodes: 4}, DefaultConfig())
+	recs, err := r.ctl.SubmitArray(sleepSpec("arr", 10*des.Second, 60*des.Second), 8)
+	if err != nil || len(recs) != 8 {
+		t.Fatalf("array: %v %d", err, len(recs))
+	}
+	if _, err := r.ctl.SubmitArray(sleepSpec("bad", 10*des.Second, 60*des.Second), 0); err == nil {
+		t.Fatal("zero-size array must fail")
+	}
+	r.ctl.Run()
+	r.eng.Run(des.TimeFromSeconds(600))
+	for i, rec := range recs {
+		if rec.State != StateCompleted {
+			t.Fatalf("array element %d: %v", i, rec.State)
+		}
+	}
+}
+
+func TestWriteAccounting(t *testing.T) {
+	r := newRig(t, 2, sched.NodePolicy{TotalNodes: 2}, DefaultConfig())
+	done, _ := r.ctl.Submit(sleepSpec("done", 10*des.Second, 60*des.Second))
+	_, _ = r.ctl.Submit(JobSpec{Name: "writer", Nodes: 1, Limit: 600 * des.Second,
+		Program: cluster.WriteProgram{Threads: 1, BytesPerThread: 100 * (1 << 30)}})
+	r.ctl.Run()
+	r.eng.Run(des.TimeFromSeconds(30)) // done finished, writer running
+	pendingSpec := sleepSpec("queued", 10*des.Second, 60*des.Second)
+	pendingSpec.DependsOn = []string{done.ID}
+	_, _ = r.ctl.Submit(sleepSpec("held", 10*des.Second, 60*des.Second))
+	var buf bytes.Buffer
+	if err := r.ctl.WriteAccounting(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"JobID", "COMPLETED", "RUNNING", "job-00001", "done", "writer"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("accounting missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Count(out, "\n")
+	if lines != 4 { // header + 3 jobs
+		t.Fatalf("accounting lines: %d\n%s", lines, out)
+	}
+}
+
+func TestMultifactorAgeRaisesPriority(t *testing.T) {
+	m, err := NewMultifactorPriority(10, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &JobRecord{Submit: 0, Spec: JobSpec{Nodes: 1}}
+	early := m.Priority(r, des.TimeFromSeconds(3600))
+	late := m.Priority(r, des.TimeFromSeconds(36000))
+	if late <= early {
+		t.Fatalf("age must raise priority: %d vs %d", early, late)
+	}
+}
+
+func TestMultifactorValidation(t *testing.T) {
+	if _, err := NewMultifactorPriority(-1, 0, 0, 0); err == nil {
+		t.Fatal("negative weight must fail")
+	}
+	if _, err := NewMultifactorPriority(0, 0, 0, -des.Second); err == nil {
+		t.Fatal("negative half-life must fail")
+	}
+	m, _ := NewMultifactorPriority(0, 0, 0, 0)
+	if m.HalfLife != 7*24*des.Hour {
+		t.Fatal("default half-life")
+	}
+}
+
+func TestMultifactorUsageDecay(t *testing.T) {
+	m, _ := NewMultifactorPriority(0, 0, 1, des.Hour)
+	heavy := &JobRecord{Spec: JobSpec{User: "alice", Nodes: 10}, Start: 0, End: des.TimeFromSeconds(3600)}
+	heavy.State = StateCompleted
+	m.JobEnded(heavy)
+	if got := m.Usage("alice"); got < 9.9 || got > 10.1 {
+		t.Fatalf("usage = %v node-hours, want 10", got)
+	}
+	// One half-life later the charge has halved.
+	r := &JobRecord{Spec: JobSpec{User: "alice", Nodes: 1}}
+	_ = m.Priority(r, des.TimeFromSeconds(2*3600))
+	if got := m.Usage("alice"); got < 4.9 || got > 5.1 {
+		t.Fatalf("decayed usage = %v, want ~5", got)
+	}
+}
+
+func TestFairShareReordersUsers(t *testing.T) {
+	m, _ := NewMultifactorPriority(0, 0, 100, des.Hour)
+	cfg := DefaultConfig()
+	cfg.Priority = m
+	r := newRig(t, 1, sched.NodePolicy{TotalNodes: 1}, cfg)
+	// Alice burns node-hours first.
+	aliceJob := sleepSpec("alice1", 600*des.Second, 900*des.Second)
+	aliceJob.User = "alice"
+	_, _ = r.ctl.Submit(aliceJob)
+	r.ctl.Run()
+	r.eng.Run(des.TimeFromSeconds(700))
+	// Now alice and bob queue behind a running job; bob (no usage) must
+	// win despite alice submitting first.
+	blocker := sleepSpec("blocker", 300*des.Second, 600*des.Second)
+	_, _ = r.ctl.Submit(blocker)
+	r.eng.Run(des.TimeFromSeconds(710))
+	a2 := sleepSpec("alice2", 60*des.Second, 120*des.Second)
+	a2.User = "alice"
+	aliceRec, _ := r.ctl.Submit(a2)
+	b := sleepSpec("bob1", 60*des.Second, 120*des.Second)
+	b.User = "bob"
+	bobRec, _ := r.ctl.Submit(b)
+	r.eng.Run(des.TimeFromSeconds(3600))
+	if aliceRec.State != StateCompleted || bobRec.State != StateCompleted {
+		t.Fatalf("states: %v %v", aliceRec.State, bobRec.State)
+	}
+	if bobRec.Start >= aliceRec.Start {
+		t.Fatalf("fair share must favour bob (start %v) over alice (start %v)",
+			bobRec.Start, aliceRec.Start)
+	}
+}
+
+func TestStaticPriorityDominatesMultifactor(t *testing.T) {
+	m, _ := NewMultifactorPriority(10, 1, 1, des.Hour)
+	r := &JobRecord{Spec: JobSpec{Nodes: 1, Priority: 5}}
+	urgent := m.Priority(r, des.TimeFromSeconds(60))
+	normal := m.Priority(&JobRecord{Spec: JobSpec{Nodes: 14}}, des.TimeFromSeconds(36000))
+	if urgent <= normal {
+		t.Fatalf("static priority must dominate: %d vs %d", urgent, normal)
+	}
+}
+
+func TestWriteQueue(t *testing.T) {
+	r := newRig(t, 2, sched.NodePolicy{TotalNodes: 2}, DefaultConfig())
+	running, _ := r.ctl.Submit(sleepSpec("runner", 300*des.Second, 600*des.Second))
+	dep := sleepSpec("depjob", 10*des.Second, 60*des.Second)
+	r.ctl.Run()
+	r.eng.Run(des.TimeFromSeconds(5))
+	dep.DependsOn = []string{running.ID}
+	_, _ = r.ctl.Submit(dep)
+	_, _ = r.ctl.Submit(JobSpec{Name: "blocked", Nodes: 2, Limit: 60 * des.Second,
+		Program: cluster.SleepProgram{D: 10 * des.Second}})
+	r.eng.Run(des.TimeFromSeconds(10))
+	var buf bytes.Buffer
+	if err := r.ctl.WriteQueue(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"RUNNING", "PENDING", "Dependency", "Resources", "runner", "depjob", "blocked"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("squeue missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRateQuantileConservativeEstimates(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RateQuantile = 1.0 // max observed rate
+	r := newRig(t, 2, sched.IOAwarePolicy{TotalNodes: 2, ThroughputLimit: 5 * pfs.GiB}, cfg)
+	// Build history with varying rates: the quantile must pick the top.
+	r.svc.Pretrain("writer", 0.1*pfs.GiB, 30*des.Second)
+	r.ctl.Run()
+	for i := 0; i < 3; i++ {
+		rec, _ := r.ctl.Submit(writeSpec("writer", 8, 10, 600*des.Second))
+		r.eng.Run(r.eng.Now().Add(des.FromSeconds(300)))
+		if rec.State != StateCompleted {
+			t.Fatalf("writer %d: %v", i, rec.State)
+		}
+	}
+	// The conservative estimate (max observed, ~2.5-3 GiB/s) blocks two
+	// writers sharing a 5 GiB/s limit; the decayed EWMA might not.
+	a, _ := r.ctl.Submit(writeSpec("writer", 8, 40, 900*des.Second))
+	b, _ := r.ctl.Submit(writeSpec("writer", 8, 40, 900*des.Second))
+	r.eng.Run(r.eng.Now().Add(des.FromSeconds(5)))
+	if a.State != StateRunning {
+		t.Fatalf("first writer: %v", a.State)
+	}
+	if b.State == StateRunning {
+		t.Fatal("conservative quantile must serialize the writers")
+	}
+	// Bad quantile rejected.
+	bad := DefaultConfig()
+	bad.RateQuantile = 2
+	if bad.Validate() == nil {
+		t.Fatal("RateQuantile > 1 must fail")
+	}
+}

@@ -1,0 +1,152 @@
+package slurm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"wasched/internal/cluster"
+	"wasched/internal/des"
+	"wasched/internal/pfs"
+	"wasched/internal/sched"
+)
+
+func TestNodeFailureRequeuesJob(t *testing.T) {
+	r := newRig(t, 3, sched.NodePolicy{TotalNodes: 3}, DefaultConfig())
+	rec, _ := r.ctl.Submit(sleepSpec("victim", 400*des.Second, 600*des.Second))
+	r.ctl.Run()
+	r.eng.Run(des.TimeFromSeconds(100))
+	if rec.State != StateRunning {
+		t.Fatal("precondition")
+	}
+	node := rec.Nodes[0]
+	r.eng.At(des.TimeFromSeconds(100), "fail", func() { r.cl.FailNode(node) })
+	r.eng.Run(des.TimeFromSeconds(200))
+	// Requeued and restarted on another node.
+	if rec.State != StateRunning {
+		t.Fatalf("state after failure: %v", rec.State)
+	}
+	if rec.Nodes[0] == node {
+		t.Fatalf("restarted on the failed node %s", node)
+	}
+	r.eng.Run(des.TimeFromSeconds(3000))
+	if rec.State != StateCompleted {
+		t.Fatalf("final state: %v", rec.State)
+	}
+	if r.cl.DownNodes() != 1 || r.cl.FreeNodes() != 2 {
+		t.Fatalf("node accounting: down=%d free=%d", r.cl.DownNodes(), r.cl.FreeNodes())
+	}
+}
+
+func TestNodeFailureTerminalWhenRequeueDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DisableNodeFailRequeue = true
+	r := newRig(t, 2, sched.NodePolicy{TotalNodes: 2}, cfg)
+	rec, _ := r.ctl.Submit(sleepSpec("victim", 400*des.Second, 600*des.Second))
+	r.ctl.Run()
+	r.eng.Run(des.TimeFromSeconds(50))
+	node := rec.Nodes[0]
+	r.eng.At(des.TimeFromSeconds(50), "fail", func() { r.cl.FailNode(node) })
+	r.eng.Run(des.TimeFromSeconds(3000))
+	if rec.State != StateNodeFail || rec.State.String() != "NODE_FAIL" {
+		t.Fatalf("state: %v", rec.State)
+	}
+	if !r.ctl.Idle() {
+		t.Fatal("NODE_FAIL jobs must leave the system")
+	}
+}
+
+func TestDownNodesShrinkEffectiveCluster(t *testing.T) {
+	r := newRig(t, 4, sched.NodePolicy{TotalNodes: 4}, DefaultConfig())
+	// Take two idle nodes down before anything runs.
+	names := r.cl.NodeNames()
+	r.cl.FailNode(names[0])
+	r.cl.FailNode(names[1])
+	// A 3-node job can now never run; a 2-node job can.
+	wide, _ := r.ctl.Submit(JobSpec{Name: "wide", Nodes: 3, Limit: 300 * des.Second,
+		Program: cluster.SleepProgram{D: 100 * des.Second}})
+	ok2, _ := r.ctl.Submit(JobSpec{Name: "ok2", Nodes: 2, Limit: 300 * des.Second,
+		Program: cluster.SleepProgram{D: 100 * des.Second}})
+	r.ctl.Run()
+	r.eng.Run(des.TimeFromSeconds(2000))
+	if ok2.State != StateCompleted {
+		t.Fatalf("2-node job: %v", ok2.State)
+	}
+	if wide.State != StatePending {
+		t.Fatalf("3-node job must pend on a 2-node effective cluster: %v", wide.State)
+	}
+	// Restoring a node lets it run.
+	r.eng.At(r.eng.Now(), "restore", func() { r.cl.RestoreNode(names[0]) })
+	r.eng.Run(r.eng.Now().Add(des.FromSeconds(2000)))
+	if wide.State != StateCompleted {
+		t.Fatalf("after restore: %v", wide.State)
+	}
+}
+
+func TestFailNodeEdgeCases(t *testing.T) {
+	r := newRig(t, 2, sched.NodePolicy{TotalNodes: 2}, DefaultConfig())
+	if r.cl.FailNode("ghost") {
+		t.Fatal("unknown node must fail")
+	}
+	names := r.cl.NodeNames()
+	if !r.cl.FailNode(names[0]) || !r.cl.FailNode(names[0]) {
+		t.Fatal("repeat failure must be a tolerated no-op")
+	}
+	if r.cl.DownNodes() != 1 {
+		t.Fatal("double fail must count once")
+	}
+	if !r.cl.RestoreNode(names[0]) {
+		t.Fatal("restore")
+	}
+	if r.cl.RestoreNode(names[0]) {
+		t.Fatal("restoring an up node must report false")
+	}
+}
+
+func TestDownNodesRespectedByIOAwarePolicy(t *testing.T) {
+	// The UnavailableNodes wiring must reach multi-resource policies too.
+	r := newRig(t, 4, sched.IOAwarePolicy{TotalNodes: 4, ThroughputLimit: 20 * pfs.GiB}, DefaultConfig())
+	names := r.cl.NodeNames()
+	r.cl.FailNode(names[0])
+	r.cl.FailNode(names[1])
+	wide, _ := r.ctl.Submit(JobSpec{Name: "wide3", Nodes: 3, Limit: 300 * des.Second,
+		Program: cluster.SleepProgram{D: 60 * des.Second}})
+	fits, _ := r.ctl.Submit(JobSpec{Name: "fits2", Nodes: 2, Limit: 300 * des.Second,
+		Program: cluster.SleepProgram{D: 60 * des.Second}})
+	r.ctl.Run()
+	r.eng.Run(des.TimeFromSeconds(1000))
+	if fits.State != StateCompleted {
+		t.Fatalf("2-node job: %v", fits.State)
+	}
+	if wide.State != StatePending {
+		t.Fatalf("3-node job must pend: %v", wide.State)
+	}
+}
+
+func TestAccountingShowsTerminalStates(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DisableNodeFailRequeue = true
+	r := newRig(t, 2, sched.NodePolicy{TotalNodes: 2}, cfg)
+	victim, _ := r.ctl.Submit(sleepSpec("victim", 500*des.Second, 900*des.Second))
+	doomed, _ := r.ctl.Submit(sleepSpec("doomed", 900*des.Second, 60*des.Second))
+	dep := sleepSpec("dep", 10*des.Second, 60*des.Second)
+	r.ctl.Run()
+	r.eng.Run(des.TimeFromSeconds(5))
+	dep.DependsOn = []string{doomed.ID}
+	depRec, _ := r.ctl.Submit(dep)
+	r.eng.At(des.TimeFromSeconds(10), "fail", func() { r.cl.FailNode(victim.Nodes[0]) })
+	r.eng.Run(des.TimeFromSeconds(2000))
+	if victim.State != StateNodeFail || doomed.State != StateTimeout || depRec.State != StateCancelled {
+		t.Fatalf("states: %v %v %v", victim.State, doomed.State, depRec.State)
+	}
+	var buf bytes.Buffer
+	if err := r.ctl.WriteAccounting(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"NODE_FAIL", "TIMEOUT", "CANCELLED"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("accounting missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package slurm
+
+import (
+	"fmt"
+	"math"
+
+	"wasched/internal/des"
+)
+
+// PriorityPlugin recomputes job priorities at the start of every
+// scheduling round, mirroring Slurm's priority/multifactor plugin. JobEnded
+// feeds usage accounting.
+type PriorityPlugin interface {
+	// Priority returns the job's current priority (higher runs first).
+	Priority(r *JobRecord, now des.Time) int64
+	// JobEnded is invoked once per finished job.
+	JobEnded(r *JobRecord)
+}
+
+// MultifactorPriority implements a Slurm-style multifactor priority:
+//
+//	priority = base + AgeWeight·hours_waited + SizeWeight·nodes
+//	           − FairShareWeight·decayed_user_usage_node_hours
+//
+// Usage decays exponentially with the configured half-life, like Slurm's
+// PriorityDecayHalfLife. Users are identified by JobSpec.User (empty =
+// the anonymous user).
+type MultifactorPriority struct {
+	// AgeWeight is priority points per hour in the queue.
+	AgeWeight float64
+	// SizeWeight is priority points per requested node (Slurm's job-size
+	// factor; favouring wide jobs counters their starvation).
+	SizeWeight float64
+	// FairShareWeight is priority points subtracted per decayed
+	// node-hour of the user's historical usage.
+	FairShareWeight float64
+	// HalfLife is the usage decay half-life (0 = 7 days, Slurm's
+	// default).
+	HalfLife des.Duration
+
+	usage     map[string]float64 // node-hours, decayed to lastDecay
+	lastDecay des.Time
+}
+
+// NewMultifactorPriority returns a plugin with the given weights.
+func NewMultifactorPriority(ageWeight, sizeWeight, fairShareWeight float64, halfLife des.Duration) (*MultifactorPriority, error) {
+	if ageWeight < 0 || sizeWeight < 0 || fairShareWeight < 0 {
+		return nil, fmt.Errorf("slurm: priority weights must be non-negative")
+	}
+	if halfLife < 0 {
+		return nil, fmt.Errorf("slurm: half-life must be non-negative")
+	}
+	if halfLife == 0 {
+		halfLife = 7 * 24 * des.Hour
+	}
+	return &MultifactorPriority{
+		AgeWeight:       ageWeight,
+		SizeWeight:      sizeWeight,
+		FairShareWeight: fairShareWeight,
+		HalfLife:        halfLife,
+		usage:           make(map[string]float64),
+	}, nil
+}
+
+// decayTo brings all usage accounts forward to now.
+func (m *MultifactorPriority) decayTo(now des.Time) {
+	if now <= m.lastDecay {
+		return
+	}
+	factor := math.Exp2(-now.Sub(m.lastDecay).Seconds() / m.HalfLife.Seconds())
+	for u := range m.usage {
+		m.usage[u] *= factor
+	}
+	m.lastDecay = now
+}
+
+// Priority implements PriorityPlugin.
+func (m *MultifactorPriority) Priority(r *JobRecord, now des.Time) int64 {
+	m.decayTo(now)
+	p := m.AgeWeight*now.Sub(r.Submit).Seconds()/3600 +
+		m.SizeWeight*float64(r.Spec.Nodes) -
+		m.FairShareWeight*m.usage[r.Spec.User]
+	// The submitter's static priority remains the dominant term.
+	return r.Spec.Priority*1000 + int64(p)
+}
+
+// JobEnded implements PriorityPlugin: charge the user the job's
+// node-hours.
+func (m *MultifactorPriority) JobEnded(r *JobRecord) {
+	m.decayTo(r.End)
+	m.usage[r.Spec.User] += float64(r.Spec.Nodes) * r.Runtime().Seconds() / 3600
+}
+
+// Usage returns a user's current decayed usage in node-hours.
+func (m *MultifactorPriority) Usage(user string) float64 { return m.usage[user] }

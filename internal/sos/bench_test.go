@@ -1,0 +1,34 @@
+package sos
+
+import (
+	"fmt"
+	"testing"
+
+	"wasched/internal/des"
+)
+
+// BenchmarkAppend measures sampler-rate appends (15 nodes × 1 Hz).
+func BenchmarkAppend(b *testing.B) {
+	st := NewStore()
+	c, _ := st.CreateContainer(Schema{Name: "m", Metrics: []string{"w", "r"}})
+	row := []float64{1, 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = c.Append(fmt.Sprintf("n%d", i%15), des.Time(i)*des.Time(des.Second), row)
+	}
+}
+
+// BenchmarkDeltaOver measures the analytics' hot query against an hour of
+// 1 Hz samples.
+func BenchmarkDeltaOver(b *testing.B) {
+	st := NewStore()
+	c, _ := st.CreateContainer(Schema{Name: "m", Metrics: []string{"w"}})
+	for i := 0; i < 3600; i++ {
+		_ = c.Append("n1", des.Time(i)*des.Time(des.Second), []float64{float64(i) * 1e9})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = c.DeltaOver("n1", 0, des.TimeFromSeconds(1000), des.TimeFromSeconds(1030))
+	}
+}

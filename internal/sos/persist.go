@@ -1,0 +1,113 @@
+package sos
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"wasched/internal/des"
+)
+
+// The wire format mirrors SOS's on-disk container dumps: a store is a
+// sequence of containers, each with its schema and per-source column data.
+
+type wireStore struct {
+	Containers []wireContainer
+}
+
+type wireContainer struct {
+	Schema  Schema
+	Sources []wireSeries
+}
+
+type wireSeries struct {
+	Source string
+	Times  []des.Time
+	Values [][]float64
+}
+
+// Save serialises the whole store (all containers, all records) with
+// encoding/gob. The format round-trips through Load.
+func (st *Store) Save(w io.Writer) error {
+	ws := wireStore{}
+	for _, name := range st.names {
+		c := st.containers[name]
+		wc := wireContainer{Schema: c.schema}
+		for _, src := range c.sources {
+			s := c.bySource[src]
+			wc.Sources = append(wc.Sources, wireSeries{
+				Source: src,
+				Times:  s.times,
+				Values: s.values,
+			})
+		}
+		ws.Containers = append(ws.Containers, wc)
+	}
+	if err := gob.NewEncoder(w).Encode(ws); err != nil {
+		return fmt.Errorf("sos: encode: %w", err)
+	}
+	return nil
+}
+
+// Load deserialises a store written by Save into an empty store.
+// Loading into a non-empty store fails (merging is not defined).
+func (st *Store) Load(r io.Reader) error {
+	if len(st.names) != 0 {
+		return fmt.Errorf("sos: Load needs an empty store, have %d containers", len(st.names))
+	}
+	var ws wireStore
+	if err := gob.NewDecoder(r).Decode(&ws); err != nil {
+		return fmt.Errorf("sos: decode: %w", err)
+	}
+	for _, wc := range ws.Containers {
+		c, err := st.CreateContainer(wc.Schema)
+		if err != nil {
+			return err
+		}
+		for _, s := range wc.Sources {
+			if len(s.Times) != len(s.Values) {
+				return fmt.Errorf("sos: container %q source %q: %d times, %d rows",
+					wc.Schema.Name, s.Source, len(s.Times), len(s.Values))
+			}
+			for i := range s.Times {
+				if err := c.Append(s.Source, s.Times[i], s.Values[i]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ExportCSV writes one container as CSV: source,time_s,<metrics...>, in
+// source order then time order.
+func (c *Container) ExportCSV(w io.Writer) error {
+	if _, err := fmt.Fprint(w, "source,time_s"); err != nil {
+		return err
+	}
+	for _, m := range c.schema.Metrics {
+		if _, err := fmt.Fprintf(w, ",%s", m); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for _, src := range c.sources {
+		s := c.bySource[src]
+		for i := range s.times {
+			if _, err := fmt.Fprintf(w, "%s,%.6f", src, s.times[i].Seconds()); err != nil {
+				return err
+			}
+			for _, v := range s.values[i] {
+				if _, err := fmt.Fprintf(w, ",%g", v); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

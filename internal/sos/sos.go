@@ -1,0 +1,283 @@
+// Package sos is a stand-in for LDMS's Scalable Object Store: an in-memory,
+// append-only, schema'd time-series store.
+//
+// The monitoring pipeline (internal/ldms) appends one record per node per
+// sampling period into a container; the analytical services
+// (internal/analytics) query containers by source and time range to compute
+// job resource usage and the current total file-system throughput. Keeping
+// this layer explicit — instead of letting the scheduler read simulator
+// ground truth — preserves the estimate-versus-reality gap that the paper's
+// design contends with.
+package sos
+
+import (
+	"fmt"
+	"sort"
+
+	"wasched/internal/des"
+)
+
+// Schema describes the metric columns of a container.
+type Schema struct {
+	Name    string
+	Metrics []string
+}
+
+// Validate checks the schema for empty or duplicate names.
+func (s Schema) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("sos: schema needs a name")
+	}
+	if len(s.Metrics) == 0 {
+		return fmt.Errorf("sos: schema %q needs at least one metric", s.Name)
+	}
+	seen := make(map[string]bool, len(s.Metrics))
+	for _, m := range s.Metrics {
+		if m == "" {
+			return fmt.Errorf("sos: schema %q has an empty metric name", s.Name)
+		}
+		if seen[m] {
+			return fmt.Errorf("sos: schema %q has duplicate metric %q", s.Name, m)
+		}
+		seen[m] = true
+	}
+	return nil
+}
+
+// Column returns the index of a metric in the schema, or -1.
+func (s Schema) Column(metric string) int {
+	for i, m := range s.Metrics {
+		if m == metric {
+			return i
+		}
+	}
+	return -1
+}
+
+// Record is one appended sample as returned by queries.
+type Record struct {
+	At     des.Time
+	Source string
+	Values []float64 // aligned with Schema.Metrics; do not mutate
+}
+
+// Value returns the record's value in the given schema column.
+func (r Record) Value(col int) float64 { return r.Values[col] }
+
+// Container is an append-only series of records under one schema, indexed
+// by source and time.
+type Container struct {
+	schema Schema
+	// Per-source column stores. Records within a source are strictly
+	// ordered by time (samplers emit monotonically).
+	bySource map[string]*series
+	sources  []string // deterministic iteration order
+	count    int
+}
+
+type series struct {
+	times  []des.Time
+	values [][]float64 // one row per record
+}
+
+// Store is a named collection of containers.
+type Store struct {
+	containers map[string]*Container
+	names      []string
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{containers: make(map[string]*Container)}
+}
+
+// CreateContainer adds a container for the schema. Creating a container
+// that already exists with an identical schema returns the existing one;
+// a conflicting schema is an error.
+func (st *Store) CreateContainer(schema Schema) (*Container, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	if c, ok := st.containers[schema.Name]; ok {
+		if !schemaEqual(c.schema, schema) {
+			return nil, fmt.Errorf("sos: container %q exists with a different schema", schema.Name)
+		}
+		return c, nil
+	}
+	c := &Container{schema: schema, bySource: make(map[string]*series)}
+	st.containers[schema.Name] = c
+	st.names = append(st.names, schema.Name)
+	return c, nil
+}
+
+// Container returns a container by name.
+func (st *Store) Container(name string) (*Container, bool) {
+	c, ok := st.containers[name]
+	return c, ok
+}
+
+// Names returns container names in creation order.
+func (st *Store) Names() []string {
+	out := make([]string, len(st.names))
+	copy(out, st.names)
+	return out
+}
+
+func schemaEqual(a, b Schema) bool {
+	if a.Name != b.Name || len(a.Metrics) != len(b.Metrics) {
+		return false
+	}
+	for i := range a.Metrics {
+		if a.Metrics[i] != b.Metrics[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Schema returns the container's schema.
+func (c *Container) Schema() Schema { return c.schema }
+
+// Len returns the total number of records in the container.
+func (c *Container) Len() int { return c.count }
+
+// Sources returns the source names seen so far, in first-seen order.
+func (c *Container) Sources() []string {
+	out := make([]string, len(c.sources))
+	copy(out, c.sources)
+	return out
+}
+
+// Append adds one record. Values must match the schema width, and time must
+// not go backwards within a source (samplers are monotone).
+func (c *Container) Append(source string, at des.Time, values []float64) error {
+	if len(values) != len(c.schema.Metrics) {
+		return fmt.Errorf("sos: container %q: got %d values, schema has %d",
+			c.schema.Name, len(values), len(c.schema.Metrics))
+	}
+	s, ok := c.bySource[source]
+	if !ok {
+		s = &series{}
+		c.bySource[source] = s
+		c.sources = append(c.sources, source)
+	}
+	if n := len(s.times); n > 0 && at < s.times[n-1] {
+		return fmt.Errorf("sos: container %q source %q: time %v precedes last %v",
+			c.schema.Name, source, at, s.times[n-1])
+	}
+	row := make([]float64, len(values))
+	copy(row, values)
+	s.times = append(s.times, at)
+	s.values = append(s.values, row)
+	c.count++
+	return nil
+}
+
+// Range returns all records with lo <= At < hi across all sources, ordered
+// by source (first-seen order) then time.
+func (c *Container) Range(lo, hi des.Time) []Record {
+	var out []Record
+	for _, src := range c.sources {
+		out = append(out, c.RangeBySource(src, lo, hi)...)
+	}
+	return out
+}
+
+// RangeBySource returns the records of one source with lo <= At < hi in
+// time order.
+func (c *Container) RangeBySource(source string, lo, hi des.Time) []Record {
+	s, ok := c.bySource[source]
+	if !ok {
+		return nil
+	}
+	i := sort.Search(len(s.times), func(k int) bool { return s.times[k] >= lo })
+	j := sort.Search(len(s.times), func(k int) bool { return s.times[k] >= hi })
+	out := make([]Record, 0, j-i)
+	for k := i; k < j; k++ {
+		out = append(out, Record{At: s.times[k], Source: source, Values: s.values[k]})
+	}
+	return out
+}
+
+// LastBefore returns the newest record of a source with At <= at.
+func (c *Container) LastBefore(source string, at des.Time) (Record, bool) {
+	s, ok := c.bySource[source]
+	if !ok || len(s.times) == 0 {
+		return Record{}, false
+	}
+	i := sort.Search(len(s.times), func(k int) bool { return s.times[k] > at }) - 1
+	if i < 0 {
+		return Record{}, false
+	}
+	return Record{At: s.times[i], Source: source, Values: s.values[i]}, true
+}
+
+// FirstAfter returns the oldest record of a source with At >= at.
+func (c *Container) FirstAfter(source string, at des.Time) (Record, bool) {
+	s, ok := c.bySource[source]
+	if !ok {
+		return Record{}, false
+	}
+	i := sort.Search(len(s.times), func(k int) bool { return s.times[k] >= at })
+	if i >= len(s.times) {
+		return Record{}, false
+	}
+	return Record{At: s.times[i], Source: source, Values: s.values[i]}, true
+}
+
+// DeltaOver computes, for one source and one metric column, the increase of
+// a cumulative counter over [lo, hi], interpolating linearly between
+// samples at the boundaries. It returns false when the source has no
+// samples bracketing any part of the window.
+func (c *Container) DeltaOver(source string, col int, lo, hi des.Time) (float64, bool) {
+	if hi <= lo {
+		return 0, false
+	}
+	a, okA := c.interp(source, col, lo)
+	b, okB := c.interp(source, col, hi)
+	if !okA || !okB {
+		return 0, false
+	}
+	return b - a, true
+}
+
+// interp estimates the cumulative counter value at time t by linear
+// interpolation (clamped to the first/last sample).
+func (c *Container) interp(source string, col int, t des.Time) (float64, bool) {
+	s, ok := c.bySource[source]
+	if !ok || len(s.times) == 0 {
+		return 0, false
+	}
+	i := sort.Search(len(s.times), func(k int) bool { return s.times[k] >= t })
+	if i == 0 {
+		return s.values[0][col], true
+	}
+	if i == len(s.times) {
+		return s.values[len(s.times)-1][col], true
+	}
+	t0, t1 := s.times[i-1], s.times[i]
+	v0, v1 := s.values[i-1][col], s.values[i][col]
+	if t1 == t0 {
+		return v1, true
+	}
+	f := float64(t-t0) / float64(t1-t0)
+	return v0 + f*(v1-v0), true
+}
+
+// Trim discards records older than the cutoff to bound memory during long
+// runs. Records exactly at the cutoff are retained.
+func (c *Container) Trim(before des.Time) int {
+	removed := 0
+	for _, src := range c.sources {
+		s := c.bySource[src]
+		i := sort.Search(len(s.times), func(k int) bool { return s.times[k] >= before })
+		if i == 0 {
+			continue
+		}
+		removed += i
+		s.times = append(s.times[:0], s.times[i:]...)
+		s.values = append(s.values[:0], s.values[i:]...)
+	}
+	c.count -= removed
+	return removed
+}

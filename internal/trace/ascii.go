@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot renders the series as a fixed-size ASCII column chart — the
+// terminal stand-in for the panels of the paper's Figs. 3 and 5. Width is
+// the number of time buckets, height the number of value rows. Each bucket
+// shows the mean of the samples falling into it.
+func Plot(s *Series, width, height int) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 2 {
+		height = 2
+	}
+	if s.Len() == 0 {
+		return fmt.Sprintf("%s: (no samples)\n", s.Name)
+	}
+	t0 := s.Times[0]
+	t1 := s.Times[s.Len()-1]
+	if t1 <= t0 {
+		t1 = t0 + 1
+	}
+	// Bucket means.
+	sums := make([]float64, width)
+	counts := make([]int, width)
+	for i := range s.Times {
+		b := int(float64(width) * (s.Times[i] - t0) / (t1 - t0))
+		if b >= width {
+			b = width - 1
+		}
+		sums[b] += s.Values[i]
+		counts[b]++
+	}
+	cols := make([]float64, width)
+	vmax := 0.0
+	for i := range cols {
+		if counts[i] > 0 {
+			cols[i] = sums[i] / float64(counts[i])
+		}
+		if cols[i] > vmax {
+			vmax = cols[i]
+		}
+	}
+	if vmax == 0 {
+		vmax = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s [%s], max %.3g\n", s.Name, s.Unit, vmax)
+	for row := height; row >= 1; row-- {
+		threshold := vmax * (float64(row) - 0.5) / float64(height)
+		fmt.Fprintf(&b, "%8.3g |", vmax*float64(row)/float64(height))
+		for _, v := range cols {
+			if v >= threshold {
+				b.WriteByte('#')
+			} else if v > 0 && row == 1 {
+				b.WriteByte('.')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%8s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%8s  %-*.4gs%*.4gs\n", "", width/2, t0, width-width/2-1, t1)
+	return b.String()
+}
+
+// Sparkline renders a one-line summary of the series using block glyphs.
+func Sparkline(s *Series, width int) string {
+	if width < 4 {
+		width = 4
+	}
+	if s.Len() == 0 {
+		return ""
+	}
+	glyphs := []rune("▁▂▃▄▅▆▇█")
+	t0, t1 := s.Times[0], s.Times[s.Len()-1]
+	if t1 <= t0 {
+		t1 = t0 + 1
+	}
+	sums := make([]float64, width)
+	counts := make([]int, width)
+	for i := range s.Times {
+		b := int(float64(width) * (s.Times[i] - t0) / (t1 - t0))
+		if b >= width {
+			b = width - 1
+		}
+		sums[b] += s.Values[i]
+		counts[b]++
+	}
+	vmax := 0.0
+	for i := range sums {
+		if counts[i] > 0 {
+			sums[i] /= float64(counts[i])
+		}
+		vmax = math.Max(vmax, sums[i])
+	}
+	if vmax == 0 {
+		vmax = 1
+	}
+	var b strings.Builder
+	for _, v := range sums {
+		idx := int(v / vmax * float64(len(glyphs)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(glyphs) {
+			idx = len(glyphs) - 1
+		}
+		b.WriteRune(glyphs[idx])
+	}
+	return b.String()
+}

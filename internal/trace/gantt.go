@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Gantt renders per-node occupancy over time as an ASCII chart: one row
+// per node, one column per time bucket, the first letter of the occupying
+// job's name as the glyph ('.' = idle). Jobs still running (or never
+// finished) are absent — the chart covers finished jobs only, which is
+// what a completed experiment produces.
+func Gantt(jobs []JobTrace, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if len(jobs) == 0 {
+		return "(no finished jobs)\n"
+	}
+	t0, t1 := jobs[0].Start, jobs[0].End
+	nodeSet := map[string]bool{}
+	for _, j := range jobs {
+		if j.Start < t0 {
+			t0 = j.Start
+		}
+		if j.End > t1 {
+			t1 = j.End
+		}
+		for _, n := range j.NodesUsed {
+			nodeSet[n] = true
+		}
+	}
+	if t1 <= t0 {
+		t1 = t0 + 1
+	}
+	nodes := make([]string, 0, len(nodeSet))
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	row := make(map[string][]byte, len(nodes))
+	for _, n := range nodes {
+		r := make([]byte, width)
+		for i := range r {
+			r[i] = '.'
+		}
+		row[n] = r
+	}
+	bucket := func(t float64) int {
+		b := int(float64(width) * (t - t0) / (t1 - t0))
+		if b < 0 {
+			b = 0
+		}
+		if b >= width {
+			b = width - 1
+		}
+		return b
+	}
+	for _, j := range jobs {
+		if len(j.NodesUsed) == 0 || j.End <= j.Start {
+			continue
+		}
+		glyph := byte('?')
+		if len(j.Name) > 0 {
+			glyph = j.Name[0]
+		}
+		lo, hi := bucket(j.Start), bucket(j.End)
+		for _, n := range j.NodesUsed {
+			r, ok := row[n]
+			if !ok {
+				continue
+			}
+			for b := lo; b <= hi; b++ {
+				r[b] = glyph
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "node occupancy %.4gs..%.4gs ('.' idle, letter = job class initial)\n", t0, t1)
+	for _, n := range nodes {
+		fmt.Fprintf(&b, "%-10s %s\n", n, row[n])
+	}
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"math"
+	"strings"
+)
+
+// WriteHTML renders the recorder's series as a self-contained HTML report
+// with inline SVG charts — the shareable version of the paper's Fig. 3/5
+// panels, with no plotting toolchain required.
+func (r *Recorder) WriteHTML(w io.Writer, title string) error {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", html.EscapeString(title))
+	b.WriteString(`<style>
+body { font-family: system-ui, sans-serif; margin: 2rem; color: #222; }
+h1 { font-size: 1.3rem; } h2 { font-size: 1rem; margin-bottom: 0.2rem; }
+svg { background: #fafafa; border: 1px solid #ddd; }
+.meta { color: #666; font-size: 0.85rem; }
+</style></head><body>
+`)
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", html.EscapeString(title))
+	panels := []struct {
+		s     *Series
+		color string
+	}{
+		{&r.Throughput, "#1f77b4"},
+		{&r.BusyNodes, "#2ca02c"},
+		{&r.Running, "#9467bd"},
+		{&r.Queued, "#8c564b"},
+		{&r.Target, "#d62728"},
+	}
+	for _, p := range panels {
+		if p.s.Len() == 0 || (p.s.Max() == 0 && (p.s.Name == "adaptive_target")) {
+			continue
+		}
+		fmt.Fprintf(&b, "<h2>%s [%s]</h2>\n", html.EscapeString(p.s.Name), html.EscapeString(p.s.Unit))
+		writeSVG(&b, p.s, p.color, 900, 160)
+	}
+	fmt.Fprintf(&b, "<p class=\"meta\">%d samples, %d finished jobs</p>\n",
+		r.Throughput.Len(), len(r.jobs))
+	b.WriteString("</body></html>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeSVG renders one series as an SVG polyline with axis labels.
+func writeSVG(b *strings.Builder, s *Series, color string, width, height int) {
+	const margin = 40
+	plotW := float64(width - 2*margin)
+	plotH := float64(height - 2*margin/2)
+	t0 := s.Times[0]
+	t1 := s.Times[s.Len()-1]
+	if t1 <= t0 {
+		t1 = t0 + 1
+	}
+	vmax := s.Max()
+	if vmax == 0 {
+		vmax = 1
+	}
+	fmt.Fprintf(b, "<svg width=\"%d\" height=\"%d\" viewBox=\"0 0 %d %d\">\n", width, height, width, height)
+	// Axes.
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#999"/>`,
+		margin, height-margin/2, width-margin, height-margin/2)
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#999"/>`,
+		margin, margin/2, margin, height-margin/2)
+	fmt.Fprintf(b, "\n<text x=\"%d\" y=\"%d\" font-size=\"10\" fill=\"#666\">%.3g</text>\n",
+		2, margin/2+4, vmax)
+	fmt.Fprintf(b, "<text x=\"%d\" y=\"%d\" font-size=\"10\" fill=\"#666\">0</text>\n",
+		margin-12, height-margin/2)
+	fmt.Fprintf(b, "<text x=\"%d\" y=\"%d\" font-size=\"10\" fill=\"#666\">%.4gs</text>\n",
+		width-margin-30, height-4, t1)
+	// Downsample to at most 2×width points to bound output size.
+	step := 1
+	if s.Len() > 2*width {
+		step = s.Len() / (2 * width)
+	}
+	var pts strings.Builder
+	for i := 0; i < s.Len(); i += step {
+		x := float64(margin) + plotW*(s.Times[i]-t0)/(t1-t0)
+		y := float64(margin/2) + plotH*(1-s.Values[i]/vmax)
+		if math.IsNaN(x) || math.IsNaN(y) {
+			continue
+		}
+		fmt.Fprintf(&pts, "%.1f,%.1f ", x, y)
+	}
+	fmt.Fprintf(b, "<polyline fill=\"none\" stroke=\"%s\" stroke-width=\"1\" points=\"%s\"/>\n",
+		color, strings.TrimSpace(pts.String()))
+	b.WriteString("</svg>\n")
+}

@@ -1,0 +1,257 @@
+// Package trace records what the paper's figures show: time series of
+// total Lustre throughput and node allocation over a scheduling run
+// (Figs. 3 and 5), plus per-job records for wait/runtime statistics.
+// Series export as CSV for plotting and render as ASCII charts for
+// terminal inspection.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"wasched/internal/cluster"
+	"wasched/internal/des"
+	"wasched/internal/pfs"
+	"wasched/internal/slurm"
+)
+
+// Series is a sampled time series.
+type Series struct {
+	Name   string
+	Unit   string
+	Times  []float64 // seconds
+	Values []float64
+}
+
+// Append adds a sample.
+func (s *Series) Append(t, v float64) {
+	s.Times = append(s.Times, t)
+	s.Values = append(s.Values, v)
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Times) }
+
+// Max returns the maximum value (0 for empty series).
+func (s *Series) Max() float64 {
+	m := 0.0
+	for _, v := range s.Values {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// MeanOver returns the time-weighted mean of the series between two times,
+// treating samples as right-continuous steps. Returns 0 when no samples
+// fall in the window.
+func (s *Series) MeanOver(t0, t1 float64) float64 {
+	if t1 <= t0 || len(s.Times) == 0 {
+		return 0
+	}
+	total, weight := 0.0, 0.0
+	for i := 0; i < len(s.Times); i++ {
+		segStart := s.Times[i]
+		segEnd := t1
+		if i+1 < len(s.Times) && s.Times[i+1] < t1 {
+			segEnd = s.Times[i+1]
+		}
+		if segEnd <= t0 || segStart >= t1 {
+			continue
+		}
+		if segStart < t0 {
+			segStart = t0
+		}
+		d := segEnd - segStart
+		if d <= 0 {
+			continue
+		}
+		total += s.Values[i] * d
+		weight += d
+	}
+	if weight == 0 {
+		return 0
+	}
+	return total / weight
+}
+
+// JobTrace is the accounting outcome for one job.
+type JobTrace struct {
+	ID          string
+	Name        string
+	Fingerprint string
+	Nodes       int
+	// NodesUsed are the allocated node names (empty for never-started
+	// jobs).
+	NodesUsed []string
+	Submit    float64 // seconds
+	Start     float64
+	End       float64
+	State     slurm.JobState
+}
+
+// Wait returns the queue wait Q_j in seconds.
+func (j JobTrace) Wait() float64 { return j.Start - j.Submit }
+
+// Runtime returns D_j in seconds.
+func (j JobTrace) Runtime() float64 { return j.End - j.Start }
+
+// Recorder samples the running system on a fixed period and collects job
+// lifecycle events.
+type Recorder struct {
+	Throughput Series // total Lustre throughput, GiB/s
+	BusyNodes  Series // allocated node count
+	Running    Series // running job count
+	Queued     Series // pending job count
+	// Target samples the adaptive scheduler's target throughput R̃ in
+	// GiB/s (zero-length for policies without diagnostics).
+	Target Series
+	// TwoGroupThreshold samples r* in GiB/s.
+	TwoGroupThreshold Series
+
+	jobs []JobTrace
+	stop func()
+}
+
+// NewRecorder attaches a recorder to the system. Samples are taken every
+// period until Stop (or forever; recording is cheap). Throughput is the
+// model's ground-truth aggregate rate — the analogue of the paper's
+// monitoring plots.
+func NewRecorder(eng *des.Engine, fs *pfs.FileSystem, cl *cluster.Cluster, ctl *slurm.Controller, period des.Duration) *Recorder {
+	r := &Recorder{
+		Throughput:        Series{Name: "lustre_throughput", Unit: "GiB/s"},
+		BusyNodes:         Series{Name: "busy_nodes", Unit: "nodes"},
+		Running:           Series{Name: "running_jobs", Unit: "jobs"},
+		Queued:            Series{Name: "queued_jobs", Unit: "jobs"},
+		Target:            Series{Name: "adaptive_target", Unit: "GiB/s"},
+		TwoGroupThreshold: Series{Name: "two_group_threshold", Unit: "GiB/s"},
+	}
+	r.stop = eng.Ticker(period, "trace/sample", func(now des.Time) {
+		t := now.Seconds()
+		r.Throughput.Append(t, fs.CurrentAggregateRate()/pfs.GiB)
+		r.BusyNodes.Append(t, float64(cl.BusyNodes()))
+		r.Running.Append(t, float64(ctl.RunningCount()))
+		r.Queued.Append(t, float64(ctl.QueueLength()))
+		target, rStar := 0.0, 0.0
+		if diag := ctl.Diagnostics(); diag != nil {
+			target = diag["target"] / pfs.GiB
+			rStar = diag["r_star"] / pfs.GiB
+		}
+		r.Target.Append(t, target)
+		r.TwoGroupThreshold.Append(t, rStar)
+	})
+	ctl.OnEvent(func(e slurm.Event) {
+		if e.Kind != slurm.EventEnd {
+			return
+		}
+		r.jobs = append(r.jobs, JobTrace{
+			ID:          e.Job.ID,
+			Name:        e.Job.Spec.Name,
+			Fingerprint: e.Job.Spec.Fingerprint,
+			Nodes:       e.Job.Spec.Nodes,
+			NodesUsed:   append([]string(nil), e.Job.Nodes...),
+			Submit:      e.Job.Submit.Seconds(),
+			Start:       e.Job.Start.Seconds(),
+			End:         e.Job.End.Seconds(),
+			State:       e.Job.State,
+		})
+	})
+	return r
+}
+
+// Stop halts sampling; collected data remains readable.
+func (r *Recorder) Stop() { r.stop() }
+
+// Jobs returns the finished-job traces in completion order.
+func (r *Recorder) Jobs() []JobTrace {
+	out := make([]JobTrace, len(r.jobs))
+	copy(out, r.jobs)
+	return out
+}
+
+// WriteCSV writes the sampled series as one CSV table:
+// time_s,<series...> rows aligned on the common sampling clock.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "time_s,%s_%s,%s,%s,%s,%s_gibps,%s_gibps\n",
+		r.Throughput.Name, "gibps", r.BusyNodes.Name, r.Running.Name, r.Queued.Name,
+		r.Target.Name, r.TwoGroupThreshold.Name); err != nil {
+		return err
+	}
+	n := r.Throughput.Len()
+	for i := 0; i < n; i++ {
+		if _, err := fmt.Fprintf(w, "%.3f,%.6f,%.0f,%.0f,%.0f,%.6f,%.6f\n",
+			r.Throughput.Times[i], r.Throughput.Values[i],
+			r.BusyNodes.Values[i], r.Running.Values[i], r.Queued.Values[i],
+			r.Target.Values[i], r.TwoGroupThreshold.Values[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJobsCSV writes per-job records.
+func (r *Recorder) WriteJobsCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "id,name,nodes,submit_s,start_s,end_s,wait_s,runtime_s,state"); err != nil {
+		return err
+	}
+	for _, j := range r.jobs {
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%s\n",
+			j.ID, j.Name, j.Nodes, j.Submit, j.Start, j.End, j.Wait(), j.Runtime(), j.State); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Metrics are the standard parallel-job-scheduling quality measures
+// computed over a run's finished jobs.
+type Metrics struct {
+	Jobs int
+	// MeanWait and P95Wait summarise queue waits, seconds.
+	MeanWait float64
+	P95Wait  float64
+	// MeanSlowdown is the mean of (wait+runtime)/runtime.
+	MeanSlowdown float64
+	// MeanBoundedSlowdown bounds the denominator at BoundedSlowdownTau
+	// seconds so sub-second jobs don't dominate (Feitelson's bounded
+	// slowdown with τ = 10 s).
+	MeanBoundedSlowdown float64
+}
+
+// BoundedSlowdownTau is the τ of the bounded-slowdown metric.
+const BoundedSlowdownTau = 10.0
+
+// ComputeMetrics summarises finished jobs. Cancelled jobs (never started)
+// are excluded.
+func ComputeMetrics(jobs []JobTrace) Metrics {
+	var m Metrics
+	var waits []float64
+	for _, j := range jobs {
+		if j.End <= j.Start && j.Runtime() <= 0 {
+			continue // cancelled before start
+		}
+		w := j.Wait()
+		rt := j.Runtime()
+		waits = append(waits, w)
+		m.MeanWait += w
+		if rt > 0 {
+			m.MeanSlowdown += (w + rt) / rt
+		}
+		m.MeanBoundedSlowdown += math.Max(1, (w+rt)/math.Max(rt, BoundedSlowdownTau))
+		m.Jobs++
+	}
+	if m.Jobs == 0 {
+		return m
+	}
+	n := float64(m.Jobs)
+	m.MeanWait /= n
+	m.MeanSlowdown /= n
+	m.MeanBoundedSlowdown /= n
+	sort.Float64s(waits)
+	idx := int(math.Ceil(0.95 * float64(len(waits)-1)))
+	m.P95Wait = waits[idx]
+	return m
+}

@@ -1,0 +1,302 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"wasched/internal/cluster"
+	"wasched/internal/des"
+	"wasched/internal/pfs"
+	"wasched/internal/sched"
+	"wasched/internal/slurm"
+)
+
+func newSystem(t *testing.T) (*des.Engine, *pfs.FileSystem, *cluster.Cluster, *slurm.Controller) {
+	t.Helper()
+	eng := des.NewEngine()
+	pcfg := pfs.DefaultConfig()
+	pcfg.NoiseSigma = 0
+	pcfg.BurstBoost = 1
+	fs, err := pfs.New(eng, pcfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.New(eng, fs, 4, "n", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := slurm.New(eng, cl, sched.NodePolicy{TotalNodes: 4}, nil, slurm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, fs, cl, ctl
+}
+
+func TestRecorderSamplesSeries(t *testing.T) {
+	eng, fs, cl, ctl := newSystem(t)
+	rec := NewRecorder(eng, fs, cl, ctl, des.Second)
+	_, _ = ctl.Submit(slurm.JobSpec{
+		Name: "w", Nodes: 1, Limit: 600 * des.Second,
+		Program: cluster.WriteProgram{Threads: 1, BytesPerThread: 8 * pfs.GiB}, // 20 s at 0.4
+	})
+	_, _ = ctl.Submit(slurm.JobSpec{
+		Name: "s", Nodes: 2, Limit: 600 * des.Second,
+		Program: cluster.SleepProgram{D: 50 * des.Second},
+	})
+	ctl.Run()
+	eng.Run(des.TimeFromSeconds(100))
+	rec.Stop()
+	if rec.Throughput.Len() < 90 {
+		t.Fatalf("samples: %d", rec.Throughput.Len())
+	}
+	// Throughput around t=10 should be ~0.4 GiB/s; around t=60, 0.
+	if v := rec.Throughput.MeanOver(5, 15); math.Abs(v-0.4) > 0.1 {
+		t.Fatalf("throughput mid-write = %v", v)
+	}
+	if v := rec.Throughput.MeanOver(60, 90); v != 0 {
+		t.Fatalf("throughput after write = %v", v)
+	}
+	// Busy nodes: 3 during the first 20 s, 2 until 50 s, then 0.
+	if v := rec.BusyNodes.MeanOver(5, 15); math.Abs(v-3) > 0.2 {
+		t.Fatalf("busy nodes early = %v", v)
+	}
+	if v := rec.BusyNodes.MeanOver(30, 45); math.Abs(v-2) > 0.2 {
+		t.Fatalf("busy nodes mid = %v", v)
+	}
+	if v := rec.BusyNodes.MeanOver(60, 90); v != 0 {
+		t.Fatalf("busy nodes late = %v", v)
+	}
+	jobs := rec.Jobs()
+	if len(jobs) != 2 {
+		t.Fatalf("job traces: %d", len(jobs))
+	}
+	for _, j := range jobs {
+		if j.State != slurm.StateCompleted || j.Runtime() <= 0 || j.Wait() < 0 {
+			t.Fatalf("job trace: %+v", j)
+		}
+	}
+}
+
+func TestSeriesHelpers(t *testing.T) {
+	var s Series
+	if s.Max() != 0 || s.MeanOver(0, 10) != 0 {
+		t.Fatal("empty series")
+	}
+	s.Append(0, 2)
+	s.Append(10, 4)
+	s.Append(20, 6)
+	if s.Len() != 3 || s.Max() != 6 {
+		t.Fatal("len/max")
+	}
+	// Step-wise mean over [0,20): value 2 for 10 s, 4 for 10 s.
+	if got := s.MeanOver(0, 20); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("MeanOver = %v", got)
+	}
+	if got := s.MeanOver(5, 15); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("MeanOver mid = %v", got)
+	}
+	if s.MeanOver(10, 10) != 0 {
+		t.Fatal("degenerate window")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	eng, fs, cl, ctl := newSystem(t)
+	rec := NewRecorder(eng, fs, cl, ctl, des.Second)
+	_, _ = ctl.Submit(slurm.JobSpec{
+		Name: "s", Nodes: 1, Limit: 60 * des.Second,
+		Program: cluster.SleepProgram{D: 10 * des.Second},
+	})
+	ctl.Run()
+	eng.Run(des.TimeFromSeconds(20))
+	var buf bytes.Buffer
+	if err := rec.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 10 || !strings.HasPrefix(lines[0], "time_s,") {
+		t.Fatalf("csv: %d lines, header %q", len(lines), lines[0])
+	}
+	var jb bytes.Buffer
+	if err := rec.WriteJobsCSV(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jb.String(), "COMPLETED") {
+		t.Fatalf("jobs csv: %q", jb.String())
+	}
+}
+
+func TestPlot(t *testing.T) {
+	var s Series
+	s.Name = "tp"
+	s.Unit = "GiB/s"
+	for i := 0; i < 100; i++ {
+		v := float64(i % 20)
+		s.Append(float64(i), v)
+	}
+	out := Plot(&s, 40, 8)
+	if !strings.Contains(out, "tp [GiB/s]") || !strings.Contains(out, "#") {
+		t.Fatalf("plot output:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines < 10 {
+		t.Fatalf("plot too short: %d lines", lines)
+	}
+	// Degenerate cases must not panic.
+	empty := Series{Name: "empty"}
+	if !strings.Contains(Plot(&empty, 10, 4), "no samples") {
+		t.Fatal("empty plot")
+	}
+	one := Series{Name: "one"}
+	one.Append(5, 3)
+	_ = Plot(&one, 1, 1)
+	zero := Series{Name: "zeros"}
+	zero.Append(0, 0)
+	zero.Append(1, 0)
+	_ = Plot(&zero, 10, 4)
+}
+
+func TestSparkline(t *testing.T) {
+	var s Series
+	for i := 0; i < 64; i++ {
+		s.Append(float64(i), float64(i))
+	}
+	out := Sparkline(&s, 16)
+	if len([]rune(out)) != 16 {
+		t.Fatalf("sparkline width: %q", out)
+	}
+	if Sparkline(&Series{}, 8) != "" {
+		t.Fatal("empty sparkline")
+	}
+	flat := Series{}
+	flat.Append(0, 0)
+	flat.Append(1, 0)
+	_ = Sparkline(&flat, 2)
+}
+
+func TestWriteHTML(t *testing.T) {
+	eng, fs, cl, ctl := newSystem(t)
+	rec := NewRecorder(eng, fs, cl, ctl, des.Second)
+	_, _ = ctl.Submit(slurm.JobSpec{
+		Name: "w", Nodes: 1, Limit: 600 * des.Second,
+		Program: cluster.WriteProgram{Threads: 2, BytesPerThread: 4 * pfs.GiB},
+	})
+	ctl.Run()
+	eng.Run(des.TimeFromSeconds(60))
+	var buf bytes.Buffer
+	if err := rec.WriteHTML(&buf, "test <report>"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<!DOCTYPE html>", "test &lt;report&gt;", "<svg", "polyline", "lustre_throughput", "busy_nodes"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("html missing %q", want)
+		}
+	}
+	// A default-policy run has no adaptive target series rendered.
+	if strings.Contains(out, "adaptive_target") {
+		t.Fatal("zero target series must be skipped")
+	}
+}
+
+func TestComputeMetrics(t *testing.T) {
+	jobs := []JobTrace{
+		{Submit: 0, Start: 0, End: 100},   // wait 0, slowdown 1
+		{Submit: 0, Start: 100, End: 200}, // wait 100, slowdown 2
+		{Submit: 0, Start: 300, End: 305}, // wait 300, rt 5 → bounded τ=10
+		{Submit: 10, Start: 10, End: 10},  // degenerate: excluded
+	}
+	m := ComputeMetrics(jobs)
+	if m.Jobs != 3 {
+		t.Fatalf("jobs: %d", m.Jobs)
+	}
+	if math.Abs(m.MeanWait-(0+100+300)/3.0) > 1e-9 {
+		t.Fatalf("mean wait: %v", m.MeanWait)
+	}
+	// Bounded slowdown of the third job: (300+5)/max(5,10) = 30.5.
+	wantBSD := (1.0 + 2.0 + 30.5) / 3
+	if math.Abs(m.MeanBoundedSlowdown-wantBSD) > 1e-9 {
+		t.Fatalf("bounded slowdown: %v want %v", m.MeanBoundedSlowdown, wantBSD)
+	}
+	if m.P95Wait != 300 {
+		t.Fatalf("p95 wait: %v", m.P95Wait)
+	}
+	if z := ComputeMetrics(nil); z.Jobs != 0 {
+		t.Fatal("empty metrics")
+	}
+}
+
+func TestGantt(t *testing.T) {
+	jobs := []JobTrace{
+		{Name: "writex8", NodesUsed: []string{"node001"}, Start: 0, End: 50},
+		{Name: "sleep", NodesUsed: []string{"node001", "node002"}, Start: 50, End: 100},
+		{Name: "", NodesUsed: []string{"node003"}, Start: 0, End: 100}, // nameless → '?'
+		{Name: "ghost", Start: 10, End: 20},                            // no nodes: ignored
+	}
+	out := Gantt(jobs, 20)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + 3 nodes
+		t.Fatalf("lines: %d\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "w") || !strings.Contains(lines[1], "s") {
+		t.Fatalf("node001 row must show both jobs: %s", lines[1])
+	}
+	if !strings.Contains(lines[2], "s") || strings.Contains(lines[2], "w") {
+		t.Fatalf("node002 row: %s", lines[2])
+	}
+	if !strings.Contains(lines[3], "?") {
+		t.Fatalf("nameless job glyph: %s", lines[3])
+	}
+	// node002 idle in the first half.
+	if !strings.Contains(lines[2], ".") {
+		t.Fatalf("idle glyphs missing: %s", lines[2])
+	}
+	if Gantt(nil, 10) != "(no finished jobs)\n" {
+		t.Fatal("empty gantt")
+	}
+}
+
+func TestRecorderCapturesNodesUsed(t *testing.T) {
+	eng, fs, cl, ctl := newSystem(t)
+	rec := NewRecorder(eng, fs, cl, ctl, des.Second)
+	_, _ = ctl.Submit(slurm.JobSpec{
+		Name: "s", Nodes: 2, Limit: 60 * des.Second,
+		Program: cluster.SleepProgram{D: 10 * des.Second},
+	})
+	ctl.Run()
+	eng.Run(des.TimeFromSeconds(30))
+	jobs := rec.Jobs()
+	if len(jobs) != 1 || len(jobs[0].NodesUsed) != 2 {
+		t.Fatalf("nodes used: %+v", jobs)
+	}
+}
+
+func TestHTMLIncludesAdaptiveTarget(t *testing.T) {
+	eng := des.NewEngine()
+	pcfg := pfs.DefaultConfig()
+	pcfg.NoiseSigma = 0
+	fs, _ := pfs.New(eng, pcfg, 1)
+	cl, _ := cluster.New(eng, fs, 4, "n", 1)
+	policy := sched.AdaptivePolicy{TotalNodes: 4, ThroughputLimit: 20 * pfs.GiB, TwoGroup: true}
+	ctl, _ := slurm.New(eng, cl, policy, nil, slurm.DefaultConfig())
+	rec := NewRecorder(eng, fs, cl, ctl, des.Second)
+	for i := 0; i < 3; i++ {
+		_, _ = ctl.Submit(slurm.JobSpec{Name: "w", Nodes: 1, Limit: 600 * des.Second,
+			Program: cluster.WriteProgram{Threads: 4, BytesPerThread: 4 * pfs.GiB}})
+	}
+	ctl.Run()
+	eng.Run(des.TimeFromSeconds(120))
+	if rec.Target.Len() == 0 {
+		t.Fatal("target series must sample under the adaptive policy")
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteHTML(&buf, "adaptive"); err != nil {
+		t.Fatal(err)
+	}
+	// Without an analytics service the estimates are zero, so the target
+	// stays zero and the panel is skipped — the chart set is still valid.
+	if !strings.Contains(buf.String(), "busy_nodes") {
+		t.Fatal("html panels")
+	}
+}

@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"wasched/internal/cluster"
+	"wasched/internal/des"
+)
+
+const sampleSWF = `; SWF header
+; MaxNodes: 128
+;
+1  0    10 300  56 -1 -1  56 600 -1 1 7 1 1 1 -1 -1 -1
+2  60   -1 120  28 -1 -1  28  -1 -1 1 8 1 1 1 -1 -1 -1
+3  120  -1 900 112 -1 -1 112 1000 -1 1 7 1 1 1 -1 -1 -1
+4  180  -1 -5   56 -1 -1  56 600 -1 0 9 1 1 1 -1 -1 -1
+5  240  -1 600 9999 -1 -1 9999 900 -1 1 7 1 1 1 -1 -1 -1
+6  300  -1 450  -1 -1 -1  -1 500 -1 1 10 1 1 1 -1 -1 -1
+`
+
+func TestParseSWF(t *testing.T) {
+	opts := DefaultSWFOptions()
+	opts.IOFraction = 0 // deterministic check of structure first
+	res, err := ParseSWF(strings.NewReader(sampleSWF), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Jobs 4 (bad runtime), 5 (too wide: 9999/56 = 179 nodes) and 6 (no
+	// proc counts) drop.
+	if len(res.Jobs) != 3 || res.Dropped != 3 {
+		t.Fatalf("jobs=%d dropped=%d", len(res.Jobs), res.Dropped)
+	}
+	j1 := res.Jobs[0]
+	if j1.At != 0 || j1.Spec.Nodes != 1 || j1.Spec.User != "user7" {
+		t.Fatalf("job1: %+v", j1)
+	}
+	if p, ok := j1.Spec.Program.(cluster.SleepProgram); !ok || p.D != 300*des.Second {
+		t.Fatalf("job1 program: %+v", j1.Spec.Program)
+	}
+	// Requested time 600 s + 60 s margin.
+	if j1.Spec.Limit != 660*des.Second {
+		t.Fatalf("job1 limit: %v", j1.Spec.Limit)
+	}
+	// Job 2 has no requested time: limit = 2×runtime + 60.
+	if res.Jobs[1].Spec.Limit != 300*des.Second {
+		t.Fatalf("job2 limit: %v", res.Jobs[1].Spec.Limit)
+	}
+	// Job 3 needs 2 nodes (112 procs / 56).
+	if res.Jobs[2].Spec.Nodes != 2 {
+		t.Fatalf("job3 nodes: %d", res.Jobs[2].Spec.Nodes)
+	}
+}
+
+func TestParseSWFSyntheticIO(t *testing.T) {
+	opts := DefaultSWFOptions()
+	opts.IOFraction = 1
+	res, err := ParseSWF(strings.NewReader(sampleSWF), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tj := range res.Jobs {
+		p, ok := tj.Spec.Program.(cluster.BurstyProgram)
+		if !ok {
+			t.Fatalf("program: %+v", tj.Spec.Program)
+		}
+		if p.Cycles != 1 || p.BytesPerThread <= 0 {
+			t.Fatalf("bursty: %+v", p)
+		}
+		if !strings.HasPrefix(tj.Spec.Fingerprint, "swf-io-") {
+			t.Fatalf("fingerprint: %s", tj.Spec.Fingerprint)
+		}
+	}
+	// The deterministic assignment is reproducible.
+	res2, _ := ParseSWF(strings.NewReader(sampleSWF), opts)
+	for i := range res.Jobs {
+		if res.Jobs[i].Spec.Fingerprint != res2.Jobs[i].Spec.Fingerprint {
+			t.Fatal("assignment must be deterministic")
+		}
+	}
+}
+
+func TestParseSWFMaxJobs(t *testing.T) {
+	opts := DefaultSWFOptions()
+	opts.MaxJobs = 2
+	res, err := ParseSWF(strings.NewReader(sampleSWF), opts)
+	if err != nil || len(res.Jobs) != 2 {
+		t.Fatalf("maxjobs: %v %d", err, len(res.Jobs))
+	}
+}
+
+func TestParseSWFValidation(t *testing.T) {
+	bad := []SWFOptions{
+		{CoresPerNode: 0, MaxNodes: 1},
+		{CoresPerNode: 1, MaxNodes: 0},
+		{CoresPerNode: 1, MaxNodes: 1, IOFraction: 2},
+		{CoresPerNode: 1, MaxNodes: 1, IOShare: 1},
+		{CoresPerNode: 1, MaxNodes: 1, IOFraction: 0.5, IORate: 0},
+		{CoresPerNode: 1, MaxNodes: 1, MaxJobs: -1},
+	}
+	for i, o := range bad {
+		if _, err := ParseSWF(strings.NewReader(""), o); err == nil {
+			t.Errorf("options %d must fail", i)
+		}
+	}
+	if _, err := ParseSWF(strings.NewReader("1 2 3"), DefaultSWFOptions()); err == nil {
+		t.Fatal("short line must fail")
+	}
+}
+
+func TestParseSWFEndToEnd(t *testing.T) {
+	// The converted trace must actually schedule.
+	opts := DefaultSWFOptions()
+	opts.IOFraction = 0.5
+	res, err := ParseSWF(strings.NewReader(sampleSWF), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, ctl := feederRig(t)
+	for _, tj := range res.Jobs {
+		tj.Spec.Nodes = 1 // 4-node test rig
+		if err := ctl.SubmitAt(tj.Spec, tj.At); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctl.Run()
+	for ctl.DoneCount() < len(res.Jobs) && eng.Step() {
+	}
+	if ctl.DoneCount() != len(res.Jobs) {
+		t.Fatalf("done %d of %d", ctl.DoneCount(), len(res.Jobs))
+	}
+}

@@ -1,0 +1,272 @@
+// Package workload builds the paper's synthetic job workloads and provides
+// a small library of job types plus arrival processes for extensions.
+//
+// Workload 1 (paper §IV): 8 waves × (30 "write×8" + 60 "sleep") = 720 jobs.
+// Workload 2 (paper §VII-A): 5 waves × (30 "write×8" + 30 "write×6" +
+// 30 "write×4" + 70 "write×2" + 120 "write×1" + 30 "sleep") = 1550 jobs.
+//
+// A "write×T" job runs T parallel threads on one node, each writing 10 GiB
+// to a uniformly random Lustre volume; a "sleep" job idles for 600 s on one
+// node.
+package workload
+
+import (
+	"fmt"
+
+	"wasched/internal/cluster"
+	"wasched/internal/des"
+	"wasched/internal/pfs"
+	"wasched/internal/slurm"
+)
+
+// Paper workload constants.
+const (
+	// BytesPerThread is each writer thread's volume (10 GiB).
+	BytesPerThread = 10 * pfs.GiB
+	// SleepDuration is the sleep job's idle time.
+	SleepDuration = 600 * des.Second
+	// WriteLimit is the requested runtime limit for write jobs. The paper
+	// does not publish its limits; 20 min comfortably bounds even badly
+	// congested write jobs without being so long that reservations lose
+	// meaning.
+	WriteLimit = 1200 * des.Second
+	// SleepLimit is the requested limit for sleep jobs (600 s runtime
+	// plus headroom).
+	SleepLimit = 900 * des.Second
+)
+
+// WriteJob returns the spec of a paper "write×T" job: T threads × 10 GiB
+// on one node. The fingerprint ("writex8", ...) groups jobs of the same
+// type for the estimator.
+func WriteJob(threads int) slurm.JobSpec {
+	if threads <= 0 {
+		panic(fmt.Sprintf("workload: write job needs threads, got %d", threads))
+	}
+	name := fmt.Sprintf("writex%d", threads)
+	return slurm.JobSpec{
+		Name:        name,
+		Fingerprint: name,
+		Nodes:       1,
+		Limit:       WriteLimit,
+		Program:     cluster.WriteProgram{Threads: threads, BytesPerThread: BytesPerThread},
+	}
+}
+
+// SleepJob returns the spec of a paper "sleep" job: 600 s idle on one node.
+func SleepJob() slurm.JobSpec {
+	return slurm.JobSpec{
+		Name:        "sleep",
+		Fingerprint: "sleep",
+		Nodes:       1,
+		Limit:       SleepLimit,
+		Program:     cluster.SleepProgram{D: SleepDuration},
+	}
+}
+
+// Workload1 returns the paper's first workload in submission order.
+func Workload1() []slurm.JobSpec {
+	var specs []slurm.JobSpec
+	for wave := 0; wave < 8; wave++ {
+		for i := 0; i < 30; i++ {
+			specs = append(specs, WriteJob(8))
+		}
+		for i := 0; i < 60; i++ {
+			specs = append(specs, SleepJob())
+		}
+	}
+	return specs
+}
+
+// Workload2 returns the paper's second workload in submission order: each
+// wave is a sequence of phases of one job type.
+func Workload2() []slurm.JobSpec {
+	phases := []struct {
+		count   int
+		threads int // 0 = sleep
+	}{
+		{30, 8},
+		{30, 6},
+		{30, 4},
+		{70, 2},
+		{120, 1},
+		{30, 0},
+	}
+	var specs []slurm.JobSpec
+	for wave := 0; wave < 5; wave++ {
+		for _, ph := range phases {
+			for i := 0; i < ph.count; i++ {
+				if ph.threads == 0 {
+					specs = append(specs, SleepJob())
+				} else {
+					specs = append(specs, WriteJob(ph.threads))
+				}
+			}
+		}
+	}
+	return specs
+}
+
+// Fingerprints returns the distinct job classes of a workload, in first
+// appearance order — the classes the pre-training stage must cover.
+func Fingerprints(specs []slurm.JobSpec) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range specs {
+		fp := s.Fingerprint
+		if fp == "" {
+			fp = s.Name
+		}
+		if !seen[fp] {
+			seen[fp] = true
+			out = append(out, fp)
+		}
+	}
+	return out
+}
+
+// SubmitAll submits the whole workload at the current simulation time in
+// order (the paper's batch submission). It returns the job records.
+func SubmitAll(ctl *slurm.Controller, specs []slurm.JobSpec) ([]*slurm.JobRecord, error) {
+	recs := make([]*slurm.JobRecord, 0, len(specs))
+	for i, s := range specs {
+		r, err := ctl.Submit(s)
+		if err != nil {
+			return nil, fmt.Errorf("workload: submit %d (%s): %w", i, s.Name, err)
+		}
+		recs = append(recs, r)
+	}
+	return recs, nil
+}
+
+// SubmitPoisson submits the workload with exponential inter-arrival gaps of
+// the given mean, preserving order — an arrival-process extension for
+// experiments beyond the paper's batch submissions.
+func SubmitPoisson(ctl *slurm.Controller, specs []slurm.JobSpec, mean des.Duration, rng *des.RNG) error {
+	if mean <= 0 {
+		return fmt.Errorf("workload: mean inter-arrival must be positive, got %v", mean)
+	}
+	at := des.Time(0)
+	for i, s := range specs {
+		gap := des.FromSeconds(rng.ExpFloat64() * mean.Seconds())
+		at = at.Add(gap)
+		if err := ctl.SubmitAt(s, at); err != nil {
+			return fmt.Errorf("workload: submit %d (%s): %w", i, s.Name, err)
+		}
+	}
+	return nil
+}
+
+// Mixed returns a workload with heterogeneous node counts and limits. The
+// paper's two workloads use one node per job, which never exercises node
+// reservations; this workload makes backfill depth matter: wide 15-node
+// jobs queue ahead of streams of small jobs, so under unlimited backfill
+// every delayed wide job pins a reservation that blocks small jobs from
+// starting, while EASY backfill (BackfillMax = 1) lets the small jobs flow
+// at the price of repeatedly postponing the wide jobs.
+func Mixed() []slurm.JobSpec {
+	var specs []slurm.JobSpec
+	wide := func(nodes int) slurm.JobSpec {
+		return slurm.JobSpec{
+			Name: fmt.Sprintf("wide%d", nodes), Fingerprint: fmt.Sprintf("wide%d", nodes),
+			Nodes:   nodes,
+			Limit:   400 * des.Second,
+			Program: cluster.SleepProgram{D: 300 * des.Second},
+		}
+	}
+	// Small jobs run 200 s but request the pessimistic 900 s limit users
+	// typically submit; the gap between limit and runtime is what makes
+	// reservations over-conservative and backfill depth consequential.
+	small := slurm.JobSpec{
+		Name: "smallsleep", Fingerprint: "smallsleep", Nodes: 1,
+		Limit:   900 * des.Second,
+		Program: cluster.SleepProgram{D: 200 * des.Second},
+	}
+	for wave := 0; wave < 4; wave++ {
+		specs = append(specs, wide(10), wide(10), wide(15))
+		for i := 0; i < 40; i++ {
+			specs = append(specs, small)
+		}
+		for i := 0; i < 6; i++ {
+			specs = append(specs, WriteJob(4))
+		}
+	}
+	return specs
+}
+
+// WithDeclaredRates returns a copy of the workload with user-declared
+// Lustre rates per fingerprint — the static license integration path. The
+// factor scales every declared rate, modelling systematic under- or
+// over-estimation by users (paper §II-A).
+func WithDeclaredRates(specs []slurm.JobSpec, rates map[string]float64, factor float64) []slurm.JobSpec {
+	out := make([]slurm.JobSpec, len(specs))
+	copy(out, specs)
+	for i := range out {
+		fp := out[i].Fingerprint
+		if fp == "" {
+			fp = out[i].Name
+		}
+		if r, ok := rates[fp]; ok {
+			out[i].DeclaredRate = r * factor
+		}
+	}
+	return out
+}
+
+// BurstyJob returns a job alternating compute phases with parallel write
+// bursts (paper §II-B's periodic scientific application). Each of the
+// cycles sleeps computeSeconds, then writes gibPerThread GiB from each of
+// threads writer threads.
+func BurstyJob(cycles int, computeSeconds float64, threads int, gibPerThread float64) slurm.JobSpec {
+	name := fmt.Sprintf("bursty%dx%d", cycles, threads)
+	perCycle := computeSeconds + gibPerThread*float64(threads) // generous per-cycle bound
+	return slurm.JobSpec{
+		Name:        name,
+		Fingerprint: name,
+		Nodes:       1,
+		Limit:       des.FromSeconds(float64(cycles)*perCycle*3 + 600),
+		Program: cluster.BurstyProgram{
+			Cycles:         cycles,
+			Compute:        des.FromSeconds(computeSeconds),
+			Threads:        threads,
+			BytesPerThread: gibPerThread * pfs.GiB,
+		},
+	}
+}
+
+// CheckpointJob returns a checkpoint/restart application: it reads its
+// restart files (readGiB across threads), computes, and writes a
+// checkpoint (writeGiB) — the read/write mix common in production HPC that
+// the paper's write-only workloads do not cover.
+func CheckpointJob(threads int, readGiB, computeSeconds, writeGiB float64) slurm.JobSpec {
+	if threads <= 0 {
+		panic(fmt.Sprintf("workload: checkpoint job needs threads, got %d", threads))
+	}
+	name := fmt.Sprintf("ckpt%dx%g", threads, writeGiB)
+	limitSeconds := computeSeconds + (readGiB+writeGiB)*20 + 600
+	return slurm.JobSpec{
+		Name:        name,
+		Fingerprint: name,
+		Nodes:       1,
+		Limit:       des.FromSeconds(limitSeconds),
+		Program: cluster.PhasedProgram{Phases: []cluster.Program{
+			cluster.ReadProgram{Threads: threads, BytesPerThread: readGiB * pfs.GiB / float64(threads)},
+			cluster.SleepProgram{D: des.FromSeconds(computeSeconds)},
+			cluster.WriteProgram{Threads: threads, BytesPerThread: writeGiB * pfs.GiB / float64(threads)},
+		}},
+	}
+}
+
+// Checkpointing returns a workload of checkpoint/restart applications
+// mixed with sleeps, in waves like the paper's workloads.
+func Checkpointing() []slurm.JobSpec {
+	var specs []slurm.JobSpec
+	for wave := 0; wave < 4; wave++ {
+		for i := 0; i < 20; i++ {
+			specs = append(specs, CheckpointJob(8, 20, 120, 40))
+		}
+		for i := 0; i < 30; i++ {
+			specs = append(specs, SleepJob())
+		}
+	}
+	return specs
+}
