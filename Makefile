@@ -1,0 +1,29 @@
+# Development targets. `make check` is the pre-merge gate: static vetting,
+# the full test suite under the race detector, and a short-budget run of
+# every fuzz target (seed corpus + a few seconds of mutation each).
+
+GO      ?= go
+FUZZTIME ?= 10s
+
+.PHONY: build vet test race fuzz check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Go allows one -fuzz target per invocation, so each runs separately.
+fuzz:
+	$(GO) test ./internal/restrack -run='^$$' -fuzz=FuzzProfile -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/restrack -run='^$$' -fuzz=FuzzTrackers -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/sched -run='^$$' -fuzz=FuzzRunRound -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/sched -run='^$$' -fuzz=FuzzTwoGroupSplit -fuzztime=$(FUZZTIME)
+
+check: vet race fuzz

@@ -97,7 +97,14 @@ func AblationMeasuredGuard(seed uint64) ([]AblationRow, error) {
 		{"io-aware 5 GiB/s, lying estimates, guard OFF", true},
 	} {
 		p := sched.IOAwarePolicy{TotalNodes: Nodes, ThroughputLimit: 5 * pfs.GiB, IgnoreMeasured: cfg.ignore}
-		sys, err := Build(DefaultOptions(p, seed))
+		opts := DefaultOptions(p, seed)
+		// Keep the estimates lying for the whole run: with the default
+		// Alpha the estimator learns the true rate after the first few
+		// completions and the scenario silently stops exercising the
+		// guard. A near-zero Alpha pins the history to the pretrained lie,
+		// which is the regime this ablation is about.
+		opts.Analytics.Alpha = 0.02
+		sys, err := Build(opts)
 		if err != nil {
 			return nil, err
 		}

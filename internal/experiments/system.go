@@ -17,6 +17,7 @@ import (
 	"wasched/internal/ldms"
 	"wasched/internal/pfs"
 	"wasched/internal/sched"
+	"wasched/internal/schedcheck"
 	"wasched/internal/slurm"
 	"wasched/internal/stats"
 	"wasched/internal/trace"
@@ -109,6 +110,10 @@ type RunResult struct {
 	// Sched holds the standard scheduling quality metrics (mean/P95 wait,
 	// mean and bounded slowdown) over the finished jobs.
 	Sched trace.Metrics
+	// Invariants is the schedule validation of the run (internal/schedcheck):
+	// every experiment doubles as an invariant check. RunWorkload fails on
+	// violations; direct summarize callers can inspect it.
+	Invariants schedcheck.Result
 }
 
 // MeanClassRuntime returns the mean runtime in seconds of finished jobs
@@ -166,7 +171,26 @@ func RunWorkload(opts Options, specs []slurm.JobSpec, pretrain bool, label strin
 	if err := sys.RunToCompletion(1000 * des.Hour); err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", label, err)
 	}
-	return summarize(sys, label), nil
+	res := summarize(sys, label)
+	if err := res.Invariants.Err(); err != nil {
+		return res, fmt.Errorf("experiments: %s: %w", label, err)
+	}
+	return res, nil
+}
+
+// policyLimit extracts a policy's hard throughput limit R_limit for the
+// validator's soft throughput check (0 = policy has none).
+func policyLimit(p sched.Policy) float64 {
+	switch q := p.(type) {
+	case sched.IOAwarePolicy:
+		return q.ThroughputLimit
+	case sched.AdaptivePolicy:
+		return q.ThroughputLimit
+	case sched.TetrisPolicy:
+		return policyLimit(q.Inner)
+	default:
+		return 0
+	}
 }
 
 func summarize(sys *System, label string) *RunResult {
@@ -193,5 +217,13 @@ func summarize(sys *System, label string) *RunResult {
 	}
 	res.IdleNodeSeconds = (float64(sys.Cluster.Size()) - meanBusy) * makespan
 	res.Sched = trace.ComputeMetrics(sys.Recorder.Jobs())
+	// Every run is invariant-checked. Preemption requeues legitimately break
+	// FIFO order within a job class (a preempted job restarts after later
+	// twins), so that check is skipped exactly when requeues occurred.
+	res.Invariants = schedcheck.ValidateRun(sys.Recorder, schedcheck.ValidateOptions{
+		Nodes:           sys.Cluster.Size(),
+		ThroughputLimit: policyLimit(sys.Controller.Policy()),
+		SkipOrderCheck:  sys.Controller.Requeues() > 0,
+	})
 	return res
 }

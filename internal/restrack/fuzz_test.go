@@ -1,0 +1,163 @@
+package restrack
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"wasched/internal/des"
+)
+
+// FuzzProfile drives the piecewise-constant profile with arbitrary
+// reservation sequences and cross-checks it against a brute-force reference:
+// a plain list of (interval, delta) superpositions. Every decoded input
+// exercises Add/compact, ValueAt, and one EarliestFit query whose answer is
+// verified for feasibility AND minimality.
+//
+// Values are small integers, so reference comparisons are exact and the
+// profile's 1e-9 relative tolerances can never flip an outcome.
+func FuzzProfile(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{10, 5, 3, 20, 10, 253, 0, 120, 1, 4, 2, 8})
+	f.Add([]byte{0, 0, 0, 255, 255, 255, 1, 1, 1, 1})
+	f.Add([]byte{5, 40, 7, 5, 40, 249, 9, 90, 2, 30})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		type op struct {
+			lo, hi des.Time
+			delta  float64
+		}
+		p := NewProfile()
+		var ops []op
+		for len(data) > 4 && len(ops) < 48 {
+			lo := des.Time(data[0]) * des.Time(des.Second)
+			hi := lo.Add(des.Duration(data[1]%100) * des.Second)
+			delta := float64(int8(data[2]))
+			data = data[3:]
+			p.Add(lo, hi, delta)
+			if hi > lo && delta != 0 {
+				ops = append(ops, op{lo, hi, delta})
+			}
+		}
+		ref := func(at des.Time) float64 {
+			v := 0.0
+			for _, o := range ops {
+				if o.lo <= at && at < o.hi {
+					v += o.delta
+				}
+			}
+			return v
+		}
+
+		// ValueAt must agree with the superposition at every half second,
+		// hitting both breakpoints and segment interiors.
+		for s := 0; s <= 720; s++ {
+			at := des.Time(s) * des.Time(des.Second) / 2
+			if got, want := p.ValueAt(at), ref(at); math.Abs(got-want) > 1e-6 {
+				t.Fatalf("ValueAt(%v) = %g, reference %g (profile %v)", at, got, want, p)
+			}
+		}
+
+		// One EarliestFit query per input, parameters from the tail bytes.
+		var q [4]byte
+		copy(q[:], data)
+		from := des.Time(q[0]) * des.Time(des.Second)
+		dur := des.Duration(q[1]%120) * des.Second
+		need := float64(q[2] % 16)
+		limit := float64(q[3] % 64)
+		got, ok := p.EarliestFit(from, dur, need, limit)
+
+		// A piecewise-constant profile changes value only at interval
+		// boundaries, so the true earliest fit is `from` or some boundary
+		// after it; past the last boundary the value is constant. That makes
+		// this candidate set complete.
+		cands := []des.Time{from}
+		for _, o := range ops {
+			if o.lo > from {
+				cands = append(cands, o.lo)
+			}
+			if o.hi > from {
+				cands = append(cands, o.hi)
+			}
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a] < cands[b] })
+		fitsAt := func(c des.Time) bool {
+			if ref(c)+need > limit {
+				return false
+			}
+			end := c.Add(dur)
+			for _, o := range ops {
+				for _, b := range [2]des.Time{o.lo, o.hi} {
+					if b > c && b < end && ref(b)+need > limit {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		want, wantOK := des.MaxTime, false
+		for _, c := range cands {
+			if fitsAt(c) {
+				want, wantOK = c, true
+				break
+			}
+		}
+		if ok != wantOK || got != want {
+			t.Fatalf("EarliestFit(%v, %v, need=%g, limit=%g) = (%v, %v); reference (%v, %v) on %v",
+				from, dur, need, limit, got, ok, want, wantOK, p)
+		}
+		if ok {
+			if got < from {
+				t.Fatalf("EarliestFit returned %v before from=%v", got, from)
+			}
+			if max := p.MaxOver(got, got.Add(dur)); !fits(max, need, limit) {
+				t.Fatalf("EarliestFit start %v does not fit: max %g + need %g > limit %g", got, max, need, limit)
+			}
+		}
+	})
+}
+
+// FuzzTrackers layers the node and bandwidth trackers over fuzzed
+// reserve/release sequences: UsedAt must stay consistent with the underlying
+// profile and EarliestFit results must respect the trackers' limits.
+func FuzzTrackers(f *testing.F) {
+	f.Add([]byte{8, 0, 30, 2, 1, 10, 60, 3})
+	f.Add([]byte{1, 200, 201, 120})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		total := 1 + int(data[0]%32)
+		nt := NewNodeTracker(total)
+		bt := NewBandwidthTracker(float64(data[0] % 64))
+		data = data[1:]
+		for len(data) >= 4 {
+			lo := des.Time(data[0]) * des.Time(des.Second)
+			hi := lo.Add(des.Duration(1+data[1]%100) * des.Second)
+			n := int(data[2] % 16)
+			release := data[3]%2 == 1
+			data = data[4:]
+			if release {
+				nt.Release(lo, hi, n)
+			} else {
+				nt.Reserve(lo, hi, n)
+				bt.Reserve(lo, hi, float64(n))
+			}
+		}
+		for s := 0; s <= 400; s++ {
+			at := des.Time(s) * des.Time(des.Second)
+			if got := nt.UsedAt(at); got != int(math.Round(nt.Profile().ValueAt(at))) {
+				t.Fatalf("NodeTracker.UsedAt(%v) = %d, profile says %g", at, got, nt.Profile().ValueAt(at))
+			}
+		}
+		if at, ok := nt.EarliestFit(0, 10*des.Second, 1); ok {
+			if used := nt.UsedAt(at); used+1 > total {
+				t.Fatalf("NodeTracker.EarliestFit start %v over capacity: %d+1 > %d", at, used, total)
+			}
+		}
+		if at, ok := bt.EarliestFit(0, 10*des.Second, 1); ok {
+			if used := bt.UsedAt(at); !fits(used, 1, bt.Limit()) {
+				t.Fatalf("BandwidthTracker.EarliestFit start %v over limit: %g+1 > %g", at, used, bt.Limit())
+			}
+		}
+	})
+}

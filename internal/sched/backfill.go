@@ -72,6 +72,16 @@ func RunRound(p Policy, in RoundInput, opt Options) ([]Decision, Round) {
 	backfillCount := 0
 	for _, j := range window {
 		d := Decision{Job: j}
+		// Defensive validation: the controller rejects such jobs at
+		// submission, but a zero-node or zero-length job reaching the
+		// trackers would divide by zero in the adaptive split or panic in
+		// the profile arithmetic. Hold it without burning a window's
+		// backfill reservation.
+		if j.Nodes < 1 || j.Limit <= 0 {
+			d.Skipped = true
+			decisions = append(decisions, d)
+			continue
+		}
 		t, ok := rt.EarliestStart(j, in.Now)
 		switch {
 		case !ok:

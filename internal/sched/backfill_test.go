@@ -240,3 +240,142 @@ func TestNodePolicyName(t *testing.T) {
 		t.Fatal("name")
 	}
 }
+
+// reversingPolicy wraps NodePolicy with a WindowOrderer that reverses the
+// examined window — a deliberately perverse packing order that makes the
+// engine's window handling observable.
+type reversingPolicy struct {
+	NodePolicy
+}
+
+func (p reversingPolicy) OrderWindow(_ RoundInput, window []*Job) {
+	for i, j := 0, len(window)-1; i < j; i, j = i+1, j-1 {
+		window[i], window[j] = window[j], window[i]
+	}
+}
+
+// TestRunRoundWindowSemantics pins the engine's window rules across
+// MaxJobTest, WindowOrderer and skipped jobs:
+//
+//   - MaxJobTest truncation happens BEFORE any WindowOrderer reordering:
+//     the window is the queue's head, whatever order it is then tried in;
+//   - skipped jobs (malformed or infeasible) burn a window slot but never a
+//     BackfillMax reservation slot;
+//   - reordering touches a copy — in.Waiting keeps the controller's order.
+func TestRunRoundWindowSemantics(t *testing.T) {
+	mk := func(n int) []*Job {
+		q := make([]*Job, n)
+		for i := range q {
+			q[i] = job(string(rune('a'+i)), 1, 10*sec)
+		}
+		return q
+	}
+	cases := []struct {
+		name    string
+		policy  Policy
+		queue   func() []*Job
+		running []*Job
+		opts    Options
+		// want maps job ID to expected state: "start", "reserve", "skip";
+		// IDs absent from the map must not be examined at all.
+		want      map[string]string
+		wantOrder []string // expected decision order, nil to skip
+	}{
+		{
+			name:   "max-job-test truncates before reordering",
+			policy: reversingPolicy{NodePolicy{TotalNodes: 4}},
+			queue:  func() []*Job { return mk(4) },
+			opts:   Options{MaxJobTest: 2},
+			// The window is {a, b} (queue head), THEN reversed: c and d
+			// stay unexamined even though reversal would have put d first
+			// had the whole queue been reordered.
+			want:      map[string]string{"a": "start", "b": "start"},
+			wantOrder: []string{"b", "a"},
+		},
+		{
+			name:   "malformed job burns a window slot",
+			policy: NodePolicy{TotalNodes: 4},
+			queue: func() []*Job {
+				q := mk(3)
+				q[0].Nodes = 0 // malformed: skipped defensively
+				return q
+			},
+			opts: Options{MaxJobTest: 2},
+			// The zero-node job occupies one of the two examined slots, so
+			// c is never looked at this round.
+			want: map[string]string{"a": "skip", "b": "start"},
+		},
+		{
+			name:   "skips do not burn the backfill budget",
+			policy: NodePolicy{TotalNodes: 4},
+			queue: func() []*Job {
+				q := mk(3)
+				q[0].Nodes = 5 // larger than the cluster: never feasible
+				return q
+			},
+			running: []*Job{running("r", 4, 100*sec, tsec(0))},
+			opts:    Options{BackfillMax: 1},
+			// a is skipped (infeasible) without consuming the single
+			// backfill reservation, which must go to b; c is then out of
+			// budget.
+			want: map[string]string{"a": "skip", "b": "reserve", "c": "skip"},
+		},
+		{
+			name:    "easy backfill reserves only the queue head",
+			policy:  NodePolicy{TotalNodes: 4},
+			queue:   func() []*Job { return mk(3) },
+			running: []*Job{running("r", 4, 100*sec, tsec(0))},
+			opts:    Options{BackfillMax: EASY},
+			want:    map[string]string{"a": "reserve", "b": "skip", "c": "skip"},
+		},
+		{
+			name:   "whole queue examined by default",
+			policy: reversingPolicy{NodePolicy{TotalNodes: 4}},
+			queue:  func() []*Job { return mk(4) },
+			opts:   Options{},
+			want:   map[string]string{"a": "start", "b": "start", "c": "start", "d": "start"},
+			// Reversal covers the whole queue when MaxJobTest is off.
+			wantOrder: []string{"d", "c", "b", "a"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			queue := tc.queue()
+			orig := ids(queue)
+			in := RoundInput{Now: tsec(0), Running: tc.running, Waiting: queue}
+			ds, _ := RunRound(tc.policy, in, tc.opts)
+			if len(ds) != len(tc.want) {
+				t.Fatalf("examined %d jobs, want %d (%v)", len(ds), len(tc.want), ds)
+			}
+			byID := decisionsByID(ds)
+			for id, state := range tc.want {
+				d, ok := byID[id]
+				if !ok {
+					t.Fatalf("job %s was not examined", id)
+				}
+				got := "skip"
+				if d.StartNow {
+					got = "start"
+				} else if d.Reserved {
+					got = "reserve"
+				}
+				if got != state {
+					t.Errorf("job %s: got %s, want %s", id, got, state)
+				}
+			}
+			if tc.wantOrder != nil {
+				for i, id := range tc.wantOrder {
+					if ds[i].Job.ID != id {
+						t.Fatalf("decision order: got %v at %d, want %v", ds[i].Job.ID, i, tc.wantOrder)
+					}
+				}
+			}
+			// The engine must never mutate the controller's queue slice.
+			for i, id := range ids(queue) {
+				if id != orig[i] {
+					t.Fatalf("in.Waiting mutated: %v, want %v", ids(queue), orig)
+				}
+			}
+		})
+	}
+}

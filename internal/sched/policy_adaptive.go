@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"wasched/internal/des"
@@ -65,12 +66,19 @@ func (p AdaptivePolicy) NewRound(in RoundInput) Round {
 	nodeSec := 0.0 // node·s: Σ n_j · (remaining or estimated runtime)
 	for _, j := range in.Running {
 		rem := j.remaining(in.Now).Seconds()
-		vIO += j.Rate * rem
+		vIO += clampNonNeg(j.Rate) * rem
 		nodeSec += float64(j.Nodes) * rem
 	}
 	for _, j := range in.Waiting {
+		// A malformed queue entry (non-positive limit and no estimate, or
+		// negative nodes) must not enter the sums with negative weight: it
+		// would drag the target below the workload's real demand. The
+		// engine skips such jobs at decision time; skip them here too.
 		d := j.estRuntime().Seconds()
-		vIO += j.Rate * d
+		if d <= 0 || j.Nodes < 1 {
+			continue
+		}
+		vIO += clampNonNeg(j.Rate) * d
 		nodeSec += float64(j.Nodes) * d
 	}
 	target := 0.0 // R̃
@@ -102,6 +110,15 @@ func (p AdaptivePolicy) NewRound(in RoundInput) Round {
 	}
 }
 
+// clampNonNeg treats an invalid (negative or NaN) rate estimate as zero so
+// that it cannot push the target throughput R̃ negative or poison it.
+func clampNonNeg(r float64) float64 {
+	if r < 0 || math.IsNaN(r) {
+		return 0
+	}
+	return r
+}
+
 // twoGroupSplit chooses the minimum threshold r* such that the zero group
 // holds at least QoSFraction of the queued node·seconds (Eq. 2), and
 // returns it with the zero group's average per-node load r̄_zero (Eq. 3).
@@ -123,13 +140,30 @@ func (p AdaptivePolicy) twoGroupSplit(waiting []*Job) (rStar, rZeroBar float64) 
 	entries := make([]entry, 0, len(waiting))
 	totalNodeSec := 0.0
 	for _, j := range waiting {
+		// Defensive guard: the engine and the controller both validate
+		// Nodes >= 1, but a zero-node job reaching this division would
+		// poison the split with a NaN/Inf ratio, and a negative rate would
+		// drag r* (and thus r̄_zero and the adjusted target) below zero.
+		if j.Nodes < 1 {
+			continue
+		}
+		rate := clampNonNeg(j.Rate)
 		ns := float64(j.Nodes) * j.estRuntime().Seconds()
+		// A non-positive duration (limit <= 0 with no estimate) would give
+		// the job *negative* node·seconds, pulling r̄_zero and the adjusted
+		// target below zero. Such a job is skipped by the engine anyway.
+		if ns <= 0 {
+			continue
+		}
 		entries = append(entries, entry{
-			ratio:   j.Rate / float64(j.Nodes),
+			ratio:   rate / float64(j.Nodes),
 			nodeSec: ns,
-			rate:    j.Rate,
+			rate:    rate,
 		})
 		totalNodeSec += ns
+	}
+	if len(entries) == 0 {
+		return 0, 0
 	}
 	if totalNodeSec == 0 {
 		return 0, 0

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"math"
 
 	"wasched/internal/des"
 	"wasched/internal/restrack"
@@ -23,6 +24,17 @@ type IOAwarePolicy struct {
 
 // Name implements Policy.
 func (p IOAwarePolicy) Name() string { return "io-aware" }
+
+// MeasuredResidualHorizon is how long the measured-throughput guard holds a
+// reservation for I/O that cannot be attributed to any running job (the
+// running set is empty but the monitors still report traffic — external
+// clients, lagging LDMS samples of jobs that just finished, ...). Residual
+// traffic has no job end time to bound it, so the guard books it for one
+// default scheduling round: long enough that admission this round accounts
+// for it, short enough that a stale monitoring sample cannot idle the file
+// system for long. Re-measured every round, the reservation slides forward
+// while the residual persists and vanishes one horizon after it stops.
+const MeasuredResidualHorizon = 30 * des.Second
 
 // NewRound implements Policy (Algorithm 2).
 func (p IOAwarePolicy) NewRound(in RoundInput) Round {
@@ -47,9 +59,17 @@ func (p IOAwarePolicy) NewRound(in RoundInput) Round {
 	// Algorithm 2 lines 7–8: when the measured throughput exceeds the sum
 	// of the running jobs' estimates, reserve the difference so the
 	// schedule cannot overload the file system on the strength of
-	// under-estimates (e.g. jobs with no history yet).
-	if !p.IgnoreMeasured && in.MeasuredThroughput > sumRunning && len(in.Running) > 0 {
-		lt.Reserve(in.Now, maxEnd, in.MeasuredThroughput-sumRunning)
+	// under-estimates (e.g. jobs with no history yet). With running jobs
+	// the excess is booked until the last of them ends; with none, the
+	// traffic is residual/external and is booked over a short sliding
+	// horizon instead (see MeasuredResidualHorizon) — previously the guard
+	// silently vanished whenever the running set was empty.
+	if !p.IgnoreMeasured && in.MeasuredThroughput > sumRunning {
+		end := maxEnd
+		if len(in.Running) == 0 {
+			end = in.Now.Add(MeasuredResidualHorizon)
+		}
+		lt.Reserve(in.Now, end, in.MeasuredThroughput-sumRunning)
 	}
 	return &ioAwareRound{p: p, nt: nt, lt: lt}
 }
@@ -71,7 +91,7 @@ func (p IOAwarePolicy) clampRate(r float64) float64 {
 	if r > p.ThroughputLimit {
 		return p.ThroughputLimit
 	}
-	if r < 0 {
+	if r < 0 || math.IsNaN(r) {
 		return 0
 	}
 	return r

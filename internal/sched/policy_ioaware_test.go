@@ -85,10 +85,11 @@ func TestIOAwareMeasuredThroughputGuard(t *testing.T) {
 	}
 }
 
-func TestIOAwareGuardIgnoredWithoutRunningJobs(t *testing.T) {
-	// Residual measured throughput with an empty running set has no
-	// reservation horizon (max over an empty set); the policy skips the
-	// guard rather than inventing one.
+func TestIOAwareGuardHoldsResidualWithoutRunningJobs(t *testing.T) {
+	// Residual measured throughput with an empty running set (external
+	// clients, lagging monitor samples) is reserved over the short
+	// MeasuredResidualHorizon instead of being dropped: a job whose rate
+	// does not fit beside the residual waits out the horizon.
 	p := IOAwarePolicy{TotalNodes: 10, ThroughputLimit: 10}
 	in := RoundInput{
 		Now:                tsec(10),
@@ -96,8 +97,23 @@ func TestIOAwareGuardIgnoredWithoutRunningJobs(t *testing.T) {
 		MeasuredThroughput: 9,
 	}
 	ds, _ := RunRound(p, in, Options{})
-	if !ds[0].StartNow {
-		t.Fatal("w1 must start when nothing is running")
+	if ds[0].StartNow {
+		t.Fatal("w1 must not start on top of 9 GB/s of residual traffic")
+	}
+	wantStart := tsec(10).Add(MeasuredResidualHorizon)
+	if ds[0].PlannedStart != wantStart {
+		t.Fatalf("w1 planned at %v, want %v (residual horizon expiry)", ds[0].PlannedStart, wantStart)
+	}
+	// A job that fits beside the residual still starts immediately.
+	in.Waiting = []*Job{iojob("w2", 1, 50*sec, 1)}
+	if ds, _ := RunRound(p, in, Options{}); !ds[0].StartNow {
+		t.Fatal("w2 fits beside the residual and must start")
+	}
+	// Zero measurement leaves nothing reserved.
+	in.Waiting = []*Job{iojob("w3", 1, 50*sec, 5)}
+	in.MeasuredThroughput = 0
+	if ds, _ := RunRound(p, in, Options{}); !ds[0].StartNow {
+		t.Fatal("w3 must start with no residual")
 	}
 }
 

@@ -1,0 +1,201 @@
+package schedcheck
+
+import (
+	"math"
+
+	"wasched/internal/des"
+	"wasched/internal/sched"
+)
+
+// InfLimit is the effectively unbounded throughput limit used for the
+// metamorphic baseline: large enough that no realistic workload's rates sum
+// anywhere near it, small enough to stay comfortably finite in float64
+// arithmetic.
+const InfLimit = 1e18
+
+// DiffConfig configures one differential run.
+type DiffConfig struct {
+	// Nodes is the cluster size (0 = 16).
+	Nodes int
+	// Limit is R_limit in bytes/s for the throughput-aware policies
+	// (0 = 20 GiB/s scaled by nothing — callers pass the paper value).
+	Limit float64
+	// Options are the backfill engine options shared by every policy.
+	Options sched.Options
+	// Interval is the scheduling round period (0 = 30 s).
+	Interval des.Duration
+}
+
+// DiffResult is one workload replayed through every policy, plus the
+// cross-policy findings.
+type DiffResult struct {
+	// Results maps policy label to its replay. Labels: "default",
+	// "io-aware", "adaptive", "adaptive-naive", "io-aware-inf".
+	Results map[string]*ReplayResult
+	// Check accumulates per-policy invariant findings and the cross-policy
+	// metamorphic findings.
+	Check Result
+}
+
+// The policy labels of a differential run. ioAwareInfLabel is the internal
+// baseline — the I/O-aware policy with InfLimit — used by property M2.
+const (
+	labelDefault  = "default"
+	labelIOAware  = "io-aware"
+	labelAdaptive = "adaptive"
+	labelNaive    = "adaptive-naive"
+	labelInf      = "io-aware-inf"
+)
+
+// PolicyLabels lists the four paper policies replayed by RunDifferential.
+func PolicyLabels() []string {
+	return []string{labelDefault, labelIOAware, labelAdaptive, labelNaive}
+}
+
+// RunDifferential replays one workload through all four paper policies (plus
+// an unbounded-limit I/O-aware baseline) and asserts the metamorphic
+// properties that relate them:
+//
+//	M1 (drain): every policy finishes every job — no policy starves work the
+//	    others complete.
+//	M2 (limit elision): the I/O-aware policy with an unbounded R_limit makes
+//	    the same start decisions as the node-only policy, start-for-start.
+//	    The bandwidth tracker can only delay jobs; with no effective limit it
+//	    must be inert.
+//	M3 (zero-rate collapse): when no job does any I/O (true and estimated
+//	    rates all zero), every throughput-aware policy must equal plain
+//	    backfill — rates of zero can never occupy bandwidth.
+//	M4 (homogeneous regulation-free): when every job has the same per-node
+//	    intensity r_j/n_j and estimates are exact, the adaptive target
+//	    R̃ = Σr·d·N/Σn·d equals that intensity times the cluster size, so
+//	    regulation never binds: adaptive, naive adaptive and plain I/O-aware
+//	    must schedule identically.
+//
+// M3 and M4 are conditional on workload shape and checked only when the
+// workload qualifies; M1 and M2 always apply.
+func RunDifferential(workload []SimJob, cfg DiffConfig) *DiffResult {
+	nodes := cfg.Nodes
+	if nodes <= 0 {
+		nodes = 16
+	}
+	limit := cfg.Limit
+	if limit <= 0 {
+		limit = 20 * 1024 * 1024 * 1024
+	}
+
+	type variant struct {
+		label  string
+		policy sched.Policy
+		limit  float64 // for the replay bandwidth invariant; 0 = no check
+	}
+	variants := []variant{
+		{labelDefault, sched.NodePolicy{TotalNodes: nodes}, 0},
+		{labelIOAware, sched.IOAwarePolicy{TotalNodes: nodes, ThroughputLimit: limit}, limit},
+		{labelAdaptive, sched.AdaptivePolicy{TotalNodes: nodes, ThroughputLimit: limit, TwoGroup: true}, limit},
+		{labelNaive, sched.AdaptivePolicy{TotalNodes: nodes, ThroughputLimit: limit, TwoGroup: false}, limit},
+		{labelInf, sched.IOAwarePolicy{TotalNodes: nodes, ThroughputLimit: InfLimit}, 0},
+	}
+
+	res := &DiffResult{Results: make(map[string]*ReplayResult, len(variants))}
+	for _, v := range variants {
+		r := Replay(workload, ReplayConfig{
+			Policy:   v.policy,
+			Options:  cfg.Options,
+			Interval: cfg.Interval,
+			Nodes:    nodes,
+			Limit:    v.limit,
+		})
+		res.Results[v.label] = r
+		for _, viol := range r.Check.Violations {
+			res.Check.violatef(viol.Invariant, "[%s] %s", v.label, viol.Detail)
+		}
+		res.Check.Warnings = append(res.Check.Warnings, r.Check.Warnings...)
+		res.Check.JobsChecked += r.Check.JobsChecked
+
+		// M1: drain.
+		if got := len(r.Jobs); got != len(workload) {
+			res.Check.violatef("m1-drain", "[%s] completed %d of %d jobs", v.label, got, len(workload))
+		}
+	}
+
+	// M2: unbounded-limit I/O-aware ≡ node-only.
+	compareStarts(res, labelInf, labelDefault, "m2-limit-elision")
+
+	if allZeroRate(workload) {
+		// M3: no I/O anywhere — every policy collapses to plain backfill.
+		for _, label := range []string{labelIOAware, labelAdaptive, labelNaive} {
+			compareStarts(res, label, labelDefault, "m3-zero-rate")
+		}
+	}
+
+	if homogeneousExact(workload) {
+		// M4: uniform per-node intensity with exact estimates — adaptive
+		// regulation must not bind.
+		compareStarts(res, labelAdaptive, labelIOAware, "m4-homogeneous")
+		compareStarts(res, labelNaive, labelIOAware, "m4-homogeneous")
+	}
+	return res
+}
+
+// compareStarts asserts two replays made identical start decisions.
+func compareStarts(res *DiffResult, got, want, invariant string) {
+	a, b := res.Results[got], res.Results[want]
+	if a == nil || b == nil {
+		return
+	}
+	diffs := 0
+	for id, tb := range b.Starts {
+		ta, ok := a.Starts[id]
+		if !ok {
+			res.Check.violatef(invariant, "job %s started under %s at %v but never under %s", id, want, tb, got)
+			diffs++
+		} else if ta != tb {
+			res.Check.violatef(invariant, "job %s: %s started it at %v, %s at %v", id, got, ta, want, tb)
+			diffs++
+		}
+		if diffs >= 3 {
+			res.Check.violatef(invariant, "(further %s/%s start differences elided)", got, want)
+			return
+		}
+	}
+	for id := range a.Starts {
+		if _, ok := b.Starts[id]; !ok {
+			res.Check.violatef(invariant, "job %s started under %s but never under %s", id, got, want)
+			return
+		}
+	}
+}
+
+// allZeroRate reports whether the workload does no I/O at all, true or
+// estimated — the precondition of M3.
+func allZeroRate(workload []SimJob) bool {
+	for _, j := range workload {
+		if j.Rate != 0 || j.EstRate != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// homogeneousExact reports whether every job shares one per-node intensity
+// r/n with exact estimates and positive I/O — the precondition of M4. The
+// ratio comparison is exact: the property proof needs bitwise-equal ratios,
+// which the homogeneous generator guarantees by using power-of-two widths.
+func homogeneousExact(workload []SimJob) bool {
+	if len(workload) == 0 {
+		return false
+	}
+	ratio := math.NaN()
+	for _, j := range workload {
+		if j.Nodes < 1 || j.Rate <= 0 || j.EstRate != j.Rate || j.EstRuntime != j.Actual {
+			return false
+		}
+		r := j.Rate / float64(j.Nodes)
+		if math.IsNaN(ratio) {
+			ratio = r
+		} else if r != ratio {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,118 @@
+package schedcheck
+
+import (
+	"fmt"
+	"testing"
+
+	"wasched/internal/pfs"
+	"wasched/internal/sched"
+)
+
+const (
+	testNodes = 16
+	testLimit = 20 * pfs.GiB
+)
+
+// TestDifferentialCorpus replays every workload kind under five seeds —
+// thirty seeded workloads — through all four policies (plus the unbounded
+// baseline) and requires every per-round invariant, schedule invariant and
+// metamorphic property to hold.
+func TestDifferentialCorpus(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 4, 5}
+	runs := 0
+	for _, kind := range Kinds() {
+		for _, seed := range seeds {
+			kind, seed := kind, seed
+			t.Run(fmt.Sprintf("%s/seed-%d", kind, seed), func(t *testing.T) {
+				t.Parallel()
+				w := Generate(kind, seed, testNodes, testLimit)
+				if len(w) == 0 {
+					t.Fatalf("empty workload for kind %s", kind)
+				}
+				res := RunDifferential(w, DiffConfig{Nodes: testNodes, Limit: testLimit})
+				if err := res.Check.Err(); err != nil {
+					t.Fatal(err)
+				}
+				for _, label := range PolicyLabels() {
+					if res.Results[label] == nil {
+						t.Fatalf("policy %s missing from results", label)
+					}
+				}
+			})
+			runs++
+		}
+	}
+	if runs < 20 {
+		t.Fatalf("differential corpus ran %d workloads, want >= 20", runs)
+	}
+}
+
+// TestDifferentialWindowedOptions repeats a slice of the corpus under
+// EASY backfill and the Slurm default window, so the metamorphic properties
+// are not an artifact of unlimited backfill.
+func TestDifferentialWindowedOptions(t *testing.T) {
+	opts := []sched.Options{
+		{BackfillMax: sched.EASY},
+		{MaxJobTest: sched.SlurmDefaultTestLimit},
+		{BackfillMax: 4, MaxJobTest: 20},
+	}
+	for _, kind := range []WorkloadKind{KindRandom, KindHomogeneous, KindZeroRate} {
+		for i, o := range opts {
+			kind, o := kind, o
+			t.Run(fmt.Sprintf("%s/opts-%d", kind, i), func(t *testing.T) {
+				t.Parallel()
+				w := Generate(kind, 7, testNodes, testLimit)
+				res := RunDifferential(w, DiffConfig{Nodes: testNodes, Limit: testLimit, Options: o})
+				if err := res.Check.Err(); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestGenerateDeterministic pins the generator: the same (kind, seed) must
+// yield the same workload, and different seeds must not.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, kind := range Kinds() {
+		a := Generate(kind, 42, testNodes, testLimit)
+		b := Generate(kind, 42, testNodes, testLimit)
+		if len(a) != len(b) {
+			t.Fatalf("%s: lengths differ across identical seeds: %d vs %d", kind, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: job %d differs across identical seeds: %+v vs %+v", kind, i, a[i], b[i])
+			}
+		}
+	}
+	a := Generate(KindRandom, 1, testNodes, testLimit)
+	b := Generate(KindRandom, 2, testNodes, testLimit)
+	same := len(a) == len(b)
+	if same {
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("KindRandom: seeds 1 and 2 produced identical workloads")
+	}
+}
+
+// TestReplayQueueOfOne pins the degenerate single-job queue on every policy.
+func TestReplayQueueOfOne(t *testing.T) {
+	w := []SimJob{{ID: "only", Fingerprint: "only", Nodes: testNodes,
+		Limit: 60 * 1000 * 1000 * 60, Actual: 60 * 1000 * 1000, Rate: testLimit / 2, EstRate: testLimit / 2}}
+	res := RunDifferential(w, DiffConfig{Nodes: testNodes, Limit: testLimit})
+	if err := res.Check.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, label := range PolicyLabels() {
+		if got := len(res.Results[label].Jobs); got != 1 {
+			t.Fatalf("policy %s completed %d jobs, want 1", label, got)
+		}
+	}
+}

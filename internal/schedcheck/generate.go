@@ -1,0 +1,236 @@
+package schedcheck
+
+import (
+	"fmt"
+
+	"wasched/internal/des"
+	"wasched/internal/pfs"
+	"wasched/internal/slurm"
+	"wasched/internal/workload"
+)
+
+// WorkloadKind names one shape of generated differential workload. Each
+// kind stresses a different part of the policies; together they cover the
+// edge cases the unit tests' hand-written rounds cannot enumerate.
+type WorkloadKind string
+
+// The differential corpus.
+const (
+	// KindPaperish is a scaled-down paper Workload 1: waves of write×8
+	// jobs and sleeps built from the internal/workload spec constructors,
+	// fed in waves like the depth-bounded feeder.
+	KindPaperish WorkloadKind = "paperish"
+	// KindMixed derives from workload.Mixed: wide multi-node jobs among
+	// streams of small ones, so node reservations and backfill depth
+	// matter.
+	KindMixed WorkloadKind = "mixed"
+	// KindRandom is a fully random mix: node counts up to the cluster
+	// size, rates from zero past the limit, runtimes from seconds to the
+	// limit, staggered arrivals.
+	KindRandom WorkloadKind = "random"
+	// KindHomogeneous gives every job the same per-node I/O intensity
+	// r_j/n_j, the regime where adaptive regulation must never bind.
+	KindHomogeneous WorkloadKind = "homogeneous"
+	// KindZeroRate has no I/O at all: every throughput-aware policy must
+	// collapse to plain backfill.
+	KindZeroRate WorkloadKind = "zero-rate"
+	// KindAdversarial packs the nasty shapes: a queue of one, runtimes of
+	// one second, estimates at a tenth of reality (firing the measured
+	// guard), rates above the limit, and equal-ratio ties for the
+	// two-group split.
+	KindAdversarial WorkloadKind = "adversarial"
+)
+
+// Kinds lists the full corpus in a stable order.
+func Kinds() []WorkloadKind {
+	return []WorkloadKind{KindPaperish, KindMixed, KindRandom, KindHomogeneous, KindZeroRate, KindAdversarial}
+}
+
+// perThreadRate approximates the calibrated per-thread write rate used to
+// attach synthetic truth to workload package specs.
+const perThreadRate = 0.35 * pfs.GiB
+
+// Generate builds the seeded workload of the given kind. The same (kind,
+// seed) always yields the same jobs.
+func Generate(kind WorkloadKind, seed uint64, nodes int, limit float64) []SimJob {
+	rng := des.NewRNG(seed, "schedcheck/"+string(kind))
+	switch kind {
+	case KindPaperish:
+		var specs []slurm.JobSpec
+		for wave := 0; wave < 2; wave++ {
+			for i := 0; i < 10; i++ {
+				specs = append(specs, workload.WriteJob(8))
+			}
+			for i := 0; i < 15; i++ {
+				specs = append(specs, workload.SleepJob())
+			}
+		}
+		return fromSpecs(specs, rng, 120*des.Second)
+	case KindMixed:
+		return fromSpecs(workload.Mixed()[:40], rng, 0)
+	case KindRandom:
+		// Rates, runtimes and limits are drawn once per class, not per
+		// job: the scheduler sees estimates by fingerprint, so jobs of one
+		// class must be indistinguishable (the fifo-class-order invariant
+		// depends on it, exactly as analytics-driven estimates behave).
+		type class struct {
+			limit  des.Duration
+			actual des.Duration
+			rate   float64
+		}
+		classes := make([]class, 5)
+		for i := range classes {
+			limitD := des.Duration(60+rng.IntN(1800)) * des.Second
+			classes[i] = class{
+				limit:  limitD,
+				actual: des.Duration(1+rng.IntN(int(limitD/des.Second))) * des.Second,
+			}
+			if rng.IntN(3) > 0 {
+				classes[i].rate = rng.Float64() * limit * 1.2
+			}
+		}
+		n := 20 + rng.IntN(40)
+		jobs := make([]SimJob, 0, n)
+		at := des.Time(0)
+		for i := 0; i < n; i++ {
+			ci := rng.IntN(len(classes))
+			c := classes[ci]
+			jobs = append(jobs, SimJob{
+				ID:          fmt.Sprintf("rnd-%03d", i),
+				Fingerprint: fmt.Sprintf("class-%d", ci),
+				Nodes:       1 + rng.IntN(nodes),
+				Limit:       c.limit,
+				Actual:      c.actual,
+				Rate:        c.rate,
+				EstRate:     c.rate,
+				EstRuntime:  c.actual,
+				Submit:      at,
+				Priority:    int64(rng.IntN(3)),
+			})
+			if rng.IntN(2) == 0 {
+				at = at.Add(des.Duration(rng.IntN(120)) * des.Second)
+			}
+		}
+		return jobs
+	case KindHomogeneous:
+		// Identical per-node intensity: rate = c·nodes, runtimes equal.
+		c := (1 + rng.Float64()) * pfs.GiB
+		widths := [3]int{1, 2, 4} // powers of two keep rate/nodes exact
+		jobs := make([]SimJob, 0, 30)
+		for i := 0; i < 30; i++ {
+			nn := widths[rng.IntN(len(widths))]
+			jobs = append(jobs, SimJob{
+				ID:          fmt.Sprintf("hom-%03d", i),
+				Fingerprint: fmt.Sprintf("hom-%d", nn),
+				Nodes:       nn,
+				Limit:       600 * des.Second,
+				Actual:      300 * des.Second,
+				Rate:        c * float64(nn),
+				EstRate:     c * float64(nn),
+				EstRuntime:  300 * des.Second,
+				Submit:      0,
+			})
+		}
+		return jobs
+	case KindZeroRate:
+		jobs := make([]SimJob, 0, 40)
+		for i := 0; i < 40; i++ {
+			nn := 1 + rng.IntN(nodes)
+			actual := des.Duration(30+rng.IntN(600)) * des.Second
+			jobs = append(jobs, SimJob{
+				ID:          fmt.Sprintf("zr-%03d", i),
+				Fingerprint: "compute",
+				Nodes:       nn,
+				Limit:       actual + 300*des.Second,
+				Actual:      actual,
+				Submit:      des.Time(rng.IntN(10)) * des.Time(des.Minute),
+			})
+		}
+		return jobs
+	case KindAdversarial:
+		var jobs []SimJob
+		// A queue of one: the degenerate case every loop bound must survive.
+		jobs = append(jobs, SimJob{
+			ID: "solo", Fingerprint: "solo", Nodes: nodes,
+			Limit: 120 * des.Second, Actual: des.Second, Rate: limit * 2, EstRate: limit * 2,
+			Submit: 0,
+		})
+		// Equal-ratio ties around the two-group threshold.
+		for i := 0; i < 8; i++ {
+			jobs = append(jobs, SimJob{
+				ID: fmt.Sprintf("tie-%d", i), Fingerprint: "tie", Nodes: 1,
+				Limit: 400 * des.Second, Actual: 200 * des.Second,
+				Rate: limit / 4, EstRate: limit / 4,
+				Submit: 180 * des.Time(des.Second),
+			})
+		}
+		// Liars: estimates a tenth of reality, firing the measured guard.
+		for i := 0; i < 6; i++ {
+			jobs = append(jobs, SimJob{
+				ID: fmt.Sprintf("liar-%d", i), Fingerprint: "liar", Nodes: 1,
+				Limit: 600 * des.Second, Actual: 300 * des.Second,
+				Rate: limit / 2, EstRate: limit / 20,
+				Submit: 600 * des.Time(des.Second),
+			})
+		}
+		// One-second jobs with pessimistic limits.
+		for i := 0; i < 10; i++ {
+			jobs = append(jobs, SimJob{
+				ID: fmt.Sprintf("blip-%d", i), Fingerprint: "blip", Nodes: 1,
+				Limit: 1800 * des.Second, Actual: des.Second,
+				Submit: des.Time(i) * des.Time(des.Minute),
+			})
+		}
+		return jobs
+	default:
+		panic(fmt.Sprintf("schedcheck: unknown workload kind %q", kind))
+	}
+}
+
+// fromSpecs converts workload-package job specs into replay jobs, attaching
+// synthetic ground truth per fingerprint: write×T runs its volume at
+// T×perThreadRate, sleeps idle for their programmed duration. waveGap
+// staggers submission in feeder-like waves (0 = batch at t=0).
+func fromSpecs(specs []slurm.JobSpec, rng *des.RNG, waveGap des.Duration) []SimJob {
+	jobs := make([]SimJob, 0, len(specs))
+	at := des.Time(0)
+	for i, s := range specs {
+		var rate float64
+		var actual des.Duration
+		switch {
+		case s.Name == "sleep" || s.Name == "smallsleep":
+			actual = s.Limit - 300*des.Second
+			if actual <= 0 {
+				actual = s.Limit / 2
+			}
+		case len(s.Name) > 5 && s.Name[:5] == "write":
+			threads := int(s.Name[6] - '0')
+			if threads < 1 {
+				threads = 1
+			}
+			rate = float64(threads) * perThreadRate
+			actual = des.FromSeconds(float64(threads) * workload.BytesPerThread / rate)
+		default:
+			actual = s.Limit * 3 / 4
+		}
+		if actual > s.Limit {
+			actual = s.Limit
+		}
+		jobs = append(jobs, SimJob{
+			ID:          fmt.Sprintf("%s-%03d", s.Name, i),
+			Fingerprint: s.Fingerprint,
+			Nodes:       s.Nodes,
+			Limit:       s.Limit,
+			Actual:      actual,
+			Rate:        rate,
+			EstRate:     rate,
+			EstRuntime:  actual,
+			Submit:      at,
+			Priority:    s.Priority,
+		})
+		if waveGap > 0 && i%10 == 9 {
+			at = at.Add(waveGap + rng.Jitter(des.Second))
+		}
+	}
+	return jobs
+}

@@ -1,0 +1,288 @@
+package schedcheck
+
+import (
+	"math"
+	"sort"
+
+	"wasched/internal/des"
+	"wasched/internal/sched"
+	"wasched/internal/trace"
+)
+
+// SimJob is one job of a replay workload: the scheduler-visible request
+// plus the ground truth the replayer uses to advance the simulation. Unlike
+// the full prototype there is no file-system model — runtimes and rates are
+// fixed inputs — which makes a replay cheap enough to run the same workload
+// through every policy in a test.
+type SimJob struct {
+	ID          string
+	Fingerprint string
+	Nodes       int
+	Limit       des.Duration
+	// Actual is the true runtime (must be in (0, Limit]); the job
+	// completes this long after it starts.
+	Actual des.Duration
+	// Rate is the true average throughput in bytes/s, reported to the
+	// policies as the measured throughput while the job runs.
+	Rate float64
+	// EstRate and EstRuntime are the estimates fed to the policy; a
+	// workload with EstRate < Rate exercises the measured-throughput
+	// guard. EstRuntime zero falls back to Limit, as in the controller.
+	EstRate    float64
+	EstRuntime des.Duration
+	Submit     des.Time
+	Priority   int64
+}
+
+// ReplayConfig configures one replay.
+type ReplayConfig struct {
+	Policy sched.Policy
+	// Options are the backfill engine options (zero value: unlimited
+	// backfill, whole queue examined).
+	Options sched.Options
+	// Interval is the scheduling round period (0 = 30 s, the Slurm
+	// default the paper uses).
+	Interval des.Duration
+	// Nodes is the cluster size for invariant checking.
+	Nodes int
+	// Limit is the policy's R_limit for bandwidth invariant checking;
+	// 0 skips the bandwidth check (node-only policies).
+	Limit float64
+	// MaxRounds bounds the replay (0 = 50000); exceeding it is reported
+	// as a starvation violation.
+	MaxRounds int
+}
+
+// ReplayResult is one policy's completed replay.
+type ReplayResult struct {
+	Policy string
+	// Jobs holds the realised schedule in completion order.
+	Jobs []trace.JobTrace
+	// Starts maps job ID to realised start time.
+	Starts map[string]des.Time
+	// Makespan is the last completion time.
+	Makespan des.Time
+	Rounds   int
+	// Check holds the per-round and schedule-level invariant findings.
+	Check Result
+}
+
+// Replay runs the workload through one policy on a round-based replayer
+// that mirrors the controller's loop: every Interval it completes finished
+// jobs, rebuilds the round input from the queue and the running set, runs
+// one backfill round, and starts the selected jobs. Each round is invariant
+// checked (node capacity, bandwidth headroom, decision-state exclusivity)
+// and the final schedule goes through ValidateJobs.
+func Replay(workload []SimJob, cfg ReplayConfig) *ReplayResult {
+	if cfg.Policy == nil {
+		panic("schedcheck: Replay needs a policy")
+	}
+	interval := cfg.Interval
+	if interval <= 0 {
+		interval = 30 * des.Second
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 50000
+	}
+
+	type runJob struct {
+		sim  *SimJob
+		view *sched.Job
+		end  des.Time
+	}
+	pending := make([]*SimJob, len(workload))
+	views := make(map[string]*sched.Job, len(workload))
+	for i := range workload {
+		j := &workload[i]
+		pending[i] = j
+		views[j.ID] = &sched.Job{
+			ID:          j.ID,
+			Fingerprint: j.Fingerprint,
+			Nodes:       j.Nodes,
+			Limit:       j.Limit,
+			Submit:      j.Submit,
+			Priority:    j.Priority,
+			Rate:        j.EstRate,
+			EstRuntime:  j.EstRuntime,
+		}
+	}
+	sort.SliceStable(pending, func(a, b int) bool { return pending[a].Submit < pending[b].Submit })
+
+	res := &ReplayResult{Policy: cfg.Policy.Name(), Starts: make(map[string]des.Time, len(workload))}
+	var running []*runJob
+	var waiting []*SimJob
+	next := 0 // index into pending of the next arrival
+
+	for round := 0; ; round++ {
+		if round >= maxRounds {
+			res.Check.violatef("starvation", "policy %s: %d jobs still unfinished after %d rounds",
+				res.Policy, len(waiting)+len(running)+(len(pending)-next), maxRounds)
+			break
+		}
+		now := des.Time(round) * des.Time(interval)
+		// Completions first, as the controller's end events precede the
+		// round that reacts to them.
+		kept := running[:0]
+		for _, r := range running {
+			if r.end <= now {
+				res.Jobs = append(res.Jobs, trace.JobTrace{
+					ID:          r.sim.ID,
+					Name:        r.sim.Fingerprint,
+					Fingerprint: r.sim.Fingerprint,
+					Nodes:       r.sim.Nodes,
+					Submit:      r.sim.Submit.Seconds(),
+					Start:       r.view.StartedAt.Seconds(),
+					End:         r.end.Seconds(),
+					Limit:       r.sim.Limit.Seconds(),
+					Priority:    r.sim.Priority,
+				})
+				if r.end > res.Makespan {
+					res.Makespan = r.end
+				}
+				continue
+			}
+			kept = append(kept, r)
+		}
+		running = kept
+		for next < len(pending) && pending[next].Submit <= now {
+			waiting = append(waiting, pending[next])
+			next++
+		}
+		res.Rounds = round + 1
+		if len(waiting) == 0 && len(running) == 0 && next == len(pending) {
+			break
+		}
+		if len(waiting) == 0 {
+			continue
+		}
+
+		runningViews := make([]*sched.Job, len(running))
+		measured := 0.0
+		for i, r := range running {
+			runningViews[i] = r.view
+			measured += r.sim.Rate
+		}
+		waitingViews := make([]*sched.Job, len(waiting))
+		for i, j := range waiting {
+			waitingViews[i] = views[j.ID]
+		}
+		sched.SortQueue(waitingViews)
+		in := sched.RoundInput{
+			Now:                now,
+			Running:            runningViews,
+			Waiting:            waitingViews,
+			MeasuredThroughput: measured,
+		}
+		decisions, state := sched.RunRound(cfg.Policy, in, cfg.Options)
+		checkRound(in, decisions, state, cfg, &res.Check)
+
+		startedIDs := make(map[string]bool)
+		for _, d := range decisions {
+			if d.StartNow {
+				startedIDs[d.Job.ID] = true
+			}
+		}
+		keptWaiting := waiting[:0]
+		for _, j := range waiting {
+			if !startedIDs[j.ID] {
+				keptWaiting = append(keptWaiting, j)
+				continue
+			}
+			v := views[j.ID]
+			v.StartedAt = now
+			running = append(running, &runJob{sim: j, view: v, end: now.Add(j.Actual)})
+			res.Starts[j.ID] = now
+		}
+		waiting = keptWaiting
+	}
+	res.Check.Merge(ValidateJobs(res.Jobs, ValidateOptions{Nodes: cfg.Nodes}))
+	return res
+}
+
+// checkRound enforces the single-round safety invariants on one backfill
+// round's decisions (the property-test invariants, applied to every replay
+// round):
+//
+//   - decision exclusivity: exactly one of StartNow/Reserved/Skipped;
+//   - future reservations: a reserved start is strictly after now;
+//   - node capacity: running + started jobs fit in N nodes;
+//   - bandwidth headroom: the clamped estimated rates of the started jobs
+//     fit in the headroom the running set (or the measured throughput,
+//     whichever is higher) leaves under R_limit;
+//   - backfill budget: no more reservations than BackfillMax;
+//   - diagnostics sanity: no NaN/Inf and no negative adjusted target.
+func checkRound(in sched.RoundInput, decisions []sched.Decision, round sched.Round, cfg ReplayConfig, res *Result) {
+	usedNodes := 0
+	baseRate := 0.0
+	for _, j := range in.Running {
+		usedNodes += j.Nodes
+		r := j.Rate
+		if r > cfg.Limit && cfg.Limit > 0 {
+			r = cfg.Limit
+		}
+		baseRate += r
+	}
+	if in.MeasuredThroughput > baseRate {
+		baseRate = in.MeasuredThroughput
+	}
+	startedRate := 0.0
+	reserved := 0
+	for _, d := range decisions {
+		states := 0
+		if d.StartNow {
+			states++
+		}
+		if d.Reserved {
+			states++
+		}
+		if d.Skipped {
+			states++
+		}
+		if states != 1 {
+			res.violatef("decision-exclusive", "t=%v job %s in %d decision states", in.Now, d.Job.ID, states)
+		}
+		if d.Reserved {
+			reserved++
+			if d.PlannedStart <= in.Now {
+				res.violatef("future-reservation", "t=%v job %s reserved at %v, not after now", in.Now, d.Job.ID, d.PlannedStart)
+			}
+		}
+		if d.StartNow {
+			usedNodes += d.Job.Nodes
+			r := d.Job.Rate
+			if r > cfg.Limit && cfg.Limit > 0 {
+				r = cfg.Limit
+			}
+			if r > 0 {
+				startedRate += r
+			}
+		}
+	}
+	if usedNodes > cfg.Nodes {
+		res.violatef("node-capacity", "t=%v: %d nodes allocated on a %d-node cluster", in.Now, usedNodes, cfg.Nodes)
+	}
+	if cfg.Limit > 0 {
+		headroom := cfg.Limit - baseRate
+		if headroom < 0 {
+			headroom = 0
+		}
+		if startedRate > headroom*1.0001+1 {
+			res.violatef("bandwidth-headroom", "t=%v: started rate %.3g exceeds headroom %.3g (base %.3g, measured %.3g)",
+				in.Now, startedRate, headroom, baseRate, in.MeasuredThroughput)
+		}
+	}
+	if max := cfg.Options.BackfillMax; max != sched.Unlimited && reserved > max {
+		res.violatef("backfill-budget", "t=%v: %d reservations made with BackfillMax=%d", in.Now, reserved, max)
+	}
+	if diag, ok := round.(sched.Diagnoser); ok {
+		for k, v := range diag.Diagnostics() {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				res.violatef("diagnostics-finite", "t=%v: diagnostic %q is %v", in.Now, k, v)
+			}
+		}
+		if at, ok := diag.Diagnostics()["adjusted_target"]; ok && at < 0 {
+			res.violatef("diagnostics-finite", "t=%v: adjusted target %g is negative", in.Now, at)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Package schedcheck is the scheduler correctness harness: it cross-checks
+// the scheduling policies against each other and validates completed
+// schedules against global invariants, independent of the unit tests of any
+// single package.
+//
+// It has three parts:
+//
+//   - a differential runner (RunDifferential) that replays the same seeded
+//     workload through all four policies side by side on a lightweight
+//     round-based replayer and asserts cross-policy metamorphic properties
+//     (e.g. the I/O-aware policy with an unbounded throughput limit must
+//     reproduce plain backfill start-for-start);
+//
+//   - a schedule validator (ValidateJobs, ValidateRun) that walks completed
+//     job traces and enforces invariants no correct schedule may break: no
+//     node over-subscription at any instant, no start before submit, no
+//     runtime past the requested limit, and FIFO order within identical job
+//     classes;
+//
+//   - fuzz targets (in internal/restrack and internal/sched) that feed
+//     adversarial job mixes — zero nodes, negative rates, zero runtimes,
+//     queues of one — into the reservation profiles and the backfill
+//     engine.
+//
+// internal/experiments runs the validator on every experiment as a
+// byproduct, so each figure reproduction and ablation doubles as an
+// invariant check. See README.md in this directory for the invariant
+// catalogue.
+package schedcheck
+
+import "fmt"
+
+// Violation is one broken invariant.
+type Violation struct {
+	// Invariant is the short invariant key, e.g. "node-capacity".
+	Invariant string
+	// Detail explains the concrete break.
+	Detail string
+}
+
+func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
+
+// Result collects the findings of one validation pass.
+type Result struct {
+	// Violations are hard invariant breaks: a correct scheduler can never
+	// produce one, whatever the workload.
+	Violations []Violation
+	// Warnings are soft findings — e.g. measured throughput above R_limit,
+	// which the measured-throughput guard legitimately allows while
+	// estimates lag reality.
+	Warnings []Violation
+	// JobsChecked counts the job records examined.
+	JobsChecked int
+}
+
+// Merge appends another result's findings.
+func (r *Result) Merge(o Result) {
+	r.Violations = append(r.Violations, o.Violations...)
+	r.Warnings = append(r.Warnings, o.Warnings...)
+	r.JobsChecked += o.JobsChecked
+}
+
+// OK reports whether no hard invariant broke.
+func (r *Result) OK() bool { return len(r.Violations) == 0 }
+
+// Err returns nil when the result is clean, or an error summarising the
+// first violations otherwise.
+func (r *Result) Err() error {
+	if r.OK() {
+		return nil
+	}
+	max := len(r.Violations)
+	if max > 3 {
+		max = 3
+	}
+	msg := ""
+	for i := 0; i < max; i++ {
+		if i > 0 {
+			msg += "; "
+		}
+		msg += r.Violations[i].String()
+	}
+	if len(r.Violations) > max {
+		msg += fmt.Sprintf("; and %d more", len(r.Violations)-max)
+	}
+	return fmt.Errorf("schedcheck: %d invariant violation(s): %s", len(r.Violations), msg)
+}
+
+func (r *Result) violatef(invariant, format string, args ...any) {
+	r.Violations = append(r.Violations, Violation{Invariant: invariant, Detail: fmt.Sprintf(format, args...)})
+}
+
+func (r *Result) warnf(invariant, format string, args ...any) {
+	r.Warnings = append(r.Warnings, Violation{Invariant: invariant, Detail: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,180 @@
+package schedcheck
+
+import (
+	"sort"
+
+	"wasched/internal/pfs"
+	"wasched/internal/slurm"
+	"wasched/internal/trace"
+)
+
+// timeEps absorbs the float64 seconds representation of microsecond
+// simulation timestamps in trace records.
+const timeEps = 1e-6
+
+// ValidateOptions configure a schedule validation pass.
+type ValidateOptions struct {
+	// Nodes is the cluster size N; 0 skips the capacity sweep.
+	Nodes int
+	// ThroughputLimit is the policy's R_limit in bytes/s for the soft
+	// throughput check of ValidateRun; 0 skips it (the default node policy
+	// has no limit).
+	ThroughputLimit float64
+	// ThroughputSlack is the fraction by which sampled throughput may
+	// exceed ThroughputLimit before a warning is raised. The guard
+	// legitimately over-books while estimates lag measurements, so this is
+	// a soft check; zero defaults to 0.25.
+	ThroughputSlack float64
+	// SkipOrderCheck disables the FIFO-within-class invariant. Required
+	// when requeue preemption or dynamic priorities are active: a
+	// preempted job legitimately restarts after a later-submitted twin.
+	SkipOrderCheck bool
+}
+
+// ValidateJobs enforces the schedule-level invariants over completed job
+// traces:
+//
+//   - submit-before-start: no job starts before its submission;
+//   - start-before-end: no job ends before it starts;
+//   - limit-respected: no job runs past its requested limit L_j;
+//   - node-capacity: at no instant do concurrently running jobs hold more
+//     than N nodes (reservations released on early finishes cannot be
+//     double-used — an over-subscription here means a tracker leaked);
+//   - fifo-class-order: within a class of identical jobs (fingerprint,
+//     nodes, limit, priority — hence identical estimates every round), a
+//     later-arriving job never starts before an earlier one. Backfill may
+//     reorder *different* jobs, but reordering identical ones means a job
+//     was delayed past its reservation by a later arrival.
+//
+// Never-started jobs (cancelled before start) are skipped.
+func ValidateJobs(jobs []trace.JobTrace, opts ValidateOptions) Result {
+	var res Result
+	type interval struct {
+		t     float64
+		nodes int // +n at start, -n at end
+	}
+	var events []interval
+	started := make([]trace.JobTrace, 0, len(jobs))
+	for _, j := range jobs {
+		if j.State == slurm.StateCancelled || (j.Start == 0 && j.End == 0) {
+			continue
+		}
+		res.JobsChecked++
+		started = append(started, j)
+		if j.Start < j.Submit-timeEps {
+			res.violatef("submit-before-start", "job %s started %.3fs before submit (%.3f < %.3f)",
+				j.ID, j.Submit-j.Start, j.Start, j.Submit)
+		}
+		if j.End < j.Start-timeEps {
+			res.violatef("start-before-end", "job %s ended at %.3f before its start %.3f", j.ID, j.End, j.Start)
+		}
+		if j.Limit > 0 && j.End-j.Start > j.Limit+timeEps {
+			res.violatef("limit-respected", "job %s ran %.3fs, past its %.3fs limit", j.ID, j.End-j.Start, j.Limit)
+		}
+		if j.Nodes < 1 {
+			res.violatef("positive-nodes", "job %s ran on %d nodes", j.ID, j.Nodes)
+			continue
+		}
+		if opts.Nodes > 0 && j.End > j.Start {
+			events = append(events, interval{t: j.Start, nodes: j.Nodes}, interval{t: j.End, nodes: -j.Nodes})
+		}
+	}
+	if opts.Nodes > 0 {
+		// Sweep: releases before acquisitions at the same instant (a job
+		// may start the moment another ends on the same node).
+		sort.Slice(events, func(a, b int) bool {
+			if events[a].t != events[b].t {
+				return events[a].t < events[b].t
+			}
+			return events[a].nodes < events[b].nodes
+		})
+		used, worst, worstAt := 0, 0, 0.0
+		for _, e := range events {
+			used += e.nodes
+			if used > worst {
+				worst, worstAt = used, e.t
+			}
+		}
+		if worst > opts.Nodes {
+			res.violatef("node-capacity", "%d nodes in use at t=%.3fs on a %d-node cluster", worst, worstAt, opts.Nodes)
+		}
+	}
+	if !opts.SkipOrderCheck {
+		checkClassOrder(started, &res)
+	}
+	return res
+}
+
+// classKey identifies jobs the scheduler cannot distinguish: same
+// fingerprint (hence same estimates), same node request, same limit, same
+// priority.
+type classKey struct {
+	fp       string
+	nodes    int
+	limit    float64
+	priority int64
+}
+
+func checkClassOrder(jobs []trace.JobTrace, res *Result) {
+	classes := make(map[classKey][]trace.JobTrace)
+	for _, j := range jobs {
+		k := classKey{fp: j.Fingerprint, nodes: j.Nodes, limit: j.Limit, priority: j.Priority}
+		classes[k] = append(classes[k], j)
+	}
+	for k, members := range classes {
+		sort.Slice(members, func(a, b int) bool {
+			if members[a].Submit != members[b].Submit {
+				return members[a].Submit < members[b].Submit
+			}
+			return members[a].ID < members[b].ID
+		})
+		for i := 1; i < len(members); i++ {
+			prev, cur := members[i-1], members[i]
+			if cur.Start < prev.Start-timeEps {
+				res.violatef("fifo-class-order",
+					"job %s (submit %.0f) started at %.3f before identical earlier job %s (submit %.0f, start %.3f) of class %s/%dn",
+					cur.ID, cur.Submit, cur.Start, prev.ID, prev.Submit, prev.Start, k.fp, k.nodes)
+			}
+		}
+	}
+}
+
+// ValidateRun validates a recorded run: the job-level invariants of
+// ValidateJobs plus the sampled series — busy nodes must never exceed the
+// cluster size, and (softly) the measured Lustre throughput should stay
+// near R_limit. Throughput above the limit is a warning, not a violation:
+// the policy budgets *estimated* rates, and the measured-throughput guard
+// reacts only at round granularity, so transient overshoot is legitimate.
+func ValidateRun(rec *trace.Recorder, opts ValidateOptions) Result {
+	res := ValidateJobs(rec.Jobs(), opts)
+	if opts.Nodes > 0 {
+		for i, v := range rec.BusyNodes.Values {
+			if int(v) > opts.Nodes {
+				res.violatef("node-capacity", "busy-node sample %d: %.0f nodes on a %d-node cluster at t=%.0fs",
+					i, v, opts.Nodes, rec.BusyNodes.Times[i])
+				break
+			}
+		}
+	}
+	if opts.ThroughputLimit > 0 {
+		slack := opts.ThroughputSlack
+		if slack == 0 {
+			slack = 0.25
+		}
+		limitGiB := opts.ThroughputLimit / pfs.GiB
+		over, worst := 0, 0.0
+		for _, v := range rec.Throughput.Values {
+			if v > limitGiB*(1+slack) {
+				over++
+				if v > worst {
+					worst = v
+				}
+			}
+		}
+		if over > 0 {
+			res.warnf("throughput-limit", "%d/%d samples above %.1f GiB/s (+%.0f%% slack), worst %.1f GiB/s",
+				over, rec.Throughput.Len(), limitGiB, slack*100, worst)
+		}
+	}
+	return res
+}

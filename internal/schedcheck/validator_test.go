@@ -1,0 +1,130 @@
+package schedcheck
+
+import (
+	"strings"
+	"testing"
+
+	"wasched/internal/trace"
+)
+
+func jt(id string, nodes int, submit, start, end float64) trace.JobTrace {
+	return trace.JobTrace{ID: id, Fingerprint: id, Nodes: nodes,
+		Submit: submit, Start: start, End: end, Limit: end - start + 100}
+}
+
+func wantViolation(t *testing.T, res Result, invariant string) {
+	t.Helper()
+	for _, v := range res.Violations {
+		if v.Invariant == invariant {
+			return
+		}
+	}
+	t.Fatalf("expected a %q violation, got %v", invariant, res.Violations)
+}
+
+func wantClean(t *testing.T, res Result) {
+	t.Helper()
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateJobsClean(t *testing.T) {
+	jobs := []trace.JobTrace{
+		jt("a", 4, 0, 0, 100),
+		jt("b", 4, 0, 0, 50),
+		jt("c", 8, 10, 100, 200), // starts the instant a's and b's nodes free up
+	}
+	res := ValidateJobs(jobs, ValidateOptions{Nodes: 8})
+	wantClean(t, res)
+	if res.JobsChecked != 3 {
+		t.Fatalf("JobsChecked = %d, want 3", res.JobsChecked)
+	}
+}
+
+func TestValidateJobsStartBeforeSubmit(t *testing.T) {
+	res := ValidateJobs([]trace.JobTrace{jt("a", 1, 100, 50, 200)}, ValidateOptions{Nodes: 8})
+	wantViolation(t, res, "submit-before-start")
+}
+
+func TestValidateJobsEndBeforeStart(t *testing.T) {
+	j := jt("a", 1, 0, 100, 40)
+	j.Limit = 500
+	res := ValidateJobs([]trace.JobTrace{j}, ValidateOptions{Nodes: 8})
+	wantViolation(t, res, "start-before-end")
+}
+
+func TestValidateJobsLimitOverrun(t *testing.T) {
+	j := jt("a", 1, 0, 0, 1000)
+	j.Limit = 600
+	res := ValidateJobs([]trace.JobTrace{j}, ValidateOptions{Nodes: 8})
+	wantViolation(t, res, "limit-respected")
+}
+
+func TestValidateJobsOversubscription(t *testing.T) {
+	jobs := []trace.JobTrace{
+		jt("a", 5, 0, 0, 100),
+		jt("b", 4, 0, 50, 150), // overlaps a: 9 nodes on an 8-node cluster
+	}
+	res := ValidateJobs(jobs, ValidateOptions{Nodes: 8})
+	wantViolation(t, res, "node-capacity")
+	// The same schedule on a big enough cluster is fine.
+	wantClean(t, ValidateJobs(jobs, ValidateOptions{Nodes: 9}))
+}
+
+func TestValidateJobsBackToBackIsNotOverlap(t *testing.T) {
+	// End at t and start at t on the same nodes must not count as overlap.
+	jobs := []trace.JobTrace{
+		jt("a", 8, 0, 0, 100),
+		jt("b", 8, 0, 100, 200),
+	}
+	wantClean(t, ValidateJobs(jobs, ValidateOptions{Nodes: 8}))
+}
+
+func TestValidateJobsClassOrder(t *testing.T) {
+	a := jt("a", 2, 0, 90, 120)
+	b := jt("b", 2, 10, 30, 60) // identical class, submitted later, started earlier
+	b.Fingerprint = a.Fingerprint
+	b.Limit = a.Limit
+	res := ValidateJobs([]trace.JobTrace{a, b}, ValidateOptions{Nodes: 8})
+	wantViolation(t, res, "fifo-class-order")
+	// Different classes may reorder freely (that's what backfill is for).
+	b.Nodes = 1
+	wantClean(t, ValidateJobs([]trace.JobTrace{a, b}, ValidateOptions{Nodes: 8}))
+	// And the check can be disabled for preemptive schedulers.
+	b.Nodes = 2
+	res = ValidateJobs([]trace.JobTrace{a, b}, ValidateOptions{Nodes: 8, SkipOrderCheck: true})
+	wantClean(t, res)
+}
+
+func TestValidateJobsSkipsNeverStarted(t *testing.T) {
+	cancelled := trace.JobTrace{ID: "c", Fingerprint: "c", Nodes: 4, Submit: 10}
+	res := ValidateJobs([]trace.JobTrace{cancelled}, ValidateOptions{Nodes: 8})
+	wantClean(t, res)
+	if res.JobsChecked != 0 {
+		t.Fatalf("JobsChecked = %d for a never-started job, want 0", res.JobsChecked)
+	}
+}
+
+func TestValidateJobsNonPositiveNodes(t *testing.T) {
+	res := ValidateJobs([]trace.JobTrace{jt("a", 0, 0, 10, 20)}, ValidateOptions{Nodes: 8})
+	wantViolation(t, res, "positive-nodes")
+}
+
+func TestResultErrSummarises(t *testing.T) {
+	var res Result
+	for i := 0; i < 5; i++ {
+		res.violatef("x", "violation %d", i)
+	}
+	err := res.Err()
+	if err == nil {
+		t.Fatal("Err() = nil for a dirty result")
+	}
+	if !strings.Contains(err.Error(), "5 invariant violation(s)") || !strings.Contains(err.Error(), "and 2 more") {
+		t.Fatalf("unexpected error text: %v", err)
+	}
+	var clean Result
+	if clean.Err() != nil || !clean.OK() {
+		t.Fatal("clean result must be OK with nil Err")
+	}
+}

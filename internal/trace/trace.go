@@ -90,7 +90,14 @@ type JobTrace struct {
 	Submit    float64 // seconds
 	Start     float64
 	End       float64
-	State     slurm.JobState
+	// Limit is the requested runtime limit L_j in seconds: no job may run
+	// longer (schedcheck validates End-Start against it).
+	Limit float64
+	// Priority is the job's submit priority (queue order within a
+	// priority level is FIFO; schedcheck's ordering invariant groups on
+	// it).
+	Priority int64
+	State    slurm.JobState
 }
 
 // Wait returns the queue wait Q_j in seconds.
@@ -156,6 +163,8 @@ func NewRecorder(eng *des.Engine, fs *pfs.FileSystem, cl *cluster.Cluster, ctl *
 			Submit:      e.Job.Submit.Seconds(),
 			Start:       e.Job.Start.Seconds(),
 			End:         e.Job.End.Seconds(),
+			Limit:       e.Job.Spec.Limit.Seconds(),
+			Priority:    e.Job.Spec.Priority,
 			State:       e.Job.State,
 		})
 	})
