@@ -1,11 +1,13 @@
 # Development targets. `make check` is the pre-merge gate: static vetting,
-# the full test suite under the race detector, and a short-budget run of
-# every fuzz target (seed corpus + a few seconds of mutation each).
+# the full test suite under the race detector, the sweep checkpoint/resume
+# smoke test, and a short-budget run of every fuzz target (seed corpus + a
+# few seconds of mutation each).
 
 GO      ?= go
 FUZZTIME ?= 10s
+SWEEPDIR := .sweep-smoke
 
-.PHONY: build vet test race fuzz check
+.PHONY: build vet test race fuzz sweep-smoke check
 
 build:
 	$(GO) build ./...
@@ -19,6 +21,18 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Interrupt a tiny 2-worker sweep after three cells (exit 3 = resumable
+# checkpoint), then resume it from the journal and confirm the status shows
+# no remaining cells — the end-to-end drill for `wasched sweep`.
+sweep-smoke:
+	@rm -rf $(SWEEPDIR)
+	$(GO) build -o $(SWEEPDIR)/wasched ./cmd/wasched
+	$(SWEEPDIR)/wasched sweep run fig6-smoke -workers 2 -state-dir $(SWEEPDIR) -max-cells 3 -quiet; \
+		code=$$?; [ $$code -eq 3 ] || { echo "expected exit 3 (interrupted), got $$code"; exit 1; }
+	$(SWEEPDIR)/wasched sweep resume fig6-smoke -workers 2 -state-dir $(SWEEPDIR) -quiet
+	$(SWEEPDIR)/wasched sweep status fig6-smoke -state-dir $(SWEEPDIR) | grep -q ' 0 remaining'
+	@rm -rf $(SWEEPDIR)
+
 # Go allows one -fuzz target per invocation, so each runs separately.
 fuzz:
 	$(GO) test ./internal/restrack -run='^$$' -fuzz=FuzzProfile -fuzztime=$(FUZZTIME)
@@ -26,4 +40,4 @@ fuzz:
 	$(GO) test ./internal/sched -run='^$$' -fuzz=FuzzRunRound -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/sched -run='^$$' -fuzz=FuzzTwoGroupSplit -fuzztime=$(FUZZTIME)
 
-check: vet race fuzz
+check: vet race sweep-smoke fuzz

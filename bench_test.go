@@ -14,8 +14,10 @@ package wasched_bench
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"wasched/internal/des"
 	"wasched/internal/experiments"
@@ -144,6 +146,45 @@ func BenchmarkFig6(b *testing.B) {
 	for _, r := range rows {
 		metric := fmt.Sprintf("%s-vs-default-%%", r.Variant.Key)
 		b.ReportMetric(100*r.VsBase, metric)
+	}
+}
+
+// BenchmarkFarmFig6 measures the farm orchestrator's scaling on the fig6
+// repeat matrix (smoke workload, 3 repeats = 15 independent simulations):
+// serial execution against a GOMAXPROCS-wide worker pool. On multi-core
+// hosts the parallel sub-benchmark approaches linear speedup, since the
+// cells share no state; the cells/s metric makes the ratio directly
+// readable. The aggregated rows are byte-identical for any worker count
+// (see experiments.TestFig6FarmDeterminism).
+func BenchmarkFarmFig6(b *testing.B) {
+	for _, bench := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			cfg := experiments.Fig6Config{
+				Repeats:    3,
+				Seed:       1,
+				Experiment: "fig6-bench",
+				Workload:   experiments.SmokeWorkload(),
+				Farm:       experiments.FarmOptions{Workers: bench.workers},
+			}
+			cells := len(experiments.Fig6Cells(cfg))
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunFig6(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			elapsed := time.Since(start).Seconds()
+			if elapsed > 0 {
+				b.ReportMetric(float64(cells*b.N)/elapsed, "cells/s")
+			}
+		})
 	}
 }
 

@@ -4,24 +4,38 @@
 //
 //	wasched list
 //	wasched workloads
-//	wasched run <experiment> [-seed N]
+//	wasched run <experiment> [-seed N] [-parallel N]
+//	wasched sweep list|run|resume|status ...
 //
 // `wasched list` prints the registered experiments (fig3..fig6 plus the
 // ablations); `wasched run` executes one and prints its report, including
-// ASCII renderings of the figures' panels.
+// ASCII renderings of the figures' panels. `wasched sweep` drives the farm
+// orchestrator directly: parallel cell execution with checkpoint/resume
+// (-state-dir), live progress on stderr, and graceful drain on Ctrl-C — an
+// interrupted sweep exits with code 3 and `sweep resume` picks up the
+// remaining cells.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"wasched/internal/experiments"
+	"wasched/internal/farm"
 )
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "wasched:", err)
+		if errors.Is(err, farm.ErrInterrupted) {
+			os.Exit(3) // resumable: finished cells are journaled
+		}
 		os.Exit(1)
 	}
 }
@@ -45,26 +59,29 @@ func run(args []string) error {
 		fs := flag.NewFlagSet("run", flag.ContinueOnError)
 		seed := fs.Uint64("seed", 1, "experiment seed (same seed → identical report)")
 		csvDir := fs.String("csv", "", "directory for per-run series/job CSV exports")
+		parallel := fs.Int("parallel", 0, "worker bound for multi-run experiments (<=0: GOMAXPROCS)")
 		// Accept flags before or after the experiment name.
 		if err := fs.Parse(args[1:]); err != nil {
 			return err
 		}
 		rest := fs.Args()
 		if len(rest) == 0 {
-			return fmt.Errorf("usage: wasched run <experiment> [-seed N] [-csv DIR]")
+			return fmt.Errorf("usage: wasched run <experiment> [-seed N] [-csv DIR] [-parallel N]")
 		}
 		name := rest[0]
 		if err := fs.Parse(rest[1:]); err != nil {
 			return err
 		}
 		if fs.NArg() != 0 {
-			return fmt.Errorf("usage: wasched run <experiment> [-seed N] [-csv DIR]")
+			return fmt.Errorf("usage: wasched run <experiment> [-seed N] [-csv DIR] [-parallel N]")
 		}
 		entry, ok := experiments.Registry()[name]
 		if !ok {
 			return fmt.Errorf("unknown experiment %q (try `wasched list`)", name)
 		}
-		return entry.Run(os.Stdout, experiments.RunOptions{Seed: *seed, CSVDir: *csvDir})
+		return entry.Run(os.Stdout, experiments.RunOptions{Seed: *seed, CSVDir: *csvDir, Workers: *parallel})
+	case "sweep":
+		return runSweep(args[1:])
 	case "verify":
 		fs := flag.NewFlagSet("verify", flag.ContinueOnError)
 		seed := fs.Uint64("seed", 1, "experiment seed")
@@ -86,6 +103,7 @@ func run(args []string) error {
 		seed := fs.Uint64("seed", 1, "experiment seed")
 		out := fs.String("out", "", "output file (default stdout)")
 		csvDir := fs.String("csv", "", "directory for per-run CSV exports")
+		parallel := fs.Int("parallel", 0, "worker bound for multi-run experiments (<=0: GOMAXPROCS)")
 		if err := fs.Parse(args[1:]); err != nil {
 			return err
 		}
@@ -101,7 +119,7 @@ func run(args []string) error {
 			progress = os.Stderr
 		}
 		return experiments.WriteFullReport(w,
-			experiments.RunOptions{Seed: *seed, CSVDir: *csvDir}, progress)
+			experiments.RunOptions{Seed: *seed, CSVDir: *csvDir, Workers: *parallel}, progress)
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -111,15 +129,165 @@ func run(args []string) error {
 	}
 }
 
+// runSweep dispatches the `wasched sweep` subcommands.
+func runSweep(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: wasched sweep list|run|resume|status ...")
+	}
+	switch args[0] {
+	case "list":
+		reg := experiments.Sweeps()
+		for _, name := range experiments.SweepNames() {
+			fmt.Printf("  %-14s %s\n", name, reg[name].Description)
+		}
+		return nil
+	case "run":
+		return sweepRun(args[1:], false)
+	case "resume":
+		return sweepRun(args[1:], true)
+	case "status":
+		return sweepStatus(args[1:])
+	default:
+		return fmt.Errorf("unknown sweep command %q (want list, run, resume or status)", args[0])
+	}
+}
+
+// sweepFlags parses a sweep subcommand's flags, accepting them before or
+// after the sweep name (as `wasched run` does).
+type sweepFlags struct {
+	name     string
+	seed     uint64
+	repeats  int
+	workers  int
+	stateDir string
+	maxCells int
+	quiet    bool
+}
+
+func parseSweepFlags(cmd string, args []string) (*sweepFlags, error) {
+	fs := flag.NewFlagSet("sweep "+cmd, flag.ContinueOnError)
+	seed := fs.Uint64("seed", 1, "sweep seed (same seed → identical cells and results)")
+	repeats := fs.Int("repeats", 0, "repeat-count override where the sweep supports it (0: default)")
+	workers := fs.Int("workers", 0, "concurrent cell executions (<=0: GOMAXPROCS)")
+	stateDir := fs.String("state-dir", "", "state directory for the result cache and checkpoint journal")
+	maxCells := fs.Int("max-cells", 0, "stop after N fresh cells as if interrupted (testing resume; 0: off)")
+	quiet := fs.Bool("quiet", false, "suppress the periodic progress lines on stderr")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return nil, fmt.Errorf("usage: wasched sweep %s <name> [-seed N] [-repeats N] [-workers N] [-state-dir DIR] [-max-cells N] [-quiet]", cmd)
+	}
+	name := rest[0]
+	if err := fs.Parse(rest[1:]); err != nil {
+		return nil, err
+	}
+	if fs.NArg() != 0 {
+		return nil, fmt.Errorf("sweep %s: unexpected arguments %v", cmd, fs.Args())
+	}
+	return &sweepFlags{name: name, seed: *seed, repeats: *repeats, workers: *workers,
+		stateDir: *stateDir, maxCells: *maxCells, quiet: *quiet}, nil
+}
+
+// sweepRun executes (or resumes) a registered sweep. Resume is the same
+// operation re-run against the same state dir — cached cells are served
+// from disk and only the remainder executes — but it insists on a state
+// dir, because without one there is nothing to resume from.
+func sweepRun(args []string, resume bool) error {
+	cmd := "run"
+	if resume {
+		cmd = "resume"
+	}
+	f, err := parseSweepFlags(cmd, args)
+	if err != nil {
+		return err
+	}
+	if resume && f.stateDir == "" {
+		return fmt.Errorf("sweep resume needs -state-dir (the directory of the interrupted run)")
+	}
+	s, ok := experiments.Sweeps()[f.name]
+	if !ok {
+		return fmt.Errorf("unknown sweep %q (try `wasched sweep list`)", f.name)
+	}
+	cfg := experiments.SweepConfig{Seed: f.seed, Repeats: f.repeats}
+
+	// Ctrl-C / SIGTERM cancels dispatch; in-flight cells drain and journal
+	// before exit, so `sweep resume` picks up exactly the remaining cells.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var progress io.Writer
+	if !f.quiet {
+		progress = os.Stderr
+	}
+	sum, err := farm.Run(ctx, f.name, s.Cells(cfg), s.Exec(cfg),
+		farm.Options{Workers: f.workers, StateDir: f.stateDir, Progress: progress, MaxFresh: f.maxCells})
+	if err != nil {
+		return err
+	}
+	if err := sum.Err(); err != nil {
+		for _, o := range sum.Outcomes {
+			if o.Status == farm.StatusFailed {
+				fmt.Fprintf(os.Stderr, "wasched: cell %s failed: %s\n", o.Cell, firstLine(o.Err))
+			}
+		}
+		return err
+	}
+	return s.Report(os.Stdout, cfg, sum)
+}
+
+func sweepStatus(args []string) error {
+	f, err := parseSweepFlags("status", args)
+	if err != nil {
+		return err
+	}
+	if f.stateDir == "" {
+		return fmt.Errorf("sweep status needs -state-dir")
+	}
+	st, err := farm.ReadStatus(f.stateDir, f.name)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sweep %s: %d cells, %d done, %d failed, %d remaining (%d run(s), last event %s)\n",
+		st.Name, st.Cells, st.Done, st.Failed, st.Remaining, st.Runs,
+		st.LastEvent.Format("2006-01-02 15:04:05 MST"))
+	for _, c := range st.FailedCells {
+		fmt.Printf("  failed: %s\n", c)
+	}
+	if st.Remaining > 0 {
+		fmt.Printf("resume with: wasched sweep resume %s -state-dir %s\n", st.Name, f.stateDir)
+	}
+	return nil
+}
+
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, `wasched — workload-adaptive I/O-aware scheduling experiments
 
 commands:
   list                 list available experiments
   workloads            print the standard workloads' sizes
-  run <name> [-seed N] [-csv DIR]
+  run <name> [-seed N] [-csv DIR] [-parallel N]
                        run one experiment and print its report
-  report [-seed N] [-out FILE] [-csv DIR]
+  sweep list           list the registered cell sweeps
+  sweep run <name> [-seed N] [-repeats N] [-workers N] [-state-dir DIR] [-quiet]
+                       run a sweep through the farm orchestrator; with a
+                       state dir, finished cells are cached and Ctrl-C
+                       leaves a resumable checkpoint (exit code 3)
+  sweep resume <name> -state-dir DIR
+                       finish an interrupted sweep from its checkpoint
+  sweep status <name> -state-dir DIR
+                       summarise a sweep's checkpoint journal
+  report [-seed N] [-out FILE] [-csv DIR] [-parallel N]
                        run every experiment and write one full report
   verify [-seed N]     check the headline reproduction claims (exit 1 on failure)`)
 }

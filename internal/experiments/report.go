@@ -1,14 +1,16 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
-	"sync"
 
+	"wasched/internal/farm"
 	"wasched/internal/trace"
 	"wasched/internal/workload"
 )
@@ -21,6 +23,10 @@ type RunOptions struct {
 	// CSVDir, when non-empty, receives per-run series and job CSV files
 	// (<experiment>-series.csv, <experiment>-jobs.csv).
 	CSVDir string
+	// Workers bounds the parallelism of multi-run experiments (figure
+	// panels, fig4 ladder, fig6 repeats); <= 0 uses GOMAXPROCS. The cell
+	// results are identical for any worker count.
+	Workers int
 }
 
 // Runner executes one named experiment, writing a human-readable report.
@@ -89,6 +95,7 @@ func figRunner(run func(string, uint64) (*RunResult, error), key string) Runner 
 			return err
 		}
 		printRun(w, res, 0)
+		printWarnings(w, res)
 		printPanels(w, res)
 		return exportCSV(opts.CSVDir, res)
 	}
@@ -134,33 +141,42 @@ func exportCSV(dir string, res *RunResult) error {
 }
 
 func runFig3All(w io.Writer, opts RunOptions) error {
-	return runFigAll(w, opts, "Fig. 3 (Workload 1, 720 jobs)", Fig3Variants(), RunFig3)
+	return runFigAll(w, opts, "fig3-panels", "Fig. 3 (Workload 1, 720 jobs)", Fig3Variants(), RunFig3)
 }
 
 func runFig5All(w io.Writer, opts RunOptions) error {
-	return runFigAll(w, opts, "Fig. 5 (Workload 2, 1550 jobs)", Fig5Variants(), RunFig5)
+	return runFigAll(w, opts, "fig5-panels", "Fig. 5 (Workload 2, 1550 jobs)", Fig5Variants(), RunFig5)
 }
 
-func runFigAll(w io.Writer, opts RunOptions, title string, variants []Variant,
+func runFigAll(w io.Writer, opts RunOptions, experiment, title string, variants []Variant,
 	run func(string, uint64) (*RunResult, error)) error {
 	fmt.Fprintf(w, "=== %s ===\n\n", title)
-	// The panels are independent simulations: run them in parallel.
-	results := make([]*RunResult, len(variants))
-	errs := make([]error, len(variants))
-	var wg sync.WaitGroup
+	// The panels are independent simulations: fan them out through the
+	// farm (in memory — full recorders are needed for the plots below).
+	cells := make([]farm.Cell, len(variants))
 	for i, v := range variants {
-		i, v := i, v
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			results[i], errs[i] = run(v.Key, opts.Seed)
-		}()
+		cells[i] = farm.Cell{Experiment: experiment, Config: v.Key, Seed: opts.Seed}
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+	exec := func(_ context.Context, c farm.Cell) (any, error) {
+		return run(c.Config, c.Seed)
+	}
+	sum, err := farm.Run(context.Background(), experiment, cells, exec, farm.Options{Workers: opts.Workers})
+	if err != nil {
+		return err
+	}
+	// Report every failed panel, not just the first: a validator rejection
+	// in one configuration must not mask another's.
+	var errs []error
+	results := make([]*RunResult, 0, len(variants))
+	for _, o := range sum.Outcomes {
+		if o.Status != farm.StatusDone {
+			errs = append(errs, fmt.Errorf("panel %s: %s", o.Cell.Config, o.Err))
+			continue
 		}
+		results = append(results, o.Value().(*RunResult))
+	}
+	if len(errs) > 0 {
+		return errors.Join(errs...)
 	}
 	base := results[0].Makespan
 	for _, res := range results {
@@ -172,6 +188,9 @@ func runFigAll(w io.Writer, opts RunOptions, title string, variants []Variant,
 		"configuration", "makespan[s]", "vs base", "busy", "tp[GiB/s]", "wait[s]", "bsld")
 	for _, res := range results {
 		printRun(w, res, base)
+	}
+	for _, res := range results {
+		printWarnings(w, res)
 	}
 	fmt.Fprintln(w)
 	for _, res := range results {
@@ -190,6 +209,14 @@ func printRun(w io.Writer, res *RunResult, base float64) {
 		res.Sched.MeanBoundedSlowdown)
 }
 
+// printWarnings surfaces the run's soft validator findings (hard
+// violations already fail the run inside RunWorkload).
+func printWarnings(w io.Writer, res *RunResult) {
+	for _, v := range res.Invariants.Warnings {
+		fmt.Fprintf(w, "warning [%s] %s: %s\n", res.Label, v.Invariant, v.Detail)
+	}
+}
+
 // printPanels renders the two panels of a Fig. 3/5 plot: Lustre
 // throughput (top) and node allocation (bottom), as the paper draws them.
 func printPanels(w io.Writer, res *RunResult) {
@@ -202,10 +229,17 @@ func printPanels(w io.Writer, res *RunResult) {
 func runFig4(w io.Writer, opts RunOptions) error {
 	cfg := DefaultFig4Config()
 	cfg.Seed = opts.Seed
+	cfg.Farm.Workers = opts.Workers
 	points, err := RunFig4(cfg)
 	if err != nil {
 		return err
 	}
+	PrintFig4(w, points)
+	return nil
+}
+
+// PrintFig4 renders the Fig. 4 box-plot table and median bars.
+func PrintFig4(w io.Writer, points []Fig4Point) {
 	fmt.Fprintln(w, "=== Fig. 4: Lustre total throughput vs concurrent write×8 jobs (GiB/s) ===")
 	fmt.Fprintln(w)
 	fmt.Fprintf(w, "%5s %8s %8s %8s %8s %8s %5s\n", "jobs", "min", "q1", "median", "q3", "max", "n")
@@ -229,7 +263,6 @@ func runFig4(w io.Writer, opts RunOptions) error {
 		}
 		fmt.Fprintf(w, "%3d | %-60s %6.2f\n", p.Jobs, repeat('#', bar), p.Box.Median)
 	}
-	return nil
 }
 
 func repeat(c byte, n int) string {
@@ -244,7 +277,8 @@ func repeat(c byte, n int) string {
 }
 
 func runFig6(w io.Writer, opts RunOptions) error {
-	rows, err := RunFig6(Fig6Config{Repeats: 5, Seed: opts.Seed})
+	rows, err := RunFig6(Fig6Config{Repeats: 5, Seed: opts.Seed,
+		Farm: FarmOptions{Workers: opts.Workers}})
 	if err != nil {
 		return err
 	}

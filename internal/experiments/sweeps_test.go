@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"wasched/internal/farm"
+)
+
+// TestFig6FarmDeterminism is the farm's determinism regression: the same
+// fig6 sweep aggregated from one worker and from eight must be
+// byte-identical. Any worker-count dependence (shared RNG, completion-order
+// aggregation, racy accumulation) breaks this.
+func TestFig6FarmDeterminism(t *testing.T) {
+	t.Parallel()
+	render := func(workers int) []byte {
+		cfg := Fig6Config{
+			Repeats:    2,
+			Seed:       11,
+			Experiment: "fig6-det",
+			Workload:   SmokeWorkload(),
+			Farm:       FarmOptions{Workers: workers},
+		}
+		rows, err := RunFig6(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	serial := render(1)
+	parallel := render(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("fig6 rows differ between 1 and 8 workers:\n%s\nvs\n%s", serial, parallel)
+	}
+}
+
+// TestSweepRegistry checks every registered sweep enumerates cells with the
+// experiment name spaces kept distinct (a collision would let one sweep's
+// cached results poison another's).
+func TestSweepRegistry(t *testing.T) {
+	reg := Sweeps()
+	if len(reg) == 0 {
+		t.Fatal("no sweeps registered")
+	}
+	cfg := SweepConfig{Seed: 1}
+	keys := make(map[string]string) // cell key → sweep name
+	for _, name := range SweepNames() {
+		s := reg[name]
+		if s.Cells == nil || s.Exec == nil || s.Report == nil {
+			t.Fatalf("sweep %s: incomplete registration", name)
+		}
+		cells := s.Cells(cfg)
+		if len(cells) == 0 {
+			t.Fatalf("sweep %s enumerates no cells", name)
+		}
+		for _, c := range cells {
+			if owner, dup := keys[c.Key()]; dup {
+				t.Fatalf("cell %s of sweep %s collides with sweep %s", c, name, owner)
+			}
+			keys[c.Key()] = name
+		}
+	}
+}
+
+// TestSweepConfigReproducibleCells pins the resume contract: Cells must be
+// a pure function of the config, or a resumed sweep would enumerate
+// different work than the interrupted one.
+func TestSweepConfigReproducibleCells(t *testing.T) {
+	cfg := SweepConfig{Seed: 3, Repeats: 4}
+	for _, name := range SweepNames() {
+		s := Sweeps()[name]
+		a, b := s.Cells(cfg), s.Cells(cfg)
+		if len(a) != len(b) {
+			t.Fatalf("sweep %s: cell count varies across calls", name)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("sweep %s: cell %d varies across calls: %s vs %s", name, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestFig6SmokeSweepEndToEnd drives the smoke sweep exactly as
+// `make sweep-smoke` does — interrupt after three fresh cells, resume from
+// the journal — and checks the resumed report equals an uninterrupted one.
+func TestFig6SmokeSweepEndToEnd(t *testing.T) {
+	t.Parallel()
+	s := Sweeps()["fig6-smoke"]
+	cfg := SweepConfig{Seed: 1}
+	dir := t.TempDir()
+	run := func(opts farm.Options) (*farm.Summary, error) {
+		return farm.Run(context.Background(), "fig6-smoke", s.Cells(cfg), s.Exec(cfg), opts)
+	}
+	sum, err := run(farm.Options{Workers: 2, StateDir: dir, MaxFresh: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(sum.Err(), farm.ErrInterrupted) {
+		t.Fatalf("interrupted sweep reported %v", sum.Err())
+	}
+	resumed, err := run(farm.Options{Workers: 2, StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Cached != 3 {
+		t.Fatalf("resume served %d cells from cache, want 3", resumed.Cached)
+	}
+	var fromResume, fresh strings.Builder
+	if err := s.Report(&fromResume, cfg, resumed); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := farm.Run(context.Background(), "fig6-smoke", s.Cells(cfg), s.Exec(cfg), farm.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Report(&fresh, cfg, clean); err != nil {
+		t.Fatal(err)
+	}
+	if fromResume.String() != fresh.String() {
+		t.Fatalf("resumed report differs from uninterrupted report:\n%s\nvs\n%s",
+			fromResume.String(), fresh.String())
+	}
+	st, err := farm.ReadStatus(dir, "fig6-smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Runs != 2 || st.Remaining != 0 || st.Failed != 0 {
+		t.Fatalf("status after resume: %+v", st)
+	}
+}

@@ -1,0 +1,204 @@
+package farm
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// state is the on-disk side of a sweep: a content-hashed result cache
+// (cache/<key>.json, one file per finished cell, shared by every sweep
+// under the same state dir) and an append-only checkpoint journal
+// (<name>.journal.jsonl) recording sweep lifecycle events for status
+// reporting and post-mortems.
+type state struct {
+	dir     string
+	name    string
+	mu      sync.Mutex
+	journal *os.File
+}
+
+// journalRecord is one JSON line of the checkpoint journal.
+type journalRecord struct {
+	// Event is "begin" (sweep started: Cells total, Cached already on
+	// disk), "done", or "failed".
+	Event  string    `json:"event"`
+	At     time.Time `json:"at"`
+	Cells  int       `json:"cells,omitempty"`
+	Cached int       `json:"cached,omitempty"`
+	Key    string    `json:"key,omitempty"`
+	Cell   *Cell     `json:"cell,omitempty"`
+	Err    string    `json:"error,omitempty"`
+}
+
+func openState(dir, name string) (*state, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "cache"), 0o755); err != nil {
+		return nil, fmt.Errorf("farm: state dir: %w", err)
+	}
+	j, err := os.OpenFile(journalPath(dir, name), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("farm: journal: %w", err)
+	}
+	return &state{dir: dir, name: name, journal: j}, nil
+}
+
+func journalPath(dir, name string) string {
+	return filepath.Join(dir, name+".journal.jsonl")
+}
+
+func (s *state) close() { s.journal.Close() }
+
+func (s *state) cachePath(key string) string {
+	return filepath.Join(s.dir, "cache", key+".json")
+}
+
+// lookup serves a cell from the result cache. Only successful outcomes are
+// cached, so a failed or interrupted cell is always re-executed on resume.
+func (s *state) lookup(c Cell) (*Outcome, bool) {
+	b, err := os.ReadFile(s.cachePath(c.Key()))
+	if err != nil {
+		return nil, false
+	}
+	var out Outcome
+	if err := json.Unmarshal(b, &out); err != nil || out.Status != StatusDone {
+		return nil, false
+	}
+	// The cell on disk must actually be this cell — a hash collision or a
+	// hand-edited file must not smuggle in another cell's result.
+	if out.Cell != c {
+		return nil, false
+	}
+	out.Cached = true
+	return &out, true
+}
+
+// record journals a finished cell and, on success, persists its payload to
+// the cache (atomically, via rename) so an interrupted sweep resumes
+// without recomputing it.
+func (s *state) record(out *Outcome) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if out.Status == StatusDone {
+		b, err := json.Marshal(out)
+		if err != nil {
+			return fmt.Errorf("farm: cache %s: %w", out.Cell, err)
+		}
+		path := s.cachePath(out.Cell.Key())
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, b, 0o644); err != nil {
+			return fmt.Errorf("farm: cache %s: %w", out.Cell, err)
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			return fmt.Errorf("farm: cache %s: %w", out.Cell, err)
+		}
+	}
+	cell := out.Cell
+	return s.append(journalRecord{
+		Event: string(out.Status),
+		Key:   out.Cell.Key(),
+		Cell:  &cell,
+		Err:   out.Err,
+	})
+}
+
+func (s *state) begin(cells, cached int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.append(journalRecord{Event: "begin", Cells: cells, Cached: cached})
+}
+
+// append writes one journal line and syncs it, so a killed process loses
+// at most the cell it was executing. Callers hold mu.
+func (s *state) append(rec journalRecord) error {
+	rec.At = time.Now().UTC()
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("farm: journal: %w", err)
+	}
+	if _, err := s.journal.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("farm: journal: %w", err)
+	}
+	return s.journal.Sync()
+}
+
+// SweepStatus summarises a sweep's journal — the `wasched sweep status`
+// view of an on-disk state dir.
+type SweepStatus struct {
+	Name string
+	// Cells is the total cell count of the most recent run (0 when the
+	// journal holds no begin record).
+	Cells int
+	// Done and Failed count distinct cells by their latest journaled
+	// outcome; Remaining = Cells - Done.
+	Done, Failed, Remaining int
+	// Runs counts begin records (1 = never resumed).
+	Runs int
+	// LastEvent is the timestamp of the newest journal line.
+	LastEvent time.Time
+	// FailedCells lists the cells whose latest outcome failed, sorted.
+	FailedCells []Cell
+}
+
+// ReadStatus parses a sweep's checkpoint journal from a state dir.
+func ReadStatus(dir, name string) (*SweepStatus, error) {
+	f, err := os.Open(journalPath(dir, name))
+	if err != nil {
+		return nil, fmt.Errorf("farm: no journal for sweep %q in %s: %w", name, dir, err)
+	}
+	defer f.Close()
+	st := &SweepStatus{Name: name}
+	latest := make(map[string]journalRecord)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			continue // a torn trailing line from a kill is expected
+		}
+		if rec.At.After(st.LastEvent) {
+			st.LastEvent = rec.At
+		}
+		switch rec.Event {
+		case "begin":
+			st.Runs++
+			st.Cells = rec.Cells
+		case string(StatusDone), string(StatusFailed):
+			if rec.Key != "" {
+				latest[rec.Key] = rec
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("farm: journal for %q: %w", name, err)
+	}
+	for _, rec := range latest {
+		switch rec.Event {
+		case string(StatusDone):
+			st.Done++
+		case string(StatusFailed):
+			st.Failed++
+			if rec.Cell != nil {
+				st.FailedCells = append(st.FailedCells, *rec.Cell)
+			}
+		}
+	}
+	sort.Slice(st.FailedCells, func(a, b int) bool {
+		return st.FailedCells[a].String() < st.FailedCells[b].String()
+	})
+	if st.Cells > 0 {
+		st.Remaining = st.Cells - st.Done
+		if st.Remaining < 0 {
+			st.Remaining = 0
+		}
+	}
+	return st, nil
+}

@@ -1,9 +1,11 @@
 package schedcheck
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
+	"wasched/internal/farm"
 	"wasched/internal/pfs"
 	"wasched/internal/sched"
 )
@@ -16,34 +18,34 @@ const (
 // TestDifferentialCorpus replays every workload kind under five seeds —
 // thirty seeded workloads — through all four policies (plus the unbounded
 // baseline) and requires every per-round invariant, schedule invariant and
-// metamorphic property to hold.
+// metamorphic property to hold. The corpus runs through the farm
+// orchestrator (one cell per workload, panic-isolated, parallel across
+// GOMAXPROCS), the same path `wasched sweep run schedcheck` takes.
 func TestDifferentialCorpus(t *testing.T) {
-	seeds := []uint64{1, 2, 3, 4, 5}
-	runs := 0
-	for _, kind := range Kinds() {
-		for _, seed := range seeds {
-			kind, seed := kind, seed
-			t.Run(fmt.Sprintf("%s/seed-%d", kind, seed), func(t *testing.T) {
-				t.Parallel()
-				w := Generate(kind, seed, testNodes, testLimit)
-				if len(w) == 0 {
-					t.Fatalf("empty workload for kind %s", kind)
-				}
-				res := RunDifferential(w, DiffConfig{Nodes: testNodes, Limit: testLimit})
-				if err := res.Check.Err(); err != nil {
-					t.Fatal(err)
-				}
-				for _, label := range PolicyLabels() {
-					if res.Results[label] == nil {
-						t.Fatalf("policy %s missing from results", label)
-					}
-				}
-			})
-			runs++
+	cells := CorpusCells("schedcheck-test", CorpusSeeds())
+	if len(cells) < 20 {
+		t.Fatalf("differential corpus holds %d workloads, want >= 20", len(cells))
+	}
+	sum, err := farm.Run(context.Background(), "schedcheck-test", cells,
+		CorpusExec(testNodes, testLimit), farm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range sum.Outcomes {
+		if o.Status != farm.StatusDone {
+			t.Errorf("%s: %s", o.Cell, o.Err)
+			continue
+		}
+		var p CorpusPayload
+		if err := o.Decode(&p); err != nil {
+			t.Fatal(err)
+		}
+		if p.Jobs == 0 || len(p.Makespans) != len(PolicyLabels()) {
+			t.Fatalf("%s: degenerate payload %+v", o.Cell, p)
 		}
 	}
-	if runs < 20 {
-		t.Fatalf("differential corpus ran %d workloads, want >= 20", runs)
+	if sum.Done != len(cells) {
+		t.Fatalf("corpus completed %d of %d cells", sum.Done, len(cells))
 	}
 }
 

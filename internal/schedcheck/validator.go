@@ -40,6 +40,12 @@ type ValidateOptions struct {
 //   - node-capacity: at no instant do concurrently running jobs hold more
 //     than N nodes (reservations released on early finishes cannot be
 //     double-used — an over-subscription here means a tracker leaked);
+//   - node-assignment-identity: when a trace carries the allocated node
+//     names (NodesUsed), the allocation must match the request — exactly
+//     Nodes distinct names — and no two jobs may hold the same named node
+//     at the same instant (node-double-booked). The count-based capacity
+//     sweep cannot see a schedule that stays under N nodes in total while
+//     placing two jobs on one node; this check can.
 //   - fifo-class-order: within a class of identical jobs (fingerprint,
 //     nodes, limit, priority — hence identical estimates every round), a
 //     later-arriving job never starts before an earlier one. Backfill may
@@ -99,10 +105,72 @@ func ValidateJobs(jobs []trace.JobTrace, opts ValidateOptions) Result {
 			res.violatef("node-capacity", "%d nodes in use at t=%.3fs on a %d-node cluster", worst, worstAt, opts.Nodes)
 		}
 	}
+	checkNodeIdentity(started, &res)
 	if !opts.SkipOrderCheck {
 		checkClassOrder(started, &res)
 	}
 	return res
+}
+
+// checkNodeIdentity validates traces that carry allocated node names:
+// the assignment arity matches the request, names are distinct within a
+// job, and no named node hosts two jobs at once. Traces without names
+// (e.g. the lightweight replayer's) are skipped — the count-based
+// capacity sweep still covers them.
+func checkNodeIdentity(jobs []trace.JobTrace, res *Result) {
+	type hold struct {
+		start, end float64
+		id         string
+	}
+	perNode := make(map[string][]hold)
+	for _, j := range jobs {
+		if len(j.NodesUsed) == 0 {
+			continue
+		}
+		if len(j.NodesUsed) != j.Nodes {
+			res.violatef("node-assignment-identity",
+				"job %s requested %d nodes but holds %d names %v", j.ID, j.Nodes, len(j.NodesUsed), j.NodesUsed)
+		}
+		seen := make(map[string]bool, len(j.NodesUsed))
+		for _, n := range j.NodesUsed {
+			if seen[n] {
+				res.violatef("node-assignment-identity", "job %s holds node %s twice", j.ID, n)
+				continue
+			}
+			seen[n] = true
+			if j.End > j.Start {
+				perNode[n] = append(perNode[n], hold{start: j.Start, end: j.End, id: j.ID})
+			}
+		}
+	}
+	names := make([]string, 0, len(perNode))
+	for n := range perNode {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		holds := perNode[n]
+		// A job may start the instant another releases the node, so sort
+		// ends-first at equal times and flag only true overlaps.
+		sort.Slice(holds, func(a, b int) bool {
+			if holds[a].start != holds[b].start {
+				return holds[a].start < holds[b].start
+			}
+			return holds[a].end < holds[b].end
+		})
+		open := holds[0]
+		for i := 1; i < len(holds); i++ {
+			cur := holds[i]
+			if cur.start < open.end-timeEps {
+				res.violatef("node-double-booked",
+					"node %s: job %s [%.3f,%.3f) overlaps job %s [%.3f,%.3f)",
+					n, cur.id, cur.start, cur.end, open.id, open.start, open.end)
+			}
+			if cur.end > open.end {
+				open = cur
+			}
+		}
+	}
 }
 
 // classKey identifies jobs the scheduler cannot distinguish: same

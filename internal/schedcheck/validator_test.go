@@ -111,6 +111,61 @@ func TestValidateJobsNonPositiveNodes(t *testing.T) {
 	wantViolation(t, res, "positive-nodes")
 }
 
+// jtOn builds a job trace carrying its allocated node names.
+func jtOn(id string, submit, start, end float64, nodes ...string) trace.JobTrace {
+	j := jt(id, len(nodes), submit, start, end)
+	j.NodesUsed = nodes
+	return j
+}
+
+func TestValidateJobsNodeIdentityClean(t *testing.T) {
+	jobs := []trace.JobTrace{
+		jtOn("a", 0, 0, 100, "n1", "n2"),
+		jtOn("b", 0, 0, 100, "n3"),
+		jtOn("c", 0, 100, 200, "n1"), // back-to-back on n1: not an overlap
+	}
+	wantClean(t, ValidateJobs(jobs, ValidateOptions{Nodes: 4}))
+}
+
+func TestValidateJobsNodeDoubleBooked(t *testing.T) {
+	// 3 nodes in use at any instant on an 8-node cluster — the count-based
+	// capacity sweep is blind to this, only the name-based check sees it.
+	jobs := []trace.JobTrace{
+		jtOn("a", 0, 0, 100, "n1", "n2"),
+		jtOn("b", 0, 50, 150, "n2"),
+	}
+	res := ValidateJobs(jobs, ValidateOptions{Nodes: 8})
+	wantViolation(t, res, "node-double-booked")
+}
+
+func TestValidateJobsNodeDoubleBookedLongHold(t *testing.T) {
+	// The overlap is against an earlier long-running hold, not the
+	// immediately preceding interval in start order.
+	jobs := []trace.JobTrace{
+		jtOn("long", 0, 0, 1000, "n1"),
+		jtOn("early", 0, 10, 20, "n2"),
+		jtOn("late", 0, 500, 600, "n1"),
+	}
+	res := ValidateJobs(jobs, ValidateOptions{Nodes: 8})
+	wantViolation(t, res, "node-double-booked")
+}
+
+func TestValidateJobsNodeAssignmentArity(t *testing.T) {
+	j := jt("a", 3, 0, 0, 100)
+	j.NodesUsed = []string{"n1", "n2"} // requested 3, holds 2
+	res := ValidateJobs([]trace.JobTrace{j}, ValidateOptions{Nodes: 8})
+	wantViolation(t, res, "node-assignment-identity")
+
+	dup := jtOn("b", 0, 0, 100, "n1", "n1")
+	res = ValidateJobs([]trace.JobTrace{dup}, ValidateOptions{Nodes: 8})
+	wantViolation(t, res, "node-assignment-identity")
+}
+
+func TestValidateJobsNamelessTracesSkipIdentityCheck(t *testing.T) {
+	// Replay traces carry no node names; the identity checks must not fire.
+	wantClean(t, ValidateJobs([]trace.JobTrace{jt("a", 4, 0, 0, 100)}, ValidateOptions{Nodes: 8}))
+}
+
 func TestResultErrSummarises(t *testing.T) {
 	var res Result
 	for i := 0; i < 5; i++ {

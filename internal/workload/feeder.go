@@ -35,6 +35,12 @@ func StartFeeder(eng *des.Engine, ctl *slurm.Controller, specs []slurm.JobSpec, 
 	}
 	f := &Feeder{eng: eng, ctl: ctl, specs: specs, depth: depth}
 	f.fill()
+	if f.closed {
+		// The first batch exhausted the specs (empty or shallow workload):
+		// installing the ticker now would leave it firing forever, since
+		// Stop() already ran with nothing to cancel.
+		return f, nil
+	}
 	f.stop = eng.Ticker(period, "workload/feeder", func(des.Time) { f.fill() })
 	return f, nil
 }

@@ -76,6 +76,51 @@ func TestFeederBoundsQueueDepth(t *testing.T) {
 	}
 }
 
+func TestFeederEmptySpecsLeavesNoTicker(t *testing.T) {
+	// A zero-job trace exhausts on the initial fill; the feeder must not
+	// install its ticker, or the engine would hold a forever-firing event
+	// and never drain.
+	eng, ctl := feederRig(t)
+	pend := eng.Pending()
+	f, err := StartFeeder(eng, ctl, nil, 4, des.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Exhausted() || f.Submitted() != 0 {
+		t.Fatalf("empty feeder: exhausted=%v submitted=%d", f.Exhausted(), f.Submitted())
+	}
+	if got := eng.Pending(); got != pend {
+		t.Fatalf("empty feeder leaked %d engine event(s)", got-pend)
+	}
+	f.Stop() // idempotent on a feeder that never ticked
+}
+
+func TestFeederShallowWorkloadExhaustsImmediately(t *testing.T) {
+	// Specs that fit inside the depth bound are all submitted by the
+	// initial fill — same no-ticker contract as the empty trace.
+	eng, ctl := feederRig(t)
+	specs := []slurm.JobSpec{
+		{Name: "s", Nodes: 1, Limit: 200 * des.Second, Program: cluster.SleepProgram{D: des.Second}},
+		{Name: "s", Nodes: 1, Limit: 200 * des.Second, Program: cluster.SleepProgram{D: des.Second}},
+	}
+	pend := eng.Pending()
+	f, err := StartFeeder(eng, ctl, specs, 6, 5*des.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Exhausted() || f.Submitted() != len(specs) {
+		t.Fatalf("shallow feeder: exhausted=%v submitted=%d", f.Exhausted(), f.Submitted())
+	}
+	if got := eng.Pending(); got != pend {
+		t.Fatalf("shallow feeder leaked %d engine event(s)", got-pend)
+	}
+	ctl.Run()
+	eng.Run(des.TimeFromSeconds(3600))
+	if ctl.DoneCount() != len(specs) {
+		t.Fatalf("done: %d, want %d", ctl.DoneCount(), len(specs))
+	}
+}
+
 func TestFeederStop(t *testing.T) {
 	eng, ctl := feederRig(t)
 	var specs []slurm.JobSpec
