@@ -1,13 +1,13 @@
 # Development targets. `make check` is the pre-merge gate: static vetting,
-# the full test suite under the race detector, the sweep checkpoint/resume
-# smoke test, and a short-budget run of every fuzz target (seed corpus + a
-# few seconds of mutation each).
+# the waschedlint analyzer suite, the full test suite under the race
+# detector, the sweep checkpoint/resume smoke test, and a short-budget run
+# of every fuzz target (seed corpus + a few seconds of mutation each).
 
 GO      ?= go
 FUZZTIME ?= 10s
 SWEEPDIR := .sweep-smoke
 
-.PHONY: build vet test race fuzz sweep-smoke check
+.PHONY: build vet lint test race fuzz sweep-smoke check
 
 build:
 	$(GO) build ./...
@@ -15,11 +15,18 @@ build:
 vet:
 	$(GO) vet ./...
 
+# The repo's own analyzer suite (cmd/waschedlint): determinism and
+# resource-hygiene invariants vet cannot see. Exits non-zero on findings.
+lint:
+	$(GO) run ./cmd/waschedlint ./...
+
 test:
 	$(GO) test ./...
 
+# The race detector slows internal/experiments (~3.5 min plain) well past
+# go test's default 10 min timeout on small machines, so give it headroom.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 45m ./...
 
 # Interrupt a tiny 2-worker sweep after three cells (exit 3 = resumable
 # checkpoint), then resume it from the journal and confirm the status shows
@@ -40,4 +47,4 @@ fuzz:
 	$(GO) test ./internal/sched -run='^$$' -fuzz=FuzzRunRound -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/sched -run='^$$' -fuzz=FuzzTwoGroupSplit -fuzztime=$(FUZZTIME)
 
-check: vet race sweep-smoke fuzz
+check: vet lint race sweep-smoke fuzz

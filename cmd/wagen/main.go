@@ -15,12 +15,31 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"wasched/internal/des"
 	"wasched/internal/slurm"
 	"wasched/internal/workload"
 )
+
+// encodeTo streams the encoded trace to path (or stdout when path is
+// empty), surfacing close errors on the written file — a failed close can
+// mean the trace never fully reached disk.
+func encodeTo(path string, encode func(w io.Writer) error) error {
+	if path == "" {
+		return encode(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = encode(f)
+	if cerr := f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -44,6 +63,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		//waschedlint:allow checkederr the SWF trace is opened read-only; close cannot lose data
 		defer f.Close()
 		opts := workload.DefaultSWFOptions()
 		opts.IOFraction = *ioFraction
@@ -54,16 +74,7 @@ func run() error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "wagen: converted %d jobs (%d dropped)\n", len(res.Jobs), res.Dropped)
-		w := os.Stdout
-		if *out != "" {
-			of, err := os.Create(*out)
-			if err != nil {
-				return err
-			}
-			defer of.Close()
-			w = of
-		}
-		return workload.Encode(w, res.Jobs)
+		return encodeTo(*out, func(w io.Writer) error { return workload.Encode(w, res.Jobs) })
 	}
 
 	var specs []slurm.JobSpec
@@ -96,14 +107,5 @@ func run() error {
 		jobs = workload.Timed(specs, 0)
 	}
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
-	}
-	return workload.Encode(w, jobs)
+	return encodeTo(*out, func(w io.Writer) error { return workload.Encode(w, jobs) })
 }

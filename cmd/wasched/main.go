@@ -109,17 +109,25 @@ func run(args []string) error {
 		}
 		w := os.Stdout
 		var progress *os.File
+		var f *os.File
 		if *out != "" {
-			f, err := os.Create(*out)
-			if err != nil {
+			var err error
+			if f, err = os.Create(*out); err != nil {
 				return err
 			}
-			defer f.Close()
 			w = f
 			progress = os.Stderr
 		}
-		return experiments.WriteFullReport(w,
+		err := experiments.WriteFullReport(w,
 			experiments.RunOptions{Seed: *seed, CSVDir: *csvDir, Workers: *parallel}, progress)
+		if f != nil {
+			// A close error on the written report means data may not have
+			// reached disk; surface it unless the report itself failed.
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+		return err
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -132,7 +140,7 @@ func run(args []string) error {
 // runSweep dispatches the `wasched sweep` subcommands.
 func runSweep(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: wasched sweep list|run|resume|status ...")
+		return fmt.Errorf("usage: wasched sweep list|run|resume|status|clean ...")
 	}
 	switch args[0] {
 	case "list":
@@ -147,9 +155,55 @@ func runSweep(args []string) error {
 		return sweepRun(args[1:], true)
 	case "status":
 		return sweepStatus(args[1:])
+	case "clean":
+		return sweepClean(args[1:])
 	default:
-		return fmt.Errorf("unknown sweep command %q (want list, run, resume or status)", args[0])
+		return fmt.Errorf("unknown sweep command %q (want list, run, resume, status or clean)", args[0])
 	}
+}
+
+// sweepClean garbage-collects a state dir: corrupt cache entries, cache
+// entries no journal references, and leftover .tmp files.
+func sweepClean(args []string) error {
+	fs := flag.NewFlagSet("sweep clean", flag.ContinueOnError)
+	stateDir := fs.String("state-dir", "", "state directory to garbage-collect")
+	dryRun := fs.Bool("dry-run", false, "report what would be removed without touching anything")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("sweep clean: unexpected arguments %v", fs.Args())
+	}
+	if *stateDir == "" {
+		return fmt.Errorf("sweep clean needs -state-dir")
+	}
+	rep, err := farm.Clean(*stateDir, *dryRun)
+	if err != nil {
+		return err
+	}
+	for _, j := range rep.DamagedJournals {
+		fmt.Printf("damaged journal: %s (orphan collection suppressed)\n", j)
+	}
+	for _, c := range rep.Corrupt {
+		fmt.Printf("corrupt: %s\n", c)
+	}
+	for _, o := range rep.Orphaned {
+		fmt.Printf("orphaned: %s\n", o)
+	}
+	for _, t := range rep.Temp {
+		fmt.Printf("leftover: %s\n", t)
+	}
+	verb, total := "removed", rep.Removed
+	if *dryRun {
+		verb = "would remove"
+		total = len(rep.Corrupt) + len(rep.Temp)
+		if len(rep.DamagedJournals) == 0 {
+			total += len(rep.Orphaned)
+		}
+	}
+	fmt.Printf("sweep clean: scanned %d cache entries across %d journal(s), %s %d file(s)\n",
+		rep.Scanned, len(rep.Journals), verb, total)
+	return nil
 }
 
 // sweepFlags parses a sweep subcommand's flags, accepting them before or
@@ -287,6 +341,9 @@ commands:
                        finish an interrupted sweep from its checkpoint
   sweep status <name> -state-dir DIR
                        summarise a sweep's checkpoint journal
+  sweep clean -state-dir DIR [-dry-run]
+                       garbage-collect corrupt, orphaned and leftover
+                       cache files from a state directory
   report [-seed N] [-out FILE] [-csv DIR] [-parallel N]
                        run every experiment and write one full report
   verify [-seed N]     check the headline reproduction claims (exit 1 on failure)`)

@@ -1,0 +1,57 @@
+// Command waschedlint runs the repository's static-analysis suite: five
+// analyzers that pin the invariants bit-identical replay and the farm's
+// content-hashed result cache depend on (see internal/lint).
+//
+// Usage:
+//
+//	waschedlint [-list] [packages...]
+//
+// With no arguments it analyzes ./... . Exit status is 1 when any
+// diagnostic is reported, 0 on a clean run. Suppress a deliberate
+// exception with a trailing or preceding comment:
+//
+//	//waschedlint:allow <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+
+	"wasched/internal/lint"
+	"wasched/internal/lint/load"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	fset := token.NewFileSet()
+	pkgs, err := load.Packages(fset, "", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "waschedlint:", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Check(pkgs, lint.Suite())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "waschedlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "waschedlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -64,6 +64,7 @@ func run() error {
 		return err
 	}
 	jobs, err := workload.Decode(f)
+	//waschedlint:allow checkederr the workload file is opened read-only; close cannot lose data
 	f.Close()
 	if err != nil {
 		return err
@@ -82,6 +83,7 @@ func run() error {
 			return err
 		}
 		cfg, err = slurmconf.Parse(f)
+		//waschedlint:allow checkederr the slurm.conf file is opened read-only; close cannot lose data
 		f.Close()
 		if err != nil {
 			return err
@@ -184,6 +186,7 @@ func writeFile(path string, write func(w io.Writer) error) error {
 		return err
 	}
 	if err := write(f); err != nil {
+		//waschedlint:allow checkederr the write error takes precedence; the file is already known-bad
 		f.Close()
 		return err
 	}

@@ -165,7 +165,7 @@ func (s *Summary) Err() error {
 //
 // Cancelling ctx stops dispatching further cells; cells already executing
 // drain gracefully and their results are journaled before Run returns.
-func Run(ctx context.Context, name string, cells []Cell, exec Exec, opts Options) (*Summary, error) {
+func Run(ctx context.Context, name string, cells []Cell, exec Exec, opts Options) (sum *Summary, retErr error) {
 	if exec == nil {
 		return nil, fmt.Errorf("farm: nil exec")
 	}
@@ -190,14 +190,22 @@ func Run(ctx context.Context, name string, cells []Cell, exec Exec, opts Options
 		if st, err = openState(opts.StateDir, name); err != nil {
 			return nil, err
 		}
-		defer st.close()
+		defer func() {
+			if cerr := st.close(); cerr != nil && retErr == nil {
+				sum, retErr = nil, cerr
+			}
+		}()
 	}
 
 	results := make([]*Outcome, len(cells))
 	cachedN := 0
 	if st != nil {
 		for i, c := range cells {
-			if out, ok := st.lookup(c); ok {
+			out, ok, err := st.lookup(c)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
 				results[i] = out
 				cachedN++
 			}
@@ -268,7 +276,7 @@ dispatch:
 	default:
 	}
 
-	sum := &Summary{Name: name, Interrupted: interrupted}
+	sum = &Summary{Name: name, Interrupted: interrupted}
 	for _, out := range results {
 		if out == nil {
 			sum.Skipped++

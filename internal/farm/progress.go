@@ -29,7 +29,8 @@ func startProgress(name string, total, cached int, opts Options) *progress {
 		w:       opts.Progress,
 		name:    name,
 		total:   total,
-		cached:  int64(cached),
+		cached: int64(cached),
+		//waschedlint:allow nodeterminism progress wall-clock only feeds the live report, never sweep results
 		started: time.Now(),
 		quit:    make(chan struct{}),
 		stopped: make(chan struct{}),
@@ -72,6 +73,7 @@ func (p *progress) line() string {
 	done := p.done.Load()
 	failed := p.failed.Load()
 	finished := done + failed + p.cached
+	//waschedlint:allow nodeterminism elapsed time only shapes the ETA line of the live report
 	elapsed := time.Since(p.started).Seconds()
 	rate := 0.0
 	if elapsed > 0 {
@@ -93,8 +95,10 @@ func (p *progress) final(sum *Summary) {
 	if sum.Interrupted {
 		state = "interrupted"
 	}
+	//waschedlint:allow nodeterminism the final report line shows wall-clock duration, which never feeds results
+	elapsed := time.Since(p.started).Round(time.Millisecond)
 	fmt.Fprintf(p.w, "farm %s: %s in %s — %d done (%d cached), %d failed, %d skipped\n",
-		p.name, state, time.Since(p.started).Round(time.Millisecond),
+		p.name, state, elapsed,
 		sum.Done, sum.Cached, sum.Failed, sum.Skipped)
 }
 

@@ -2,8 +2,11 @@ package farm
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -51,7 +54,15 @@ func journalPath(dir, name string) string {
 	return filepath.Join(dir, name+".journal.jsonl")
 }
 
-func (s *state) close() { s.journal.Close() }
+// close releases the journal. Every append already fsyncs, so a close
+// error cannot lose journaled cells — but it is still surfaced, because a
+// failing close is an early warning about the state volume.
+func (s *state) close() error {
+	if err := s.journal.Close(); err != nil {
+		return fmt.Errorf("farm: closing journal: %w", err)
+	}
+	return nil
+}
 
 func (s *state) cachePath(key string) string {
 	return filepath.Join(s.dir, "cache", key+".json")
@@ -59,22 +70,32 @@ func (s *state) cachePath(key string) string {
 
 // lookup serves a cell from the result cache. Only successful outcomes are
 // cached, so a failed or interrupted cell is always re-executed on resume.
-func (s *state) lookup(c Cell) (*Outcome, bool) {
-	b, err := os.ReadFile(s.cachePath(c.Key()))
+// A missing entry is a plain miss; an unreadable, unparsable or mismatched
+// entry is an error — silently recomputing over a corrupt cache would mask
+// state-dir damage (`wasched sweep clean` removes such entries).
+func (s *state) lookup(c Cell) (*Outcome, bool, error) {
+	path := s.cachePath(c.Key())
+	b, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, false, nil
+	}
 	if err != nil {
-		return nil, false
+		return nil, false, fmt.Errorf("farm: cache entry for %s: %w", c, err)
 	}
 	var out Outcome
-	if err := json.Unmarshal(b, &out); err != nil || out.Status != StatusDone {
-		return nil, false
+	if err := json.Unmarshal(b, &out); err != nil {
+		return nil, false, fmt.Errorf("farm: corrupt cache entry %s for cell %s (%v); run `wasched sweep clean -state-dir %s`", filepath.Base(path), c, err, s.dir)
+	}
+	if out.Status != StatusDone {
+		return nil, false, fmt.Errorf("farm: cache entry %s has status %q, want %q; run `wasched sweep clean -state-dir %s`", filepath.Base(path), out.Status, StatusDone, s.dir)
 	}
 	// The cell on disk must actually be this cell — a hash collision or a
 	// hand-edited file must not smuggle in another cell's result.
 	if out.Cell != c {
-		return nil, false
+		return nil, false, fmt.Errorf("farm: cache entry %s holds cell %s, want %s; run `wasched sweep clean -state-dir %s`", filepath.Base(path), out.Cell, c, s.dir)
 	}
 	out.Cached = true
-	return &out, true
+	return &out, true, nil
 }
 
 // record journals a finished cell and, on success, persists its payload to
@@ -115,6 +136,7 @@ func (s *state) begin(cells, cached int) error {
 // append writes one journal line and syncs it, so a killed process loses
 // at most the cell it was executing. Callers hold mu.
 func (s *state) append(rec journalRecord) error {
+	//waschedlint:allow nodeterminism journal timestamps are wall-clock bookkeeping and never feed simulation results
 	rec.At = time.Now().UTC()
 	b, err := json.Marshal(rec)
 	if err != nil {
@@ -124,6 +146,42 @@ func (s *state) append(rec journalRecord) error {
 		return fmt.Errorf("farm: journal: %w", err)
 	}
 	return s.journal.Sync()
+}
+
+// scanJournal streams a journal's records through fn. Exactly one
+// unparsable line is tolerated and only as the very last line of the file
+// — that is the torn tail of a killed process. An unparsable line with
+// anything after it means the journal itself is damaged, which must
+// surface instead of silently skewing the status counts.
+func scanJournal(path string, fn func(journalRecord)) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	//waschedlint:allow checkederr the journal is opened read-only here; close cannot lose data
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line, badLine := 0, 0
+	for sc.Scan() {
+		line++
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		if badLine != 0 {
+			return fmt.Errorf("corrupt journal line %d (not a torn tail: line %d follows it)", badLine, line)
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			badLine = line
+			continue
+		}
+		fn(rec)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return nil
 }
 
 // SweepStatus summarises a sweep's journal — the `wasched sweep status`
@@ -146,24 +204,9 @@ type SweepStatus struct {
 
 // ReadStatus parses a sweep's checkpoint journal from a state dir.
 func ReadStatus(dir, name string) (*SweepStatus, error) {
-	f, err := os.Open(journalPath(dir, name))
-	if err != nil {
-		return nil, fmt.Errorf("farm: no journal for sweep %q in %s: %w", name, dir, err)
-	}
-	defer f.Close()
 	st := &SweepStatus{Name: name}
 	latest := make(map[string]journalRecord)
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
-		}
-		var rec journalRecord
-		if err := json.Unmarshal(line, &rec); err != nil {
-			continue // a torn trailing line from a kill is expected
-		}
+	err := scanJournal(journalPath(dir, name), func(rec journalRecord) {
 		if rec.At.After(st.LastEvent) {
 			st.LastEvent = rec.At
 		}
@@ -176,8 +219,11 @@ func ReadStatus(dir, name string) (*SweepStatus, error) {
 				latest[rec.Key] = rec
 			}
 		}
+	})
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("farm: no journal for sweep %q in %s: %w", name, dir, err)
 	}
-	if err := sc.Err(); err != nil {
+	if err != nil {
 		return nil, fmt.Errorf("farm: journal for %q: %w", name, err)
 	}
 	for _, rec := range latest {

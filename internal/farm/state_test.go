@@ -1,0 +1,159 @@
+package farm
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// journalWrite appends raw lines to a sweep journal, bypassing the state
+// layer — the tests here construct damaged on-disk states by hand.
+func journalWrite(t *testing.T, dir, name string, lines ...string) {
+	t.Helper()
+	f, err := os.OpenFile(journalPath(dir, name), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for _, l := range lines {
+		if _, err := f.WriteString(l + "\n"); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestReadStatusCorruptMidline: an unparsable line with valid lines after
+// it is journal damage, not a torn tail, and must surface as an error
+// instead of silently skewing the counts.
+func TestReadStatusCorruptMidline(t *testing.T) {
+	dir := t.TempDir()
+	journalWrite(t, dir, "s",
+		`{"event":"begin","cells":2}`,
+		`{"event":"done","key":"aaaa","cell":{"experiment":"t","config":"a","seed":1}`, // truncated JSON
+		`{"event":"done","key":"bbbb"}`,
+	)
+	_, err := ReadStatus(dir, "s")
+	if err == nil {
+		t.Fatal("mid-stream corrupt journal line must error")
+	}
+	if !strings.Contains(err.Error(), "corrupt journal line 2") {
+		t.Fatalf("error should identify the corrupt line, got: %v", err)
+	}
+}
+
+// TestReadStatusTornTail: exactly one unparsable line at the very end is
+// the torn tail of a killed process and is tolerated.
+func TestReadStatusTornTail(t *testing.T) {
+	dir := t.TempDir()
+	journalWrite(t, dir, "s",
+		`{"event":"begin","cells":3}`,
+		`{"event":"done","key":"aaaa"}`,
+		`{"event":"done","key":"bb`, // torn mid-write by a kill
+	)
+	st, err := ReadStatus(dir, "s")
+	if err != nil {
+		t.Fatalf("torn tail must be tolerated: %v", err)
+	}
+	if st.Cells != 3 || st.Done != 1 || st.Remaining != 2 {
+		t.Fatalf("status miscounted around torn tail: %+v", st)
+	}
+}
+
+// TestReadStatusMissingJournal: asking about a sweep that never ran is an
+// error naming the sweep, not an empty status.
+func TestReadStatusMissingJournal(t *testing.T) {
+	if _, err := ReadStatus(t.TempDir(), "nope"); err == nil {
+		t.Fatal("missing journal must error")
+	}
+}
+
+// TestLookupTruncatedCacheEntry: a truncated cache file must fail the
+// sweep with an error pointing at `wasched sweep clean`, not be silently
+// recomputed — silent recomputation would mask state-dir damage.
+func TestLookupTruncatedCacheEntry(t *testing.T) {
+	dir := t.TempDir()
+	cells := sweepCells(3)
+	if _, err := Run(context.Background(), "trunc", cells, simExec, Options{Workers: 1, StateDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "cache", cells[1].Key()+".json")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(context.Background(), "trunc", cells, simExec, Options{Workers: 1, StateDir: dir})
+	if err == nil {
+		t.Fatal("truncated cache entry must fail the resume")
+	}
+	if !strings.Contains(err.Error(), "sweep clean") {
+		t.Fatalf("error should point at sweep clean, got: %v", err)
+	}
+}
+
+// TestLookupWrongCellEntry: a cache file whose payload describes a
+// different cell (hash collision or hand-edit) must be refused.
+func TestLookupWrongCellEntry(t *testing.T) {
+	dir := t.TempDir()
+	cells := sweepCells(2)
+	if _, err := Run(context.Background(), "swap", cells, simExec, Options{Workers: 1, StateDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite cell 0's entry with cell 1's outcome.
+	b, err := os.ReadFile(filepath.Join(dir, "cache", cells[1].Key()+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "cache", cells[0].Key()+".json"), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := openState(dir, "swap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.close()
+	if _, _, err := st.lookup(cells[0]); err == nil || !strings.Contains(err.Error(), "holds cell") {
+		t.Fatalf("mismatched cell entry must be refused, got: %v", err)
+	}
+}
+
+// TestLookupNonDoneEntry: only successful outcomes may be served from the
+// cache; a failed outcome on disk is corruption (record never writes one).
+func TestLookupNonDoneEntry(t *testing.T) {
+	dir := t.TempDir()
+	c := Cell{Experiment: "t", Config: "a", Seed: 1}
+	if err := os.MkdirAll(filepath.Join(dir, "cache"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := json.Marshal(Outcome{Cell: c, Status: StatusFailed, Err: "boom"})
+	if err := os.WriteFile(filepath.Join(dir, "cache", c.Key()+".json"), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := openState(dir, "bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.close()
+	if _, _, err := st.lookup(c); err == nil || !strings.Contains(err.Error(), "status") {
+		t.Fatalf("non-done cache entry must be refused, got: %v", err)
+	}
+}
+
+// TestUnwritableStateDir: a state dir that cannot be created (here: the
+// path is a regular file, so MkdirAll fails regardless of privileges)
+// surfaces as a Run error instead of a silent in-memory sweep.
+func TestUnwritableStateDir(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Run(context.Background(), "bad", sweepCells(1), simExec, Options{StateDir: file})
+	if err == nil || !strings.Contains(err.Error(), "state dir") {
+		t.Fatalf("unwritable state dir must fail Run, got: %v", err)
+	}
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// AllowPrefix is the directive that suppresses a diagnostic:
+//
+//	//waschedlint:allow <analyzer> <reason>
+//
+// placed either on the flagged line itself (trailing comment) or on the
+// line directly above it. The reason is mandatory — an allow without a
+// rationale is itself reported as a finding, so every suppression in the
+// tree documents why the invariant does not apply.
+const AllowPrefix = "waschedlint:allow"
+
+// Allow is one parsed allow directive.
+type Allow struct {
+	Analyzer string
+	Reason   string
+	File     string
+	Line     int
+}
+
+// ParseAllows scans the files' comments for allow directives. Malformed
+// directives (missing analyzer or reason) are returned as diagnostics
+// attributed to the pseudo-analyzer "allowdirective" and do not suppress
+// anything.
+func ParseAllows(fset *token.FileSet, files []*ast.File) ([]Allow, []Diagnostic) {
+	var allows []Allow
+	var malformed []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, AllowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, AllowPrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					malformed = append(malformed, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "allowdirective",
+						Message:  "malformed allow directive: want //" + AllowPrefix + " <analyzer> <reason>",
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				allows = append(allows, Allow{
+					Analyzer: fields[0],
+					Reason:   strings.Join(fields[1:], " "),
+					File:     pos.Filename,
+					Line:     pos.Line,
+				})
+			}
+		}
+	}
+	return allows, malformed
+}
+
+// Filter drops diagnostics covered by an allow directive for the same
+// analyzer on the diagnostic's line or the line directly above it.
+func Filter(fset *token.FileSet, diags []Diagnostic, allows []Allow) []Diagnostic {
+	if len(allows) == 0 {
+		return diags
+	}
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	covered := make(map[key]bool, 2*len(allows))
+	for _, a := range allows {
+		covered[key{a.File, a.Line, a.Analyzer}] = true
+		covered[key{a.File, a.Line + 1, a.Analyzer}] = true
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if covered[key{pos.Filename, pos.Line, d.Analyzer}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"wasched/internal/lint/analysis"
+)
+
+// Checkederr flags discarded error results in the packages that persist
+// simulator state — the farm's journal/cache writes and the JSON
+// round-trips behind checkpoint/resume. A silently dropped write error
+// there turns an interrupted sweep into silent recomputation (or worse,
+// a stale cache served as fresh), so every error must be checked, and
+// deliberate discards must carry a //waschedlint:allow rationale.
+//
+// Three shapes are reported: a call statement whose callee returns an
+// error, a defer/go statement discarding one, and an assignment sending
+// an error result to the blank identifier. The fmt print family and
+// never-failing writers (strings.Builder, bytes.Buffer, hash.Hash) are
+// exempt.
+var Checkederr = &analysis.Analyzer{
+	Name: "checkederr",
+	Doc:  "no discarded error returns in journal/cache/state-file code",
+	Run:  runCheckederr,
+}
+
+func runCheckederr(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok {
+					reportDiscarded(pass, call, "discarded error from %s")
+				}
+			case *ast.DeferStmt:
+				reportDiscarded(pass, stmt.Call, "deferred %s discards its error")
+			case *ast.GoStmt:
+				reportDiscarded(pass, stmt.Call, "go %s discards its error")
+			case *ast.AssignStmt:
+				checkBlankErr(pass, stmt)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// reportDiscarded flags call if it returns an error that the surrounding
+// statement throws away.
+func reportDiscarded(pass *analysis.Pass, call *ast.CallExpr, format string) {
+	sig := analysis.Signature(pass.TypesInfo, call)
+	if sig == nil || !returnsError(sig) || exempt(pass.TypesInfo, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), format, callName(pass.TypesInfo, call))
+}
+
+// checkBlankErr flags `_ = f()` / `v, _ := g()` where the blanked result
+// is an error.
+func checkBlankErr(pass *analysis.Pass, stmt *ast.AssignStmt) {
+	if len(stmt.Rhs) == 1 && len(stmt.Lhs) > 1 {
+		// v, err := f(): one call, multiple results.
+		call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sig := analysis.Signature(pass.TypesInfo, call)
+		if sig == nil || exempt(pass.TypesInfo, call) {
+			return
+		}
+		for i, lhs := range stmt.Lhs {
+			id, isIdent := lhs.(*ast.Ident)
+			if !isIdent || id.Name != "_" || i >= sig.Results().Len() {
+				continue
+			}
+			if analysis.IsErrorType(sig.Results().At(i).Type()) {
+				pass.Reportf(stmt.Pos(), "error result of %s assigned to _", callName(pass.TypesInfo, call))
+				return
+			}
+		}
+		return
+	}
+	for i, lhs := range stmt.Lhs {
+		id, isIdent := lhs.(*ast.Ident)
+		if !isIdent || id.Name != "_" || i >= len(stmt.Rhs) {
+			continue
+		}
+		call, ok := ast.Unparen(stmt.Rhs[i]).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		sig := analysis.Signature(pass.TypesInfo, call)
+		if sig == nil || exempt(pass.TypesInfo, call) {
+			continue
+		}
+		if sig.Results().Len() == 1 && analysis.IsErrorType(sig.Results().At(0).Type()) {
+			pass.Reportf(stmt.Pos(), "error result of %s assigned to _", callName(pass.TypesInfo, call))
+		}
+	}
+}
+
+func returnsError(sig *types.Signature) bool {
+	for i := 0; i < sig.Results().Len(); i++ {
+		if analysis.IsErrorType(sig.Results().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// exempt reports callees whose errors are conventionally ignorable.
+func exempt(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "fmt", "hash", "math/rand", "math/rand/v2":
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type().String()
+	switch recv {
+	case "*strings.Builder", "*bytes.Buffer", "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+func callName(info *types.Info, call *ast.CallExpr) string {
+	if fn := analysis.CalleeFunc(info, call); fn != nil {
+		return fn.Name()
+	}
+	return types.ExprString(call.Fun)
+}

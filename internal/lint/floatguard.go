@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"wasched/internal/lint/analysis"
+)
+
+// Floatguard flags rate/throughput arithmetic that can mint NaN or Inf —
+// the PR 2 bug class where negative node·seconds and NaN rate estimates
+// poisoned the two-group split of Eqs. 2–5. Two patterns are reported:
+//
+//   - a floating-point division whose denominator is not (a) a nonzero
+//     constant, (b) compared against a bound anywhere in the enclosing
+//     function (the `if d > 0` guard idiom), or (c) fed into one of the
+//     clamp helpers (clampRate, clampNonNeg), which absorb NaN;
+//   - a raw Rate / MeasuredThroughput field used as an arithmetic operand
+//     without being clamped at the point of use or range-checked in the
+//     enclosing function — estimates and monitor samples are external
+//     inputs, so every use must pass a clamp helper first.
+var Floatguard = &analysis.Analyzer{
+	Name: "floatguard",
+	Doc:  "rate/throughput arithmetic must be guarded or clamped against NaN/Inf",
+	Run:  runFloatguard,
+}
+
+// clampHelpers absorb invalid values (NaN → 0, out-of-range → bound).
+var clampHelpers = map[string]bool{
+	"clampRate":   true,
+	"clampNonNeg": true,
+}
+
+// taintedFields are external-input floats that may carry NaN or negative
+// values: job rate estimates and measured file-system throughput.
+var taintedFields = map[string]bool{
+	"Rate":               true,
+	"MeasuredThroughput": true,
+}
+
+func runFloatguard(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		parents := analysis.Parents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				if e.Op == token.QUO {
+					checkDivision(pass, parents, e, e.Y)
+				}
+				if isArithmetic(e.Op) {
+					checkTaintedOperand(pass, parents, e.X)
+					checkTaintedOperand(pass, parents, e.Y)
+				}
+			case *ast.AssignStmt:
+				switch e.Tok {
+				case token.QUO_ASSIGN:
+					checkDivision(pass, parents, e, e.Rhs[0])
+					checkTaintedOperand(pass, parents, e.Rhs[0])
+				case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN:
+					checkTaintedOperand(pass, parents, e.Rhs[0])
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isArithmetic(op token.Token) bool {
+	switch op {
+	case token.ADD, token.SUB, token.MUL, token.QUO:
+		return true
+	}
+	return false
+}
+
+// checkDivision flags a float division at node whose denominator denom is
+// neither constant, guarded, nor clamped.
+func checkDivision(pass *analysis.Pass, parents map[ast.Node]ast.Node, node ast.Node, denom ast.Expr) {
+	if !isFloat(pass.TypesInfo, denom) {
+		return
+	}
+	if tv, ok := pass.TypesInfo.Types[denom]; ok && tv.Value != nil {
+		if v, _ := constant.Float64Val(tv.Value); v != 0 {
+			return // nonzero constant denominator
+		}
+	}
+	core := analysis.StripParensAndConversions(pass.TypesInfo, denom)
+	text := types.ExprString(core)
+	if comparedInFunc(pass.TypesInfo, parents, node, text) {
+		return
+	}
+	if insideClampCall(pass.TypesInfo, parents, node) {
+		return
+	}
+	pass.Reportf(node.Pos(),
+		"float division by %s may produce NaN/Inf: guard the denominator (compare it against a bound) or clamp the result", text)
+}
+
+// checkTaintedOperand flags a raw tainted field (j.Rate, in.MeasuredThroughput)
+// used as an arithmetic operand.
+func checkTaintedOperand(pass *analysis.Pass, parents map[ast.Node]ast.Node, operand ast.Expr) {
+	sel, ok := ast.Unparen(operand).(*ast.SelectorExpr)
+	if !ok || !taintedFields[sel.Sel.Name] || !isFloat(pass.TypesInfo, sel) {
+		return
+	}
+	// Field selections only — method values etc. are not rate estimates.
+	if selInfo, ok := pass.TypesInfo.Selections[sel]; ok {
+		if selInfo.Kind() != types.FieldVal {
+			return
+		}
+	} else if _, isVar := pass.TypesInfo.Uses[sel.Sel].(*types.Var); !isVar {
+		return
+	}
+	text := types.ExprString(sel)
+	if comparedInFunc(pass.TypesInfo, parents, sel, text) {
+		return
+	}
+	if insideClampCall(pass.TypesInfo, parents, sel) {
+		return
+	}
+	pass.Reportf(sel.Pos(),
+		"raw %s in arithmetic may carry NaN or a negative estimate: pass it through a clamp helper (clampRate/clampNonNeg) first", text)
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// comparedInFunc reports whether the enclosing function contains a
+// comparison whose operand (after stripping conversions) prints as text —
+// the `if x > 0 { ... }` guard idiom, matched syntactically.
+func comparedInFunc(info *types.Info, parents map[ast.Node]ast.Node, n ast.Node, text string) bool {
+	body := analysis.FuncBody(analysis.EnclosingFunc(parents, n))
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		be, ok := m.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		default:
+			return true
+		}
+		for _, side := range []ast.Expr{be.X, be.Y} {
+			side = analysis.StripParensAndConversions(info, side)
+			if types.ExprString(side) == text {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// insideClampCall reports whether n sits (transitively, through arithmetic
+// and parens) inside an argument of a clamp helper call.
+func insideClampCall(info *types.Info, parents map[ast.Node]ast.Node, n ast.Node) bool {
+	for p := parents[n]; p != nil; p = parents[p] {
+		switch pp := p.(type) {
+		case *ast.CallExpr:
+			if fn := analysis.CalleeFunc(info, pp); fn != nil && clampHelpers[fn.Name()] {
+				return true
+			}
+			return false
+		case *ast.BinaryExpr, *ast.ParenExpr:
+			continue
+		case ast.Stmt:
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,258 @@
+// Package linttest is the golden-corpus harness for the waschedlint
+// analyzers, in the spirit of x/tools' analysistest: a corpus directory
+// (testdata/src/<analyzer>) holds one synthetic package whose lines are
+// annotated with
+//
+//	expr // want `regex`
+//
+// comments naming the diagnostics the analyzer must report there. The
+// harness type-checks the corpus offline (stdlib imports resolve through
+// `go list -export`, exactly like the production loader), runs one
+// analyzer, applies the //waschedlint:allow filter, and fails the test on
+// any mismatch in either direction — a missing diagnostic and a surplus
+// one are both errors, so the corpora pin both the true-positive and the
+// false-positive behaviour of every check.
+package linttest
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"wasched/internal/lint/analysis"
+	"wasched/internal/lint/load"
+)
+
+// wantRe extracts the backquoted patterns of one want comment.
+var wantRe = regexp.MustCompile("`[^`]*`")
+
+// expectation is one `// want` annotation: every pattern must match a
+// distinct diagnostic on its line.
+type expectation struct {
+	file     string
+	line     int
+	patterns []*regexp.Regexp
+}
+
+// Run checks one analyzer against the corpus package in dir.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	files, err := parseCorpus(fset, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, info, err := typecheckCorpus(fset, dir, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	diags, err := analysis.Run(a, fset, files, pkg, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allows, malformed := analysis.ParseAllows(fset, files)
+	diags = append(analysis.Filter(fset, diags, allows), malformed...)
+	analysis.Sort(fset, diags)
+
+	matchExpectations(t, fset, files, diags)
+}
+
+func parseCorpus(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("linttest: %w", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("linttest: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("linttest: no corpus files in %s", dir)
+	}
+	return files, nil
+}
+
+// typecheckCorpus type-checks the corpus with imports resolved through
+// `go list -export` — the same offline pipeline as the production loader,
+// restricted to the corpus' (stdlib) imports.
+func typecheckCorpus(fset *token.FileSet, dir string, files []*ast.File) (*types.Package, *types.Info, error) {
+	imports := map[string]bool{}
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			if path, err := strconv.Unquote(spec.Path.Value); err == nil {
+				imports[path] = true
+			}
+		}
+	}
+	exports, err := exportData(dir, imports)
+	if err != nil {
+		return nil, nil, err
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		e, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("linttest: no export data for %q", path)
+		}
+		return os.Open(e)
+	})
+	info := load.NewInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check("corpus", fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("linttest: type-checking corpus %s: %w", dir, err)
+	}
+	return pkg, info, nil
+}
+
+// exportData maps each import (plus its transitive deps) to its compiled
+// export file, produced on demand by the go toolchain's build cache.
+func exportData(dir string, imports map[string]bool) (map[string]string, error) {
+	if len(imports) == 0 {
+		return nil, nil
+	}
+	paths := make([]string, 0, len(imports))
+	for path := range imports {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Export,Error"}, paths...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("linttest: go list: %v\n%s", err, stderr.String())
+	}
+	exports := make(map[string]string)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct {
+			ImportPath, Export string
+			Error              *struct{ Err string }
+		}
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("linttest: decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("linttest: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// matchExpectations reconciles the diagnostics with the corpus' want
+// annotations, failing the test on any difference.
+func matchExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	type lineKey struct {
+		file string
+		line int
+	}
+	expected := map[lineKey]*expectation{}
+	for _, exp := range parseWants(t, fset, files) {
+		k := lineKey{exp.file, exp.line}
+		if prev, dup := expected[k]; dup {
+			prev.patterns = append(prev.patterns, exp.patterns...)
+			continue
+		}
+		e := exp
+		expected[k] = &e
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := lineKey{pos.Filename, pos.Line}
+		exp := expected[k]
+		matched := false
+		if exp != nil {
+			for i, re := range exp.patterns {
+				if re.MatchString(d.Message) {
+					exp.patterns = append(exp.patterns[:i], exp.patterns[i+1:]...)
+					matched = true
+					break
+				}
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	keys := make([]lineKey, 0, len(expected))
+	for k := range expected {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].file != keys[b].file {
+			return keys[a].file < keys[b].file
+		}
+		return keys[a].line < keys[b].line
+	})
+	for _, k := range keys {
+		for _, re := range expected[k].patterns {
+			t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, re)
+		}
+	}
+}
+
+// parseWants extracts the `// want` annotations from the corpus.
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []expectation {
+	t.Helper()
+	var wants []expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") && text != "want" {
+					continue
+				}
+				raw := wantRe.FindAllString(text, -1)
+				if len(raw) == 0 {
+					t.Fatalf("%s: malformed want comment (need at least one backquoted pattern): %s",
+						fset.Position(c.Pos()), c.Text)
+				}
+				exp := expectation{
+					file: fset.Position(c.Pos()).Filename,
+					line: fset.Position(c.Pos()).Line,
+				}
+				for _, q := range raw {
+					re, err := regexp.Compile(q[1 : len(q)-1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", fset.Position(c.Pos()), q, err)
+					}
+					exp.patterns = append(exp.patterns, re)
+				}
+				wants = append(wants, exp)
+			}
+		}
+	}
+	return wants
+}

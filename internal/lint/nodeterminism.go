@@ -1,0 +1,95 @@
+// Package lint defines the waschedlint analyzer suite: five checks that
+// mechanically enforce the invariants the simulator's reproducibility
+// rests on — deterministic replay (no wall clocks, no global RNG, no
+// environment-dependent branches, no map-ordered decisions), resource
+// hygiene (every ticker stopped, every journal/cache error checked) and
+// finite rate arithmetic (no NaN/Inf escaping the clamp helpers).
+//
+// Each analyzer is pure and package-scoped; which packages each one runs
+// on is decided by the Suite (suite.go) so the analyzers themselves stay
+// testable on isolated golden corpora (testdata/src/<analyzer>).
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"wasched/internal/lint/analysis"
+)
+
+// Nodeterminism forbids the three ambient-input families that break
+// bit-identical replay inside simulator code: wall-clock time (time.Now
+// and friends — simulated time must come from des.Time and the des.Engine
+// clock), the global math/rand generators (randomness must come from a
+// named, seeded des.RNG stream), and environment reads (os.Getenv-shaped
+// configuration, which makes two runs of the same seed diverge between
+// machines). Deliberate wall-clock use in orchestration code (journal
+// timestamps, progress ETAs) is annotated with //waschedlint:allow.
+var Nodeterminism = &analysis.Analyzer{
+	Name: "nodeterminism",
+	Doc:  "forbid wall clocks, global math/rand and environment reads in simulator code",
+	Run:  runNodeterminism,
+}
+
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+}
+
+// Seeded constructors are fine — they are exactly how des.RNG builds its
+// deterministic streams. Everything else at package level draws from the
+// shared, globally seeded generator.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewSource":  true,
+	"NewZipf":    true,
+}
+
+var envFuncs = map[string]bool{
+	"Getenv":    true,
+	"LookupEnv": true,
+	"Environ":   true,
+	"ExpandEnv": true,
+}
+
+func runNodeterminism(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods (e.g. on a seeded *rand.Rand) are fine
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallClockFuncs[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"wall-clock time.%s in simulator code: simulated time must come from des.Time and the des.Engine clock", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"global %s.%s: draw randomness from a named, seeded des.RNG stream instead", fn.Pkg().Path(), fn.Name())
+				}
+			case "os":
+				if envFuncs[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"os.%s makes simulator behaviour depend on the environment; pass configuration explicitly instead", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

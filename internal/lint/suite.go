@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"strings"
+
+	"wasched/internal/lint/analysis"
+	"wasched/internal/lint/load"
+)
+
+// ScopedAnalyzer binds an analyzer to the import paths it guards. The
+// analyzers themselves are scope-free (so their golden corpora run on
+// synthetic packages); the suite decides where each invariant applies.
+type ScopedAnalyzer struct {
+	Analyzer *analysis.Analyzer
+	// Include lists import-path prefixes the analyzer runs on; empty
+	// means every package handed to Check.
+	Include []string
+	// Exclude lists import-path prefixes carved out of Include.
+	Exclude []string
+}
+
+func (sa ScopedAnalyzer) applies(importPath string) bool {
+	for _, e := range sa.Exclude {
+		if hasPathPrefix(importPath, e) {
+			return false
+		}
+	}
+	if len(sa.Include) == 0 {
+		return true
+	}
+	for _, p := range sa.Include {
+		if hasPathPrefix(importPath, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasPathPrefix(path, prefix string) bool {
+	return path == prefix || strings.HasPrefix(path, prefix+"/")
+}
+
+// Suite returns the waschedlint analyzer suite with this repository's
+// scoping. Rationale per analyzer:
+//
+//   - nodeterminism guards everything that runs inside (or feeds) the
+//     simulation. internal/experiments and the CLIs are orchestration —
+//     wall-clock progress reporting there is legitimate — but internal/farm
+//     is included even though it is orchestration too: its cells promise
+//     bit-identical replay, so its deliberate wall-clock uses (journal
+//     timestamps, ETAs) must each carry an allow rationale.
+//   - maporder and tickerstop run everywhere; ordered effects and ticker
+//     leaks are never right.
+//   - checkederr runs where state files are written: the farm and the
+//     CLIs driving it.
+//   - floatguard runs where rate/throughput arithmetic lives: the
+//     scheduler policies and the resource/file-system models.
+func Suite() []ScopedAnalyzer {
+	return []ScopedAnalyzer{
+		{
+			Analyzer: Nodeterminism,
+			Include:  []string{"wasched/internal"},
+			Exclude:  []string{"wasched/internal/experiments", "wasched/internal/lint"},
+		},
+		{Analyzer: Maporder},
+		{Analyzer: Tickerstop},
+		{
+			Analyzer: Checkederr,
+			Include:  []string{"wasched/internal/farm", "wasched/cmd"},
+		},
+		{
+			Analyzer: Floatguard,
+			Include: []string{
+				"wasched/internal/sched",
+				"wasched/internal/restrack",
+				"wasched/internal/pfs",
+			},
+		},
+	}
+}
+
+// Analyzers returns the suite's analyzers in declaration order.
+func Analyzers() []*analysis.Analyzer {
+	var out []*analysis.Analyzer
+	for _, sa := range Suite() {
+		out = append(out, sa.Analyzer)
+	}
+	return out
+}
+
+// Check runs the suite over the loaded packages: each in-scope analyzer
+// runs per package, allow directives filter the findings, and malformed
+// allow directives are findings themselves. The returned diagnostics are
+// sorted by position.
+func Check(pkgs []*load.Package, suite []ScopedAnalyzer) ([]analysis.Diagnostic, error) {
+	var out []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		allows, malformed := analysis.ParseAllows(pkg.Fset, pkg.Files)
+		out = append(out, malformed...)
+		for _, sa := range suite {
+			if !sa.applies(pkg.ImportPath) {
+				continue
+			}
+			diags, err := analysis.Run(sa.Analyzer, pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, analysis.Filter(pkg.Fset, diags, allows)...)
+		}
+	}
+	if len(pkgs) > 0 {
+		analysis.Sort(pkgs[0].Fset, out)
+	}
+	return out, nil
+}

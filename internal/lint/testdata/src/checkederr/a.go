@@ -1,0 +1,62 @@
+// Corpus for the checkederr analyzer: discarded error returns (call
+// statements, defer/go statements, blank assignments) are flagged;
+// checked errors, never-failing writers, the fmt print family and
+// annotated discards are not.
+package a
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func discardedCall(f *os.File) {
+	f.Sync() // want `discarded error from Sync`
+}
+
+func deferredDiscard(f *os.File) {
+	defer f.Close() // want `deferred Close discards its error`
+	f.Sync()        // want `discarded error from Sync`
+}
+
+func goDiscard(f *os.File) {
+	go f.Sync() // want `go Sync discards its error`
+}
+
+func blankSingle(f *os.File) {
+	_ = f.Close() // want `error result of Close assigned to _`
+}
+
+func blankMulti(f *os.File, b []byte) {
+	_, _ = f.Write(b) // want `error result of Write assigned to _`
+}
+
+func blankJSON(v any) []byte {
+	b, _ := json.Marshal(v) // want `error result of Marshal assigned to _`
+	return b
+}
+
+func checked(f *os.File, b []byte) error {
+	if _, err := f.Write(b); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func neverFails(sb *strings.Builder) string {
+	// strings.Builder's writers are documented never to fail.
+	sb.WriteString("header\n")
+	fmt.Println("progress") // the fmt print family is exempt
+	return sb.String()
+}
+
+func noErrorResult(m map[string]int) int {
+	delete(m, "k")
+	return len(m)
+}
+
+func annotated(f *os.File) {
+	//waschedlint:allow checkederr the file is opened read-only; close cannot lose data
+	f.Close()
+}

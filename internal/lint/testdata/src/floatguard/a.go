@@ -1,0 +1,102 @@
+// Corpus for the floatguard analyzer: unguarded float divisions and raw
+// Rate/MeasuredThroughput operands are flagged; nonzero-constant
+// denominators, the `if x > 0` guard idiom and the clamp helpers are not.
+package a
+
+type job struct {
+	Rate  float64
+	Nodes int
+}
+
+type roundInput struct {
+	MeasuredThroughput float64
+}
+
+// clampNonNeg mirrors the repo's helper: NaN and negatives collapse to 0.
+func clampNonNeg(x float64) float64 {
+	if x != x || x < 0 {
+		return 0
+	}
+	return x
+}
+
+// clampRate mirrors the repo's helper: invalid values collapse into
+// [0, limit].
+func clampRate(x, limit float64) float64 {
+	if x != x || x < 0 {
+		return 0
+	}
+	if x > limit {
+		return limit
+	}
+	return x
+}
+
+func unguardedDivision(sum, count float64) float64 {
+	return sum / count // want `float division by count may produce NaN/Inf`
+}
+
+func unguardedQuoAssign(total, share float64) float64 {
+	total /= share // want `float division by share may produce NaN/Inf`
+	return total
+}
+
+func guardedDivision(sum, count float64) float64 {
+	if count > 0 {
+		return sum / count
+	}
+	return 0
+}
+
+func guardedThroughConversion(sum float64, n int) float64 {
+	// The guard compares the unconverted expression; conversions are
+	// stripped on both sides before matching.
+	if n < 1 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func constantDenominator(sum float64) float64 {
+	return sum / 2
+}
+
+func clampedDivision(sum, count float64) float64 {
+	return clampNonNeg(sum / count)
+}
+
+func rawRateOperand(j job) float64 {
+	return j.Rate * 2 // want `raw j\.Rate in arithmetic may carry NaN or a negative estimate`
+}
+
+func rawRateCompound(j job, total float64) float64 {
+	total += j.Rate // want `raw j\.Rate in arithmetic may carry NaN or a negative estimate`
+	return total
+}
+
+func rawMeasured(in roundInput, limit float64) float64 {
+	return limit - in.MeasuredThroughput // want `raw in\.MeasuredThroughput in arithmetic may carry NaN or a negative estimate`
+}
+
+func clampedRate(j job, limit float64) float64 {
+	return clampRate(j.Rate, limit) + 1
+}
+
+func guardedRate(j job) float64 {
+	if j.Rate > 0 {
+		return j.Rate * 2
+	}
+	return 0
+}
+
+func rateOutsideArithmetic(j job) float64 {
+	// Plain reads, assignments and comparisons are not arithmetic and not
+	// flagged — only unclamped arithmetic can propagate NaN onward.
+	r := j.Rate
+	return r
+}
+
+func annotated(j job) float64 {
+	//waschedlint:allow floatguard rate validated at workload load time
+	return j.Rate * 2
+}

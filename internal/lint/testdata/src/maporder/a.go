@@ -1,0 +1,89 @@
+// Corpus for the maporder analyzer: map iteration whose order reaches an
+// observable effect (accumulated slices, order-sensitive sinks, channel
+// sends, output) is flagged; the collect-then-sort idiom, loop-local
+// slices and ordered (slice) ranges are not.
+package a
+
+import (
+	"fmt"
+	"sort"
+)
+
+type queue struct{ ids []string }
+
+func (q *queue) Submit(id string) { q.ids = append(q.ids, id) }
+
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `keys is appended to in iteration order of map m`
+	}
+	return keys
+}
+
+func collectThenSort(m map[string]int) []string {
+	// The canonical fix: collecting is fine when a sort erases the order
+	// before the slice is used.
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sinkInLoop(m map[string]int, q *queue) {
+	for k := range m {
+		q.Submit(k) // want `call to Submit inside iteration over map m`
+	}
+}
+
+func printInLoop(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `call to Println inside iteration over map m`
+	}
+}
+
+func sendInLoop(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send inside iteration over map m`
+	}
+}
+
+func loopLocalSlice(m map[string][]int) int {
+	// A slice created inside the body is reset every iteration and cannot
+	// accumulate map order.
+	total := 0
+	for _, vs := range m {
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, 2*v)
+		}
+		total += len(doubled)
+	}
+	return total
+}
+
+func sliceRangeIsOrdered(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+func pureReduction(m map[string]int) int {
+	// Commutative reductions are order-insensitive and not flagged.
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func annotated(m map[string]int) {
+	for k := range m {
+		//waschedlint:allow maporder debug dump, order is irrelevant
+		fmt.Println(k)
+	}
+}

@@ -1,0 +1,43 @@
+// Corpus for the nodeterminism analyzer: ambient inputs (wall clock,
+// global math/rand, environment) are flagged; seeded RNG streams, explicit
+// time construction and annotated exceptions are not.
+package a
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func sinkTime(time.Time)         {}
+func sinkDuration(time.Duration) {}
+func sinkFloat(float64)          {}
+func sinkString(string)          {}
+
+func flagged(epoch time.Time) {
+	sinkTime(time.Now())        // want `wall-clock time\.Now in simulator code`
+	sinkDuration(time.Since(epoch)) // want `wall-clock time\.Since in simulator code`
+	sinkDuration(time.Until(epoch)) // want `wall-clock time\.Until in simulator code`
+	sinkFloat(rand.Float64())   // want `global math/rand\.Float64: draw randomness from a named, seeded des\.RNG stream`
+	sinkString(os.Getenv("WASCHED_DEBUG")) // want `os\.Getenv makes simulator behaviour depend on the environment`
+	if _, ok := os.LookupEnv("HOME"); ok { // want `os\.LookupEnv makes simulator behaviour depend on the environment`
+		sinkString("set")
+	}
+}
+
+func seededStream() float64 {
+	// Seeded constructors and methods on the resulting generator are the
+	// sanctioned pattern — they are exactly how des.RNG builds streams.
+	rng := rand.New(rand.NewSource(42))
+	return rng.Float64()
+}
+
+func explicitTime() time.Time {
+	// Constructing times from explicit components is deterministic.
+	return time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+}
+
+func annotated() time.Time {
+	//waschedlint:allow nodeterminism progress reporting only, never feeds results
+	return time.Now()
+}

@@ -1,0 +1,78 @@
+// Corpus for the tickerstop analyzer: tickers and timers that can never
+// be stopped are flagged; deferred Stops, plain Stops in select loops and
+// ownership hand-offs (return, struct store, argument) are not.
+package a
+
+import "time"
+
+func leakedTicker(d time.Duration) {
+	t := time.NewTicker(d) // want `time\.NewTicker is never stopped; defer t\.Stop\(\)`
+	<-t.C
+}
+
+func leakedTimer(d time.Duration) {
+	tm := time.NewTimer(d) // want `time\.NewTimer is never stopped; defer tm\.Stop\(\)`
+	<-tm.C
+}
+
+func resetDoesNotDischarge(d time.Duration) {
+	tm := time.NewTimer(d) // want `time\.NewTimer is never stopped; defer tm\.Stop\(\)`
+	tm.Reset(d)
+	<-tm.C
+}
+
+func unretained(d time.Duration) {
+	<-time.NewTicker(d).C // want `time\.NewTicker result is not retained`
+}
+
+func discarded(d time.Duration) {
+	_ = time.NewTicker(d) // want `time\.NewTicker result discarded`
+}
+
+func tickLeaks(d time.Duration) <-chan time.Time {
+	return time.Tick(d) // want `time\.Tick leaks its ticker`
+}
+
+func deferredStop(d time.Duration, done chan struct{}) {
+	t := time.NewTicker(d)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+		case <-done:
+			return
+		}
+	}
+}
+
+func plainStop(d time.Duration) {
+	t := time.NewTimer(d)
+	<-t.C
+	t.Stop()
+}
+
+func returned(d time.Duration) *time.Ticker {
+	// Returning the ticker transfers the stop obligation to the caller.
+	t := time.NewTicker(d)
+	return t
+}
+
+type poller struct{ tick *time.Ticker }
+
+func stored(d time.Duration, p *poller) {
+	// Stored in a struct: the owner's lifecycle stops it.
+	p.tick = time.NewTicker(d)
+}
+
+func handedOff(d time.Duration) {
+	t := time.NewTicker(d)
+	stopLater(t)
+}
+
+func stopLater(t *time.Ticker) { t.Stop() }
+
+func annotated(d time.Duration) {
+	//waschedlint:allow tickerstop fires once at process exit, lifetime equals the process
+	t := time.NewTicker(d)
+	<-t.C
+}

@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"wasched/internal/lint/analysis"
+)
+
+// Tickerstop flags time.NewTicker/time.NewTimer results that can never be
+// stopped — the PR 3 feeder leak class, where a ticker installed on a
+// shallow workload kept firing forever. A ticker/timer assigned to a
+// variable must have a reachable <v>.Stop() (deferred or not) in the
+// enclosing function, or escape it (returned, stored in a struct or
+// passed to another function, which transfers the stop obligation).
+// Calling the constructor without binding the result (for example ranging
+// over time.NewTicker(d).C) is always flagged, as is time.Tick, whose
+// ticker is unreachable by construction.
+var Tickerstop = &analysis.Analyzer{
+	Name: "tickerstop",
+	Doc:  "every time.NewTicker/NewTimer needs a reachable Stop or an escaping owner",
+	Run:  runTickerstop,
+}
+
+func runTickerstop(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		parents := analysis.Parents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			switch fn.Name() {
+			case "Tick":
+				pass.Reportf(call.Pos(), "time.Tick leaks its ticker; use time.NewTicker and defer its Stop")
+				return true
+			case "NewTicker", "NewTimer":
+			default:
+				return true
+			}
+			checkConstructor(pass, parents, call, fn.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+func checkConstructor(pass *analysis.Pass, parents map[ast.Node]ast.Node, call *ast.CallExpr, ctor string) {
+	parent := parents[call]
+	if p, ok := parent.(*ast.ParenExpr); ok {
+		parent = parents[p]
+	}
+	switch p := parent.(type) {
+	case *ast.AssignStmt:
+		for i, rhs := range p.Rhs {
+			if ast.Unparen(rhs) != ast.Expr(call) || i >= len(p.Lhs) {
+				continue
+			}
+			id, ok := p.Lhs[i].(*ast.Ident)
+			if !ok {
+				return // stored into a field or element: escapes
+			}
+			if id.Name == "_" {
+				pass.Reportf(call.Pos(), "time.%s result discarded: it can never be stopped", ctor)
+				return
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj == nil {
+				return
+			}
+			if !stoppedOrEscapes(pass.TypesInfo, parents, analysis.EnclosingFunc(parents, p), obj) {
+				pass.Reportf(call.Pos(), "time.%s is never stopped; defer %s.Stop() (or hand it off)", ctor, id.Name)
+			}
+			return
+		}
+	case *ast.ValueSpec:
+		for i, v := range p.Values {
+			if ast.Unparen(v) != ast.Expr(call) || i >= len(p.Names) {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[p.Names[i]]
+			if obj == nil {
+				return
+			}
+			if !stoppedOrEscapes(pass.TypesInfo, parents, analysis.EnclosingFunc(parents, p), obj) {
+				pass.Reportf(call.Pos(), "time.%s is never stopped; defer %s.Stop() (or hand it off)", ctor, p.Names[i].Name)
+			}
+			return
+		}
+	case *ast.ExprStmt, *ast.SelectorExpr:
+		// Bare call, or an immediate .C access: nothing retains the
+		// ticker, so nothing can ever stop it.
+		pass.Reportf(call.Pos(), "time.%s result is not retained: it can never be stopped", ctor)
+	default:
+		// Passed as an argument, returned, sent on a channel, stored in a
+		// composite literal, ...: ownership moves with the value.
+	}
+}
+
+// stoppedOrEscapes reports whether obj has a reachable Stop call in fn
+// (including inside nested closures) or escapes fn as a value.
+func stoppedOrEscapes(info *types.Info, parents map[ast.Node]ast.Node, fn ast.Node, obj types.Object) bool {
+	body := analysis.FuncBody(fn)
+	if body == nil {
+		return true // conservatively trust package-level tickers
+	}
+	ok := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		id, isIdent := n.(*ast.Ident)
+		if !isIdent || info.Uses[id] != obj {
+			return true
+		}
+		if sel, isSel := parents[id].(*ast.SelectorExpr); isSel && sel.X == ast.Expr(id) {
+			switch sel.Sel.Name {
+			case "Stop":
+				ok = true
+			case "C", "Reset":
+				// Using the channel or resetting does not discharge Stop.
+			default:
+				ok = true
+			}
+			return true
+		}
+		// Any non-selector use — argument, return value, assignment
+		// source, channel send, composite literal — hands the value off.
+		ok = true
+		return true
+	})
+	return ok
+}

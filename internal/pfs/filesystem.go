@@ -191,7 +191,12 @@ func (fs *FileSystem) mdsDelay() des.Duration {
 	if fs.mdsFreeAt > start {
 		start = fs.mdsFreeAt
 	}
-	opTime := des.FromSeconds(1 / fs.cfg.MDSOpsPerSec)
+	// A zero or negative MDSOpsPerSec in a hand-written config would turn
+	// the op time into ±Inf; treat it as "no metadata throughput cap".
+	opTime := des.Duration(0)
+	if fs.cfg.MDSOpsPerSec > 0 {
+		opTime = des.FromSeconds(1 / fs.cfg.MDSOpsPerSec)
+	}
 	done := start.Add(opTime)
 	fs.mdsFreeAt = done
 	return done.Sub(now) + fs.cfg.MDSLatency
@@ -310,6 +315,7 @@ func (fs *FileSystem) recompute() {
 		if fs.volDegrade != nil {
 			volBW *= fs.volDegrade[s.volume]
 		}
+		//waschedlint:allow floatguard every stream was counted into its own volume above, so the count is >= 1
 		share := volBW / float64(volCount[s.volume])
 		s.rate = math.Min(cap, share)
 		totalDemand += s.rate
@@ -333,7 +339,12 @@ func (fs *FileSystem) recompute() {
 	k := len(fs.streams)
 	eff := 1.0
 	if k > cfg.CongestionKnee {
-		eff = 1 / (1 + cfg.CongestionPerStream*float64(k-cfg.CongestionKnee))
+		// A negative CongestionPerStream in a hand-written config could
+		// drive the denominator to zero or below; efficiency never rises
+		// above 1 with congestion.
+		if denom := 1 + cfg.CongestionPerStream*float64(k-cfg.CongestionKnee); denom > 1 {
+			eff = 1 / denom
+		}
 	}
 	agg := cfg.ServerCap * eff * fs.noiseFactor(fs.globalLog)
 	if fs.globalDegrade > 0 {

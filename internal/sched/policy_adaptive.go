@@ -98,7 +98,9 @@ func (p AdaptivePolicy) NewRound(in RoundInput) Round {
 	// restrack.ReserveSigned).
 	at := restrack.NewBandwidthTracker(adjTarget)
 	for _, j := range in.Running {
-		at.ReserveSigned(in.Now, j.StartedAt.Add(j.Limit), j.Rate-float64(j.Nodes)*rZeroBar)
+		// A running job's rate is an external estimate like any other: a
+		// NaN or negative value must not poison the adjusted tracker.
+		at.ReserveSigned(in.Now, j.StartedAt.Add(j.Limit), clampNonNeg(j.Rate)-float64(j.Nodes)*rZeroBar)
 	}
 	return &adaptiveRound{
 		p:        p,
@@ -242,7 +244,7 @@ func (r *adaptiveRound) EarliestStart(j *Job, tmin des.Time) (des.Time, bool) {
 func (r *adaptiveRound) Reserve(j *Job, t des.Time) {
 	r.rt.Reserve(j, t)
 	if !r.isZeroJob(j) {
-		r.at.ReserveSigned(t, t.Add(j.Limit), j.Rate-float64(j.Nodes)*r.rZeroBar)
+		r.at.ReserveSigned(t, t.Add(j.Limit), clampNonNeg(j.Rate)-float64(j.Nodes)*r.rZeroBar)
 	}
 }
 

@@ -52,11 +52,18 @@ func (p TetrisPolicy) NewRound(in RoundInput) Round {
 // job's normalised demand vector and the normalised available-capacity
 // vector, with the original queue position as the tiebreak.
 func (p TetrisPolicy) OrderWindow(in RoundInput, window []*Job) {
+	if p.TotalNodes <= 0 {
+		return // NewRound panics on this; don't divide by it here
+	}
 	availNodes := float64(p.TotalNodes)
 	availBW := p.ThroughputLimit
 	for _, j := range in.Running {
 		availNodes -= float64(j.Nodes)
-		availBW -= j.Rate
+		// Rates are external estimates: a NaN here would make every score
+		// NaN, and a NaN-laden comparator gives sort.SliceStable no
+		// consistent order — the window shuffle would stop being a pure
+		// function of the queue.
+		availBW -= clampNonNeg(j.Rate)
 	}
 	if availNodes < 0 {
 		availNodes = 0
@@ -79,7 +86,7 @@ func (p TetrisPolicy) OrderWindow(in RoundInput, window []*Job) {
 		dn := float64(j.Nodes) / float64(p.TotalNodes)
 		db := 0.0
 		if p.ThroughputLimit > 0 {
-			db = j.Rate / p.ThroughputLimit
+			db = clampNonNeg(j.Rate) / p.ThroughputLimit
 		}
 		norm := math.Sqrt(dn*dn + db*db)
 		score := dn*an + db*ab

@@ -2,6 +2,7 @@ package schedcheck
 
 import (
 	"math"
+	"sort"
 
 	"wasched/internal/des"
 	"wasched/internal/sched"
@@ -143,8 +144,17 @@ func compareStarts(res *DiffResult, got, want, invariant string) {
 	if a == nil || b == nil {
 		return
 	}
+	// Iterate in sorted job order: with the report capped at three
+	// differences, map order would otherwise decide which ones are shown
+	// and the violation text would differ between replays of the same run.
+	ids := make([]string, 0, len(b.Starts))
+	for id := range b.Starts {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
 	diffs := 0
-	for id, tb := range b.Starts {
+	for _, id := range ids {
+		tb := b.Starts[id]
 		ta, ok := a.Starts[id]
 		if !ok {
 			res.Check.violatef(invariant, "job %s started under %s at %v but never under %s", id, want, tb, got)
@@ -158,7 +168,12 @@ func compareStarts(res *DiffResult, got, want, invariant string) {
 			return
 		}
 	}
+	ids = ids[:0]
 	for id := range a.Starts {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
 		if _, ok := b.Starts[id]; !ok {
 			res.Check.violatef(invariant, "job %s started under %s but never under %s", id, got, want)
 			return

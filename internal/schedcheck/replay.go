@@ -276,12 +276,20 @@ func checkRound(in sched.RoundInput, decisions []sched.Decision, round sched.Rou
 		res.violatef("backfill-budget", "t=%v: %d reservations made with BackfillMax=%d", in.Now, reserved, max)
 	}
 	if diag, ok := round.(sched.Diagnoser); ok {
-		for k, v := range diag.Diagnostics() {
-			if math.IsNaN(v) || math.IsInf(v, 0) {
+		// Report in sorted key order: violation text must be identical
+		// across replays, so map order must never reach it.
+		diags := diag.Diagnostics()
+		keys := make([]string, 0, len(diags))
+		for k := range diags {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if v := diags[k]; math.IsNaN(v) || math.IsInf(v, 0) {
 				res.violatef("diagnostics-finite", "t=%v: diagnostic %q is %v", in.Now, k, v)
 			}
 		}
-		if at, ok := diag.Diagnostics()["adjusted_target"]; ok && at < 0 {
+		if at, ok := diags["adjusted_target"]; ok && at < 0 {
 			res.violatef("diagnostics-finite", "t=%v: adjusted target %g is negative", in.Now, at)
 		}
 	}

@@ -189,7 +189,26 @@ func checkClassOrder(jobs []trace.JobTrace, res *Result) {
 		k := classKey{fp: j.Fingerprint, nodes: j.Nodes, limit: j.Limit, priority: j.Priority}
 		classes[k] = append(classes[k], j)
 	}
-	for k, members := range classes {
+	// Iterate classes in a sorted order so that the violation report is
+	// identical across replays — map order must never reach output.
+	keys := make([]classKey, 0, len(classes))
+	for k := range classes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].fp != keys[b].fp {
+			return keys[a].fp < keys[b].fp
+		}
+		if keys[a].nodes != keys[b].nodes {
+			return keys[a].nodes < keys[b].nodes
+		}
+		if keys[a].limit != keys[b].limit {
+			return keys[a].limit < keys[b].limit
+		}
+		return keys[a].priority < keys[b].priority
+	})
+	for _, k := range keys {
+		members := classes[k]
 		sort.Slice(members, func(a, b int) bool {
 			if members[a].Submit != members[b].Submit {
 				return members[a].Submit < members[b].Submit
