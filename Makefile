@@ -1,13 +1,16 @@
 # Development targets. `make check` is the pre-merge gate: static vetting,
 # the waschedlint analyzer suite, the full test suite under the race
-# detector, the sweep checkpoint/resume smoke test, and a short-budget run
-# of every fuzz target (seed corpus + a few seconds of mutation each).
+# detector, the sweep checkpoint/resume smoke test, the distributed
+# (coordinator + loopback workers) smoke test, and a short-budget run of
+# every fuzz target (seed corpus + a few seconds of mutation each).
 
 GO      ?= go
 FUZZTIME ?= 10s
 SWEEPDIR := .sweep-smoke
+GRIDDIR  := .gridsweep-smoke
+GRIDADDR := 127.0.0.1:39137
 
-.PHONY: build vet lint test race fuzz sweep-smoke check
+.PHONY: build vet lint test race fuzz sweep-smoke gridsweep-smoke check
 
 build:
 	$(GO) build ./...
@@ -40,6 +43,28 @@ sweep-smoke:
 	$(SWEEPDIR)/wasched sweep status fig6-smoke -state-dir $(SWEEPDIR) | grep -q ' 0 remaining'
 	@rm -rf $(SWEEPDIR)
 
+# The distributed drill: a coordinator shards the smoke sweep across two
+# loopback workers, one worker takes a SIGINT mid-run (graceful drain),
+# the coordinator drains early via -max-cells (exit 3 = resumable), and
+# the local path finishes the coordinator-written checkpoint — proving
+# the two paths share one journal format.
+gridsweep-smoke:
+	@rm -rf $(GRIDDIR)
+	$(GO) build -o $(GRIDDIR)/wasched ./cmd/wasched
+	@set -e; \
+	$(GRIDDIR)/wasched sweep serve fig6-smoke -state-dir $(GRIDDIR) -addr $(GRIDADDR) -lease-ttl 10s -max-cells 3 -quiet >/dev/null 2>$(GRIDDIR)/coord.log & coord=$$!; \
+	sleep 1; \
+	$(GRIDDIR)/wasched sweep work -coord http://$(GRIDADDR) -parallel 1 -name w1 -quiet 2>$(GRIDDIR)/w1.log & w1=$$!; \
+	$(GRIDDIR)/wasched sweep work -coord http://$(GRIDADDR) -parallel 2 -name w2 -quiet 2>$(GRIDDIR)/w2.log & w2=$$!; \
+	sleep 2; kill -INT $$w1 2>/dev/null || true; \
+	wait $$w1 || { echo "worker 1 failed to drain cleanly"; cat $(GRIDDIR)/w1.log; exit 1; }; \
+	code=0; wait $$coord || code=$$?; \
+	[ $$code -eq 3 ] || { echo "expected coordinator exit 3 (drained early), got $$code"; cat $(GRIDDIR)/coord.log; exit 1; }; \
+	wait $$w2 || { echo "worker 2 failed"; cat $(GRIDDIR)/w2.log; exit 1; }
+	$(GRIDDIR)/wasched sweep resume fig6-smoke -workers 2 -state-dir $(GRIDDIR) -quiet
+	$(GRIDDIR)/wasched sweep status fig6-smoke -state-dir $(GRIDDIR) | grep -q ' 0 remaining'
+	@rm -rf $(GRIDDIR)
+
 # Go allows one -fuzz target per invocation, so each runs separately.
 fuzz:
 	$(GO) test ./internal/restrack -run='^$$' -fuzz=FuzzProfile -fuzztime=$(FUZZTIME)
@@ -47,4 +72,4 @@ fuzz:
 	$(GO) test ./internal/sched -run='^$$' -fuzz=FuzzRunRound -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/sched -run='^$$' -fuzz=FuzzTwoGroupSplit -fuzztime=$(FUZZTIME)
 
-check: vet lint race sweep-smoke fuzz
+check: vet lint race sweep-smoke gridsweep-smoke fuzz

@@ -1,0 +1,197 @@
+package main
+
+// The distributed sweep subcommands: `wasched sweep serve` turns this
+// process into a gridfarm coordinator over a registered sweep's cells, and
+// `wasched sweep work` joins a running coordinator as a worker. The
+// coordinator owns the state dir (same journal + cache as local sweeps),
+// so an interrupted distributed run resumes under either path.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wasched/internal/experiments"
+	"wasched/internal/farm"
+	"wasched/internal/gridfarm"
+)
+
+// sweepServe runs the coordinator side of a distributed sweep.
+func sweepServe(args []string) error {
+	fs := flag.NewFlagSet("sweep serve", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 1, "sweep seed (same seed → identical cells and results)")
+	repeats := fs.Int("repeats", 0, "repeat-count override where the sweep supports it (0: default)")
+	stateDir := fs.String("state-dir", "", "state directory for the result cache and checkpoint journal")
+	addr := fs.String("addr", "127.0.0.1:8431", "listen address for the worker API")
+	leaseTTL := fs.Duration("lease-ttl", 30*time.Second, "lease lifetime without a heartbeat before a cell is reassigned")
+	maxReassign := fs.Int("max-reassign", 3, "lease expiries a cell tolerates before quarantine")
+	batch := fs.Int("batch", 16, "max cells granted per lease request")
+	maxCells := fs.Int("max-cells", 0, "drain after N fresh cells as if interrupted (testing resume; 0: off)")
+	quiet := fs.Bool("quiet", false, "suppress lifecycle lines on stderr")
+	name, err := parseNameAndFlags(fs, "serve", args,
+		"usage: wasched sweep serve <name> -state-dir DIR [-addr HOST:PORT] [-seed N] [-repeats N] [-lease-ttl D] [-max-reassign N] [-batch N] [-max-cells N] [-quiet]")
+	if err != nil {
+		return err
+	}
+	if *stateDir == "" {
+		return fmt.Errorf("sweep serve needs -state-dir (the coordinator owns the sweep's checkpoint state)")
+	}
+	s, ok := experiments.Sweeps()[name]
+	if !ok {
+		return fmt.Errorf("unknown sweep %q (try `wasched sweep list`)", name)
+	}
+	cfg := experiments.SweepConfig{Seed: *seed, Repeats: *repeats}
+
+	var progress io.Writer
+	if !*quiet {
+		progress = os.Stderr
+	}
+	store, err := farm.OpenStore(*stateDir, name)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := store.Close(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "wasched: %v\n", cerr)
+		}
+	}()
+	coord, err := gridfarm.NewCoordinator(s.Cells(cfg), store, gridfarm.Config{
+		Sweep:       gridfarm.SweepInfo{Name: name, Seed: *seed, Repeats: *repeats},
+		LeaseTTL:    *leaseTTL,
+		BatchMax:    *batch,
+		MaxReassign: *maxReassign,
+		MaxFresh:    *maxCells,
+		Progress:    progress,
+	})
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wasched sweep serve: %s on http://%s (state dir %s)\n",
+		name, ln.Addr(), *stateDir)
+	srv := &http.Server{Handler: coord.Handler()}
+	serveErr := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			serveErr <- err
+		}
+	}()
+
+	// First Ctrl-C drains: no further leases, outstanding ones finish or
+	// expire, then the checkpoint is left resumable (exit 3).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-coord.DoneC():
+	case <-coord.IdleC(): // -max-cells drain completed
+	case <-ctx.Done():
+		stop()
+		fmt.Fprintln(os.Stderr, "wasched sweep serve: draining (in-flight leases finish or expire)")
+		coord.Drain()
+		<-coord.IdleC() // bounded by the lease TTL: the janitor expires stragglers
+	}
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "wasched: shutting down worker API: %v\n", err)
+	}
+	sum := coord.Summary()
+	if err := sum.Err(); err != nil {
+		for _, o := range sum.Outcomes {
+			if o.Status == farm.StatusFailed {
+				fmt.Fprintf(os.Stderr, "wasched: cell %s failed: %s\n", o.Cell, firstLine(o.Err))
+			}
+		}
+		return err
+	}
+	return s.Report(os.Stdout, cfg, sum)
+}
+
+// sweepWork runs the worker side: it asks the coordinator what sweep it
+// serves, rebuilds the executor from the local registry, and leases cells
+// until the coordinator drains. Ctrl-C finishes in-flight cells, uploads
+// them, and exits cleanly.
+func sweepWork(args []string) error {
+	fs := flag.NewFlagSet("sweep work", flag.ContinueOnError)
+	coordURL := fs.String("coord", "", "coordinator base URL (http://host:port)")
+	parallel := fs.Int("parallel", 1, "concurrent cell executions (also the lease batch size)")
+	workerName := fs.String("name", "", "worker identity in leases and the journal (default: worker-<pid>)")
+	quiet := fs.Bool("quiet", false, "suppress lifecycle lines on stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("sweep work: unexpected arguments %v", fs.Args())
+	}
+	if *coordURL == "" {
+		return fmt.Errorf("sweep work needs -coord URL")
+	}
+	if *workerName == "" {
+		*workerName = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	var progress io.Writer
+	if !*quiet {
+		progress = os.Stderr
+	}
+	wcfg := gridfarm.WorkerConfig{
+		Coord:    *coordURL,
+		Name:     *workerName,
+		Parallel: *parallel,
+		Progress: progress,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	info, err := gridfarm.FetchSweepInfo(ctx, wcfg)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil // interrupted before the coordinator answered
+		}
+		return fmt.Errorf("sweep work: %w", err)
+	}
+	s, ok := experiments.Sweeps()[info.Name]
+	if !ok {
+		return fmt.Errorf("coordinator serves sweep %q, unknown to this binary (version skew?)", info.Name)
+	}
+	stats, err := gridfarm.RunWorker(ctx, s.Exec(experiments.SweepConfig{Seed: info.Seed, Repeats: info.Repeats}), wcfg)
+	if stats != nil && !*quiet {
+		fmt.Fprintf(os.Stderr, "wasched sweep work: %s executed %d cell(s): %d admitted, %d duplicate, %d rejected\n",
+			*workerName, stats.Executed, stats.Admitted, stats.Duplicates, stats.Rejected)
+	}
+	return err
+}
+
+// parseNameAndFlags parses a flag set that takes one positional sweep
+// name, accepting flags before or after it (matching parseSweepFlags).
+func parseNameAndFlags(fs *flag.FlagSet, cmd string, args []string, usage string) (string, error) {
+	if err := fs.Parse(args); err != nil {
+		return "", err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return "", fmt.Errorf("%s", usage)
+	}
+	name := rest[0]
+	if err := fs.Parse(rest[1:]); err != nil {
+		return "", err
+	}
+	if fs.NArg() != 0 {
+		return "", fmt.Errorf("sweep %s: unexpected arguments %v", cmd, fs.Args())
+	}
+	return name, nil
+}

@@ -13,7 +13,9 @@
 // orchestrator directly: parallel cell execution with checkpoint/resume
 // (-state-dir), live progress on stderr, and graceful drain on Ctrl-C — an
 // interrupted sweep exits with code 3 and `sweep resume` picks up the
-// remaining cells.
+// remaining cells. `wasched sweep serve` and `wasched sweep work` run the
+// same sweeps distributed across machines (internal/gridfarm) against the
+// same checkpoint state.
 package main
 
 import (
@@ -104,6 +106,7 @@ func run(args []string) error {
 		out := fs.String("out", "", "output file (default stdout)")
 		csvDir := fs.String("csv", "", "directory for per-run CSV exports")
 		parallel := fs.Int("parallel", 0, "worker bound for multi-run experiments (<=0: GOMAXPROCS)")
+		stateDir := fs.String("state-dir", "", "checkpoint the report experiment by experiment; a crashed report resumes from here")
 		if err := fs.Parse(args[1:]); err != nil {
 			return err
 		}
@@ -118,8 +121,12 @@ func run(args []string) error {
 			w = f
 			progress = os.Stderr
 		}
-		err := experiments.WriteFullReport(w,
-			experiments.RunOptions{Seed: *seed, CSVDir: *csvDir, Workers: *parallel}, progress)
+		// With a state dir, Ctrl-C leaves a resumable checkpoint (exit 3),
+		// matching `wasched sweep run`.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		err := experiments.WriteFullReport(ctx, w,
+			experiments.RunOptions{Seed: *seed, CSVDir: *csvDir, Workers: *parallel, StateDir: *stateDir}, progress)
 		if f != nil {
 			// A close error on the written report means data may not have
 			// reached disk; surface it unless the report itself failed.
@@ -140,7 +147,7 @@ func run(args []string) error {
 // runSweep dispatches the `wasched sweep` subcommands.
 func runSweep(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: wasched sweep list|run|resume|status|clean ...")
+		return fmt.Errorf("usage: wasched sweep list|run|resume|status|clean|serve|work ...")
 	}
 	switch args[0] {
 	case "list":
@@ -157,8 +164,12 @@ func runSweep(args []string) error {
 		return sweepStatus(args[1:])
 	case "clean":
 		return sweepClean(args[1:])
+	case "serve":
+		return sweepServe(args[1:])
+	case "work":
+		return sweepWork(args[1:])
 	default:
-		return fmt.Errorf("unknown sweep command %q (want list, run, resume, status or clean)", args[0])
+		return fmt.Errorf("unknown sweep command %q (want list, run, resume, status, clean, serve or work)", args[0])
 	}
 }
 
@@ -303,11 +314,17 @@ func sweepStatus(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("sweep %s: %d cells, %d done, %d failed, %d remaining (%d run(s), last event %s)\n",
-		st.Name, st.Cells, st.Done, st.Failed, st.Remaining, st.Runs,
+	fmt.Printf("sweep %s: %d cells, %d done (%d cache hits, %d computed), %d failed, %d remaining (%d run(s), last event %s)\n",
+		st.Name, st.Cells, st.Done, st.CacheHits, st.Computed, st.Failed, st.Remaining, st.Runs,
 		st.LastEvent.Format("2006-01-02 15:04:05 MST"))
+	if st.Leased > 0 {
+		fmt.Printf("  %d cell(s) currently under lease (distributed run in progress or crashed)\n", st.Leased)
+	}
 	for _, c := range st.FailedCells {
 		fmt.Printf("  failed: %s\n", c)
+	}
+	for _, c := range st.QuarantinedCells {
+		fmt.Printf("  quarantined: %s\n", c)
 	}
 	if st.Remaining > 0 {
 		fmt.Printf("resume with: wasched sweep resume %s -state-dir %s\n", st.Name, f.stateDir)
@@ -344,6 +361,13 @@ commands:
   sweep clean -state-dir DIR [-dry-run]
                        garbage-collect corrupt, orphaned and leftover
                        cache files from a state directory
+  sweep serve <name> -state-dir DIR [-addr HOST:PORT] [-lease-ttl D] [-max-reassign N]
+                       coordinate a distributed sweep: shard its cells
+                       across "sweep work" processes over HTTP, sharing
+                       the local sweeps' checkpoint/resume state
+  sweep work -coord URL [-parallel N] [-name ID]
+                       join a coordinator as a worker: lease cells,
+                       execute, heartbeat, upload outcomes
   report [-seed N] [-out FILE] [-csv DIR] [-parallel N]
                        run every experiment and write one full report
   verify [-seed N]     check the headline reproduction claims (exit 1 on failure)`)

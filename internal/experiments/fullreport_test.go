@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"wasched/internal/farm"
+)
+
+// fakeReportRegistry builds a tiny registry of instant "experiments" so
+// the checkpointed-report machinery can be exercised without running real
+// simulations.
+func fakeReportRegistry() ([]string, map[string]Entry) {
+	names := []string{"alpha", "beta", "gamma"}
+	reg := make(map[string]Entry, len(names))
+	for _, n := range names {
+		reg[n] = Entry{Name: n, Description: n + " section", Run: func(w io.Writer, opts RunOptions) error {
+			fmt.Fprintf(w, "%s report seed=%d\n", n, opts.Seed)
+			return nil
+		}}
+	}
+	return names, reg
+}
+
+// TestReportFromCellsResume: a report interrupted after one section exits
+// with ErrInterrupted, and the re-invocation serves the finished section
+// from the cache while producing byte-identical output to an uninterrupted
+// run.
+func TestReportFromCellsResume(t *testing.T) {
+	t.Parallel()
+	order, reg := fakeReportRegistry()
+	opts := RunOptions{Seed: 5}
+
+	ref := &bytes.Buffer{}
+	if err := writeReportFromCells(context.Background(), ref, order, reg, opts,
+		farm.Options{Workers: 1, StateDir: t.TempDir()}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range order {
+		if !strings.Contains(ref.String(), name+" report seed=5") {
+			t.Fatalf("reference report missing section %q:\n%s", name, ref.String())
+		}
+	}
+
+	dir := t.TempDir()
+	var crash bytes.Buffer
+	err := writeReportFromCells(context.Background(), &crash, order, reg, opts,
+		farm.Options{Workers: 1, StateDir: dir, MaxFresh: 1})
+	if !errors.Is(err, farm.ErrInterrupted) {
+		t.Fatalf("interrupted report: got %v, want ErrInterrupted", err)
+	}
+	var resumed bytes.Buffer
+	if err := writeReportFromCells(context.Background(), &resumed, order, reg, opts,
+		farm.Options{Workers: 1, StateDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resumed.Bytes(), ref.Bytes()) {
+		t.Fatalf("resumed report differs from uninterrupted run:\n%s\n----\n%s", resumed.String(), ref.String())
+	}
+	st, err := farm.ReadStatus(dir, "report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Runs != 2 || st.Done != len(order) || st.Remaining != 0 {
+		t.Fatalf("report journal: %+v", st)
+	}
+	if st.CacheHits == 0 {
+		t.Fatalf("resume should have served cached sections: %+v", st)
+	}
+}
+
+// TestReportFailedSectionSurfaces: a failing experiment names itself in
+// the error instead of vanishing into a generic tally.
+func TestReportFailedSectionSurfaces(t *testing.T) {
+	t.Parallel()
+	order, reg := fakeReportRegistry()
+	reg["beta"] = Entry{Name: "beta", Description: "boom", Run: func(io.Writer, RunOptions) error {
+		return fmt.Errorf("synthetic failure")
+	}}
+	var buf bytes.Buffer
+	err := writeReportFromCells(context.Background(), &buf, order, reg, RunOptions{Seed: 1},
+		farm.Options{Workers: 1, StateDir: t.TempDir()})
+	if err == nil || !strings.Contains(err.Error(), "beta") || !strings.Contains(err.Error(), "synthetic failure") {
+		t.Fatalf("failed section error: %v", err)
+	}
+}
+
+// TestReportStateDirRejectsCSV: cached sections skip their CSV exporters,
+// so the combination is refused up front.
+func TestReportStateDirRejectsCSV(t *testing.T) {
+	t.Parallel()
+	err := WriteFullReport(context.Background(), io.Discard,
+		RunOptions{Seed: 1, StateDir: t.TempDir(), CSVDir: t.TempDir()}, nil)
+	if err == nil || !strings.Contains(err.Error(), "incompatible") {
+		t.Fatalf("state-dir + csv: %v", err)
+	}
+}
+
+// TestAblationRegistryConsistency: the CLI registry and the "ablations"
+// sweep are both derived from AblationGrids, grid for grid.
+func TestAblationRegistryConsistency(t *testing.T) {
+	t.Parallel()
+	grids := AblationGrids()
+	if len(grids) == 0 {
+		t.Fatal("no ablation grids registered")
+	}
+	reg := Registry()
+	for _, g := range grids {
+		e, ok := reg[g.Name]
+		if !ok {
+			t.Errorf("grid %s missing from experiment registry", g.Name)
+			continue
+		}
+		if e.Description != g.Description {
+			t.Errorf("grid %s: registry description %q != grid description %q",
+				g.Name, e.Description, g.Description)
+		}
+	}
+	s, ok := Sweeps()["ablations"]
+	if !ok {
+		t.Fatal("ablations sweep not registered")
+	}
+	cells := s.Cells(SweepConfig{Seed: 3})
+	if len(cells) != len(grids) {
+		t.Fatalf("ablations sweep enumerates %d cells for %d grids", len(cells), len(grids))
+	}
+	for i, c := range cells {
+		if c.Config != grids[i].Name || c.Experiment != "ablations" || c.Seed != 3 {
+			t.Fatalf("cell %d: %+v does not match grid %s", i, c, grids[i].Name)
+		}
+	}
+}
+
+// TestAblationsSweepReportSynthetic drives the sweep's Report over a
+// hand-built summary, so the (expensive) grids themselves never run.
+func TestAblationsSweepReportSynthetic(t *testing.T) {
+	t.Parallel()
+	s := Sweeps()["ablations"]
+	cfg := SweepConfig{Seed: 1}
+	sum := &farm.Summary{Name: "ablations"}
+	for i, c := range s.Cells(cfg) {
+		digests := []AblationDigest{
+			{Label: c.Config + "/base", Makespan: 1000 + float64(i)},
+			{Label: c.Config + "/variant", Makespan: 900 + float64(i), VsBase: -0.1},
+		}
+		payload, err := json.Marshal(digests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum.Outcomes = append(sum.Outcomes, farm.Outcome{
+			Cell: c, Status: farm.StatusDone, Payload: payload,
+		})
+		sum.Done++
+	}
+	var buf bytes.Buffer
+	if err := s.Report(&buf, cfg, sum); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range AblationGrids() {
+		if !strings.Contains(buf.String(), "=== "+g.Name+": ") {
+			t.Fatalf("report missing grid %s:\n%s", g.Name, buf.String())
+		}
+		if !strings.Contains(buf.String(), g.Name+"/variant") {
+			t.Fatalf("report missing rows of grid %s", g.Name)
+		}
+	}
+	// An incomplete summary must fail loudly, not print a partial report.
+	short := &farm.Summary{Name: "ablations", Outcomes: sum.Outcomes[:len(sum.Outcomes)-1], Done: sum.Done - 1}
+	if err := s.Report(io.Discard, cfg, short); err == nil {
+		t.Fatal("report over an incomplete summary must fail")
+	}
+}

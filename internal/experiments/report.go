@@ -27,6 +27,10 @@ type RunOptions struct {
 	// panels, fig4 ladder, fig6 repeats); <= 0 uses GOMAXPROCS. The cell
 	// results are identical for any worker count.
 	Workers int
+	// StateDir, when non-empty, checkpoints the full report experiment by
+	// experiment (WriteFullReport): a crashed or cancelled report resumes
+	// from the cached sections. Incompatible with CSVDir.
+	StateDir string
 }
 
 // Runner executes one named experiment, writing a human-readable report.
@@ -57,18 +61,11 @@ func Registry() map[string]Entry {
 		{"fig5d", "paper Fig. 5(d): Workload 2, adaptive 20 GiB/s", figRunner(RunFig5, "d")},
 		{"fig5e", "paper Fig. 5(e): Workload 2, adaptive 15 GiB/s", figRunner(RunFig5, "e")},
 		{"fig6", "paper Fig. 6: Workload 2 makespans over repeats (swarm + medians)", runFig6},
-		{"ablation-two-group", "two-group approximation on/off (W2, adaptive 15 GiB/s)", ablationRunner(AblationTwoGroup)},
-		{"ablation-guard", "measured-throughput guard on/off under lying estimates (staggered arrivals)", ablationRunner(AblationMeasuredGuard)},
-		{"ablation-backfill", "BackfillMax depth sweep on the mixed multi-node workload", ablationRunner(AblationBackfillMax)},
-		{"ablation-licenses", "analytics estimates vs static user-declared licenses (W1)", ablationRunner(AblationLicenses)},
-		{"ablation-qos", "two-group QoS fraction sweep (W2, adaptive 15 GiB/s)", ablationRunner(AblationQoSFraction)},
-		{"ablation-bursty", "bursty-application workload: default vs adaptive", ablationRunner(AblationBurstOverlap)},
-		{"ablation-submission", "submission protocols: batch vs feeder vs poisson (W1, adaptive)", ablationRunner(AblationSubmission)},
-		{"ablation-degradation", "mid-run file-system degradation: default vs adaptive (W1)", ablationRunner(AblationDegradation)},
-		{"ablation-ordering", "FIFO vs TETRIS dot-product window ordering (mixed workload)", ablationRunner(AblationOrdering)},
-		{"sweep-limit", "fixed-limit U-curve vs the self-tuning adaptive scheduler (W1)", ablationRunner(SweepLimit)},
-		{"ablation-plateau", "two-group benefit in the plateau regime (W2, shallow queue)", ablationRunner(AblationPlateau)},
-		{"ablation-checkpoint", "checkpoint/restart read+write workload: default vs io-aware vs adaptive", ablationRunner(AblationCheckpoint)},
+	}
+	// The ablation grids share one registry with the "ablations" sweep, so
+	// a grid added there shows up in both entry points.
+	for _, g := range AblationGrids() {
+		entries = append(entries, Entry{g.Name, g.Description, ablationRunner(g.Run)})
 	}
 	m := make(map[string]Entry, len(entries))
 	for _, e := range entries {
@@ -326,23 +323,11 @@ func ablationRunner(run func(uint64) ([]AblationRow, error)) Runner {
 	}
 }
 
-// PrintAblation renders an ablation comparison table.
+// PrintAblation renders an ablation comparison table. It goes through the
+// digest form so the standalone runner and the cached "ablations" sweep
+// print identical tables.
 func PrintAblation(w io.Writer, rows []AblationRow) {
-	fmt.Fprintf(w, "%-48s %12s %9s %6s %9s %12s %8s\n",
-		"configuration", "makespan[s]", "vs base", "busy", "tp[GiB/s]", "idle[node-s]", "timeouts")
-	for i, r := range rows {
-		vs := "-"
-		if i > 0 {
-			vs = fmt.Sprintf("%+.1f%%", 100*r.VsBase)
-		}
-		fmt.Fprintf(w, "%-48s %12.0f %9s %6.2f %9.2f %12.0f %8d",
-			r.Label, r.Result.Makespan, vs, r.Result.MeanBusyNodes,
-			r.Result.MeanThroughput, r.Result.IdleNodeSeconds, r.Result.Timeouts)
-		if r.Extra != "" {
-			fmt.Fprintf(w, "  %s", r.Extra)
-		}
-		fmt.Fprintln(w)
-	}
+	PrintAblationDigests(w, DigestAblation(rows))
 }
 
 // WorkloadSizes reports the job counts of the standard workloads (sanity

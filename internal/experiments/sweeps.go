@@ -112,6 +112,7 @@ func Sweeps() map[string]Sweep {
 			},
 			Report: reportCorpus,
 		},
+		ablationSweep(),
 	}
 	m := make(map[string]Sweep, len(entries))
 	for _, s := range entries {

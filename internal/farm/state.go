@@ -29,7 +29,9 @@ type state struct {
 // journalRecord is one JSON line of the checkpoint journal.
 type journalRecord struct {
 	// Event is "begin" (sweep started: Cells total, Cached already on
-	// disk), "done", or "failed".
+	// disk), "done", "failed", or one of the grid lifecycle events
+	// (EventLease, EventLeaseExpired, EventQuarantine) a distributed
+	// coordinator appends.
 	Event  string    `json:"event"`
 	At     time.Time `json:"at"`
 	Cells  int       `json:"cells,omitempty"`
@@ -37,6 +39,8 @@ type journalRecord struct {
 	Key    string    `json:"key,omitempty"`
 	Cell   *Cell     `json:"cell,omitempty"`
 	Err    string    `json:"error,omitempty"`
+	// Worker names the worker a grid event is attributed to.
+	Worker string `json:"worker,omitempty"`
 }
 
 func openState(dir, name string) (*state, error) {
@@ -194,19 +198,39 @@ type SweepStatus struct {
 	// Done and Failed count distinct cells by their latest journaled
 	// outcome; Remaining = Cells - Done.
 	Done, Failed, Remaining int
+	// CacheHits is how many cells the latest run served from the result
+	// cache at startup (the begin record's tally); Computed counts the
+	// cells whose latest outcome was produced by a fresh execution during
+	// the latest run, so Done = CacheHits + Computed for a consistent
+	// journal.
+	CacheHits, Computed int
+	// Leased and Quarantined count the cells currently in those grid
+	// states — non-zero only for state dirs written by a distributed
+	// coordinator (wasched sweep serve).
+	Leased, Quarantined int
 	// Runs counts begin records (1 = never resumed).
 	Runs int
 	// LastEvent is the timestamp of the newest journal line.
 	LastEvent time.Time
-	// FailedCells lists the cells whose latest outcome failed, sorted.
-	FailedCells []Cell
+	// FailedCells lists the cells whose latest outcome failed, sorted;
+	// QuarantinedCells likewise for cells pulled after repeated lease
+	// expiries.
+	FailedCells      []Cell
+	QuarantinedCells []Cell
 }
 
 // ReadStatus parses a sweep's checkpoint journal from a state dir.
 func ReadStatus(dir, name string) (*SweepStatus, error) {
 	st := &SweepStatus{Name: name}
-	latest := make(map[string]journalRecord)
+	type keyed struct {
+		rec journalRecord
+		idx int
+	}
+	latest := make(map[string]keyed)
+	var keys []string // first-seen order, so tallies below stay deterministic
+	idx, lastBegin := 0, -1
 	err := scanJournal(journalPath(dir, name), func(rec journalRecord) {
+		idx++
 		if rec.At.After(st.LastEvent) {
 			st.LastEvent = rec.At
 		}
@@ -214,9 +238,14 @@ func ReadStatus(dir, name string) (*SweepStatus, error) {
 		case "begin":
 			st.Runs++
 			st.Cells = rec.Cells
-		case string(StatusDone), string(StatusFailed):
+			st.CacheHits = rec.Cached
+			lastBegin = idx
+		case string(StatusDone), string(StatusFailed), EventLease, EventLeaseExpired, EventQuarantine:
 			if rec.Key != "" {
-				latest[rec.Key] = rec
+				if _, seen := latest[rec.Key]; !seen {
+					keys = append(keys, rec.Key)
+				}
+				latest[rec.Key] = keyed{rec: rec, idx: idx}
 			}
 		}
 	})
@@ -226,19 +255,33 @@ func ReadStatus(dir, name string) (*SweepStatus, error) {
 	if err != nil {
 		return nil, fmt.Errorf("farm: journal for %q: %w", name, err)
 	}
-	for _, rec := range latest {
-		switch rec.Event {
+	for _, key := range keys {
+		k := latest[key]
+		switch k.rec.Event {
 		case string(StatusDone):
 			st.Done++
+			if k.idx > lastBegin {
+				st.Computed++
+			}
 		case string(StatusFailed):
 			st.Failed++
-			if rec.Cell != nil {
-				st.FailedCells = append(st.FailedCells, *rec.Cell)
+			if k.rec.Cell != nil {
+				st.FailedCells = append(st.FailedCells, *k.rec.Cell)
+			}
+		case EventLease:
+			st.Leased++
+		case EventQuarantine:
+			st.Quarantined++
+			if k.rec.Cell != nil {
+				st.QuarantinedCells = append(st.QuarantinedCells, *k.rec.Cell)
 			}
 		}
 	}
 	sort.Slice(st.FailedCells, func(a, b int) bool {
 		return st.FailedCells[a].String() < st.FailedCells[b].String()
+	})
+	sort.Slice(st.QuarantinedCells, func(a, b int) bool {
+		return st.QuarantinedCells[a].String() < st.QuarantinedCells[b].String()
 	})
 	if st.Cells > 0 {
 		st.Remaining = st.Cells - st.Done

@@ -1,0 +1,94 @@
+package farm
+
+import (
+	"context"
+	"fmt"
+)
+
+// Grid lifecycle journal events, written by a distributed coordinator
+// (internal/gridfarm) into the same checkpoint journal farm.Run uses. The
+// journal format is shared so a state dir written by a coordinator stays
+// resumable by the local path and vice versa; ReadStatus understands both
+// vocabularies.
+const (
+	// EventLease marks a cell handed to a worker under a lease.
+	EventLease = "lease"
+	// EventLeaseExpired marks a lease that lapsed without an upload (worker
+	// crash or stall); the cell returns to the pending pool.
+	EventLeaseExpired = "lease-expired"
+	// EventQuarantine marks a cell pulled from circulation after repeated
+	// lease expiries — it burned through its reassignment budget.
+	EventQuarantine = "quarantine"
+)
+
+// Store is the exported handle on a sweep's on-disk state — the result
+// cache and checkpoint journal farm.Run manages internally. It exists for
+// orchestrators that own the cell lifecycle themselves (the gridfarm
+// coordinator) yet must stay bit-compatible with the local path: a Store
+// and a farm.Run pointed at the same directory read and write the same
+// files.
+type Store struct {
+	st *state
+}
+
+// OpenStore opens (creating as needed) the state directory for the named
+// sweep: cache/ for content-hashed results, <name>.journal.jsonl for the
+// checkpoint journal.
+func OpenStore(dir, name string) (*Store, error) {
+	st, err := openState(dir, name)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{st: st}, nil
+}
+
+// Dir returns the state directory the store operates on.
+func (s *Store) Dir() string { return s.st.dir }
+
+// Name returns the sweep name the journal is keyed by.
+func (s *Store) Name() string { return s.st.name }
+
+// Lookup serves a cell from the result cache; see the unexported lookup
+// for the corruption discipline (a damaged entry errors, never silently
+// recomputes).
+func (s *Store) Lookup(c Cell) (*Outcome, bool, error) { return s.st.lookup(c) }
+
+// Record journals a finished cell and, on success, persists its payload
+// to the cache. Recording an outcome that is already cached rewrites the
+// same bytes — record is idempotent for deterministic cells.
+func (s *Store) Record(out *Outcome) error { return s.st.record(out) }
+
+// Begin journals the start of a run over the given cell count, of which
+// cached were already served from disk.
+func (s *Store) Begin(cells, cached int) error { return s.st.begin(cells, cached) }
+
+// Event journals a grid lifecycle event (EventLease, EventLeaseExpired,
+// EventQuarantine) for a cell, attributed to a worker.
+func (s *Store) Event(event string, c Cell, worker string) error {
+	switch event {
+	case EventLease, EventLeaseExpired, EventQuarantine:
+	default:
+		return fmt.Errorf("farm: unknown journal event %q", event)
+	}
+	s.st.mu.Lock()
+	defer s.st.mu.Unlock()
+	cell := c
+	return s.st.append(journalRecord{Event: event, Key: c.Key(), Cell: &cell, Worker: worker})
+}
+
+// Close releases the journal. Append already syncs every line, so Close
+// cannot lose journaled cells, but its error still surfaces (a failing
+// close is an early warning about the state volume).
+func (s *Store) Close() error { return s.st.close() }
+
+// Execute runs one cell through exec with the same panic isolation and
+// payload discipline as a farm.Run worker: a panicking exec becomes a
+// failed outcome carrying the stack, a successful result is JSON-encoded
+// into the outcome payload (required — remote outcomes must serialise),
+// and an unmarshalable result is a failure, not a silent payload loss.
+func Execute(ctx context.Context, exec Exec, c Cell) *Outcome {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return runCell(ctx, exec, c, true)
+}

@@ -1,0 +1,488 @@
+package gridfarm
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"wasched/internal/des"
+	"wasched/internal/farm"
+)
+
+// gridCells builds a fig6-shaped synthetic sweep: a handful of configs
+// crossed with repeats, seeds derived the way the real sweeps derive them.
+func gridCells(configs, repeats int) []farm.Cell {
+	var cells []farm.Cell
+	for i := 0; i < configs; i++ {
+		for r := 0; r < repeats; r++ {
+			cells = append(cells, farm.Cell{
+				Experiment: "grid-test",
+				Config:     fmt.Sprintf("cfg%02d", i),
+				Seed:       42 + uint64(r)*7919,
+			})
+		}
+	}
+	return cells
+}
+
+// gridExec is a deterministic stand-in for a simulation, mirroring the
+// farm tests: it derives the cell RNG exactly as a real sweep would and
+// digests the stream, so any nondeterminism in the distributed path shows
+// up as a changed payload byte.
+func gridExec(ctx context.Context, c farm.Cell) (any, error) {
+	rng := des.NewRNG(farm.CellSeed(7, c), "gridfarm-test/"+c.Config)
+	sum := 0.0
+	for i := 0; i < 100; i++ {
+		sum += rng.Float64()
+	}
+	return map[string]float64{"digest": sum}, nil
+}
+
+func marshalOutcomes(t *testing.T, sum *farm.Summary) []byte {
+	t.Helper()
+	b, err := json.Marshal(sum.Outcomes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func openStore(t *testing.T, dir, name string) *farm.Store {
+	t.Helper()
+	store, err := farm.OpenStore(dir, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := store.Close(); err != nil {
+			t.Errorf("closing store: %v", err)
+		}
+	})
+	return store
+}
+
+func newCoordinator(t *testing.T, cells []farm.Cell, store *farm.Store, cfg Config) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	coord, err := NewCoordinator(cells, store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		coord.Close()
+	})
+	return coord, srv
+}
+
+// rawLease requests a lease directly over HTTP, bypassing RunWorker — the
+// test's stand-in for a worker that crashes after leasing (it never
+// heartbeats or uploads).
+func rawLease(t *testing.T, url, worker string, max int) LeaseResponse {
+	t.Helper()
+	var resp LeaseResponse
+	if err := postJSON(context.Background(), testClient, url+PathLease,
+		LeaseRequest{Worker: worker, Max: max}, &resp); err != nil {
+		t.Fatalf("raw lease: %v", err)
+	}
+	return resp
+}
+
+func rawComplete(t *testing.T, url, worker string, out farm.Outcome) CompleteResponse {
+	t.Helper()
+	var resp CompleteResponse
+	if err := postJSON(context.Background(), testClient, url+PathComplete,
+		CompleteRequest{Worker: worker, Outcome: out}, &resp); err != nil {
+		t.Fatalf("raw complete: %v", err)
+	}
+	return resp
+}
+
+func waitDone(t *testing.T, coord *Coordinator, timeout time.Duration) {
+	t.Helper()
+	select {
+	case <-coord.DoneC():
+	case <-time.After(timeout):
+		t.Fatalf("coordinator did not finish in %v: %+v", timeout, coord.Stats())
+	}
+}
+
+// TestGridE2EBitIdentical is the subsystem's core contract, exercised the
+// way the acceptance smoke does: a serial farm.Run, then a distributed run
+// over a fresh state dir in two phases — phase one drains early (the
+// coordinator-SIGINT analogue, via MaxFresh), phase two resumes on the
+// same dir with a mid-run worker crash thrown in — and finally a local
+// resume over the coordinator-written dir. All three paths must agree
+// byte-for-byte.
+func TestGridE2EBitIdentical(t *testing.T) {
+	cells := gridCells(5, 2)
+	serialDir := t.TempDir()
+	serial, err := farm.Run(context.Background(), "grid", cells, gridExec,
+		farm.Options{Workers: 1, StateDir: serialDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := marshalOutcomes(t, serial)
+
+	dir := t.TempDir()
+
+	// Phase 1: coordinator drains after 3 fresh admissions; both workers
+	// exit cleanly on the draining signal and the summary is interrupted.
+	store1 := openStore(t, dir, "grid")
+	coord1, srv1 := newCoordinator(t, cells, store1, Config{
+		Sweep:    SweepInfo{Name: "grid"},
+		LeaseTTL: 2 * time.Second,
+		MaxFresh: 3,
+		BatchMax: 2,
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := RunWorker(context.Background(), gridExec, WorkerConfig{
+				Coord:       srv1.URL,
+				Name:        fmt.Sprintf("w%d", i),
+				Parallel:    2,
+				BaseBackoff: 5 * time.Millisecond,
+			})
+			if err != nil {
+				t.Errorf("phase-1 worker %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	sum1 := coord1.Summary()
+	if !sum1.Interrupted || sum1.Skipped == 0 {
+		t.Fatalf("phase 1 should be interrupted with skipped cells: %+v", sum1)
+	}
+	if sum1.Done < 3 {
+		t.Fatalf("phase 1 admitted %d fresh cells, want >= 3", sum1.Done)
+	}
+	phase1Done := sum1.Done
+	srv1.Close()
+	coord1.Close()
+
+	// Phase 2: a new coordinator resumes the same state dir. One "worker"
+	// leases a batch and crashes (never uploads); its lease expires and the
+	// two real workers pick up the cells. Short TTL keeps the test fast.
+	store2 := openStore(t, dir, "grid")
+	coord2, srv2 := newCoordinator(t, cells, store2, Config{
+		Sweep:    SweepInfo{Name: "grid"},
+		LeaseTTL: 60 * time.Millisecond,
+	})
+	if got := coord2.Stats().Cached; got != phase1Done {
+		t.Fatalf("phase 2 cached %d cells from phase 1, want %d", got, phase1Done)
+	}
+	crash := rawLease(t, srv2.URL, "crasher", 2)
+	if len(crash.Cells) == 0 {
+		t.Fatalf("crasher got no cells: %+v", crash)
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := RunWorker(context.Background(), gridExec, WorkerConfig{
+				Coord:       srv2.URL,
+				Name:        fmt.Sprintf("v%d", i),
+				Parallel:    2,
+				BaseBackoff: 5 * time.Millisecond,
+			})
+			if err != nil {
+				t.Errorf("phase-2 worker %d: %v", i, err)
+			}
+		}(i)
+	}
+	waitDone(t, coord2, 30*time.Second)
+	wg.Wait()
+	sum2 := coord2.Summary()
+	if sum2.Done != len(cells) || sum2.Failed != 0 || sum2.Skipped != 0 {
+		t.Fatalf("phase 2 summary: %+v", sum2)
+	}
+	if got := coord2.Stats().Expired; got == 0 {
+		t.Fatalf("crasher's lease never expired: %+v", coord2.Stats())
+	}
+	if got := marshalOutcomes(t, sum2); !bytes.Equal(got, want) {
+		t.Fatalf("distributed outcomes differ from serial:\n%s\n%s", got, want)
+	}
+
+	// The coordinator-written dir must resume under the local path with
+	// every cell served from cache and the same bytes again.
+	local, err := farm.Run(context.Background(), "grid", cells, gridExec,
+		farm.Options{Workers: 2, StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.Cached != len(cells) {
+		t.Fatalf("local resume recomputed cells: cached %d of %d", local.Cached, len(cells))
+	}
+	if got := marshalOutcomes(t, local); !bytes.Equal(got, want) {
+		t.Fatalf("local resume outcomes differ from serial:\n%s\n%s", got, want)
+	}
+
+	// And the shared journal must read back coherently: three begins (two
+	// coordinators + the local resume), no remaining cells, and the cache
+	// accounting consistent with the latest (fully cached) run.
+	st, err := farm.ReadStatus(dir, "grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Runs != 3 || st.Done != len(cells) || st.Remaining != 0 {
+		t.Fatalf("journal status: %+v", st)
+	}
+	if st.CacheHits != len(cells) || st.Computed != 0 {
+		t.Fatalf("cache accounting after cached resume: hits %d computed %d", st.CacheHits, st.Computed)
+	}
+}
+
+// TestLeaseExpiryReassignment kills a worker mid-cell (it leases and never
+// uploads): the coordinator re-leases after the TTL and a live worker
+// completes everything exactly once.
+func TestLeaseExpiryReassignment(t *testing.T) {
+	cells := gridCells(3, 2)
+	dir := t.TempDir()
+	store := openStore(t, dir, "grid")
+	coord, srv := newCoordinator(t, cells, store, Config{
+		Sweep:    SweepInfo{Name: "grid"},
+		LeaseTTL: 50 * time.Millisecond,
+	})
+	crash := rawLease(t, srv.URL, "crasher", len(cells))
+	if len(crash.Cells) != len(cells) {
+		t.Fatalf("crasher leased %d cells, want all %d", len(crash.Cells), len(cells))
+	}
+	if _, err := RunWorker(context.Background(), gridExec, WorkerConfig{
+		Coord:       srv.URL,
+		Name:        "live",
+		Parallel:    2,
+		BaseBackoff: 5 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, coord, 30*time.Second)
+	sum := coord.Summary()
+	if sum.Done != len(cells) || sum.Failed != 0 {
+		t.Fatalf("summary after reassignment: %+v", sum)
+	}
+	if len(sum.Outcomes) != len(cells) {
+		t.Fatalf("duplicate outcomes: %d for %d cells", len(sum.Outcomes), len(cells))
+	}
+	stats := coord.Stats()
+	if stats.Expired < len(cells) {
+		t.Fatalf("expected >= %d lease expiries, got %d", len(cells), stats.Expired)
+	}
+}
+
+// TestQuarantine: a cell whose workers always crash burns its reassignment
+// budget, is reported failed (never silently dropped), and surfaces in
+// sweep status, while resume keeps it retryable (nothing cached).
+func TestQuarantine(t *testing.T) {
+	cells := gridCells(1, 1)
+	dir := t.TempDir()
+	store := openStore(t, dir, "grid")
+	coord, srv := newCoordinator(t, cells, store, Config{
+		Sweep:       SweepInfo{Name: "grid"},
+		LeaseTTL:    30 * time.Millisecond,
+		MaxReassign: 1,
+	})
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp := rawLease(t, srv.URL, "crasher", 1)
+		if resp.Drained {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cell never quarantined: %+v", coord.Stats())
+		}
+		time.Sleep(40 * time.Millisecond)
+	}
+	waitDone(t, coord, 5*time.Second)
+	sum := coord.Summary()
+	if sum.Failed != 1 || sum.Done != 0 {
+		t.Fatalf("summary: %+v", sum)
+	}
+	if !strings.Contains(sum.Outcomes[0].Err, "quarantined") {
+		t.Fatalf("quarantine outcome error: %q", sum.Outcomes[0].Err)
+	}
+	// A late upload for the quarantined cell is rejected — the budget
+	// decision is terminal for this run.
+	out := farm.Execute(context.Background(), gridExec, cells[0])
+	resp := rawComplete(t, srv.URL, "late", *out)
+	if resp.Admitted || resp.Duplicate || !strings.Contains(resp.Rejected, "quarantined") {
+		t.Fatalf("late upload of quarantined cell: %+v", resp)
+	}
+	st, err := farm.ReadStatus(dir, "grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Quarantined != 1 || len(st.QuarantinedCells) != 1 {
+		t.Fatalf("status quarantine tally: %+v", st)
+	}
+	if st.QuarantinedCells[0] != cells[0] {
+		t.Fatalf("quarantined cell: %v", st.QuarantinedCells[0])
+	}
+	// Nothing was cached, so a local resume re-executes the cell cleanly.
+	local, err := farm.Run(context.Background(), "grid", cells, gridExec,
+		farm.Options{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.Done != 1 || local.Cached != 0 {
+		t.Fatalf("resume after quarantine: %+v", local)
+	}
+}
+
+// TestUploadValidation: unknown cells are rejected, duplicate uploads are
+// idempotent no-ops, invalid statuses never reach the journal.
+func TestUploadValidation(t *testing.T) {
+	cells := gridCells(2, 1)
+	coord, srv := newCoordinator(t, cells, nil, Config{
+		Sweep: SweepInfo{Name: "grid"},
+	})
+	lease := rawLease(t, srv.URL, "w", 1)
+	if len(lease.Cells) != 1 {
+		t.Fatalf("lease: %+v", lease)
+	}
+	out := farm.Execute(context.Background(), gridExec, lease.Cells[0])
+
+	// An outcome for a cell this sweep never issued is refused.
+	bogus := *out
+	bogus.Cell = farm.Cell{Experiment: "intruder", Config: "x", Seed: 1}
+	if resp := rawComplete(t, srv.URL, "w", bogus); resp.Admitted || !strings.Contains(resp.Rejected, "unknown cell") {
+		t.Fatalf("unknown cell upload: %+v", resp)
+	}
+	// An in-progress status is not a completion.
+	invalid := *out
+	invalid.Status = farm.Status("running")
+	if resp := rawComplete(t, srv.URL, "w", invalid); resp.Admitted || resp.Rejected == "" {
+		t.Fatalf("invalid status upload: %+v", resp)
+	}
+	// First genuine upload is admitted, the replay is a no-op.
+	if resp := rawComplete(t, srv.URL, "w", *out); !resp.Admitted {
+		t.Fatalf("first upload: %+v", resp)
+	}
+	if resp := rawComplete(t, srv.URL, "w", *out); !resp.Duplicate || resp.Admitted {
+		t.Fatalf("replayed upload: %+v", resp)
+	}
+	stats := coord.Stats()
+	if stats.Duplicates != 1 || stats.Rejections != 2 || stats.Done != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+}
+
+// TestHeartbeatKeepsSlowCellAlive: a cell that runs for several TTLs is
+// never reassigned as long as its worker heartbeats.
+func TestHeartbeatKeepsSlowCellAlive(t *testing.T) {
+	cells := gridCells(1, 1)
+	slow := func(ctx context.Context, c farm.Cell) (any, error) {
+		time.Sleep(600 * time.Millisecond)
+		return gridExec(ctx, c)
+	}
+	coord, srv := newCoordinator(t, cells, nil, Config{
+		Sweep:    SweepInfo{Name: "grid"},
+		LeaseTTL: 200 * time.Millisecond,
+	})
+	if _, err := RunWorker(context.Background(), slow, WorkerConfig{
+		Coord:       srv.URL,
+		Name:        "steady",
+		BaseBackoff: 5 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, coord, 10*time.Second)
+	stats := coord.Stats()
+	if stats.Expired != 0 || stats.Done != 1 {
+		t.Fatalf("heartbeats failed to hold the lease: %+v", stats)
+	}
+}
+
+// TestWorkerGracefulDrain: cancelling the worker context mid-run finishes
+// and uploads in-flight cells, then returns nil — the SIGINT path.
+func TestWorkerGracefulDrain(t *testing.T) {
+	cells := gridCells(4, 2)
+	started := make(chan struct{}, len(cells))
+	slow := func(ctx context.Context, c farm.Cell) (any, error) {
+		started <- struct{}{}
+		time.Sleep(100 * time.Millisecond)
+		return gridExec(ctx, c)
+	}
+	coord, srv := newCoordinator(t, cells, nil, Config{
+		Sweep:    SweepInfo{Name: "grid"},
+		LeaseTTL: 5 * time.Second,
+		BatchMax: 2,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errc := make(chan error, 1)
+	var stats *WorkerStats
+	go func() {
+		var err error
+		stats, err = RunWorker(ctx, slow, WorkerConfig{
+			Coord:       srv.URL,
+			Name:        "drainee",
+			Parallel:    2,
+			BaseBackoff: 5 * time.Millisecond,
+		})
+		errc <- err
+	}()
+	<-started // at least one cell is in flight
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("graceful drain returned error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not drain after cancellation")
+	}
+	if stats.Executed == 0 || stats.Admitted == 0 {
+		t.Fatalf("in-flight cells should have finished and uploaded: %+v", stats)
+	}
+	if got := coord.Stats(); got.Done != stats.Admitted {
+		t.Fatalf("coordinator admitted %d, worker reports %d", got.Done, stats.Admitted)
+	}
+}
+
+// TestStatusLeasedTally: ReadStatus reports cells currently under lease in
+// a coordinator-written state dir.
+func TestStatusLeasedTally(t *testing.T) {
+	cells := gridCells(2, 1)
+	dir := t.TempDir()
+	store := openStore(t, dir, "grid")
+	_, srv := newCoordinator(t, cells, store, Config{
+		Sweep:    SweepInfo{Name: "grid"},
+		LeaseTTL: time.Hour, // never expires during the test
+	})
+	lease := rawLease(t, srv.URL, "holder", 1)
+	if len(lease.Cells) != 1 {
+		t.Fatalf("lease: %+v", lease)
+	}
+	st, err := farm.ReadStatus(dir, "grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Leased != 1 || st.Done != 0 {
+		t.Fatalf("status while leased: %+v", st)
+	}
+	// Completing the cell flips its latest journal event to done.
+	out := farm.Execute(context.Background(), gridExec, lease.Cells[0])
+	if resp := rawComplete(t, srv.URL, "holder", *out); !resp.Admitted {
+		t.Fatalf("upload: %+v", resp)
+	}
+	st, err = farm.ReadStatus(dir, "grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Leased != 0 || st.Done != 1 || st.Computed != 1 {
+		t.Fatalf("status after upload: %+v", st)
+	}
+}
+
+// testClient serves the raw protocol helpers above.
+var testClient = &http.Client{Timeout: time.Minute}

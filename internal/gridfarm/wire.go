@@ -1,0 +1,117 @@
+// Package gridfarm shards a farm cell list across machines: a coordinator
+// owns the sweep's checkpoint journal and content-hashed result cache
+// (internal/farm's on-disk state, unchanged) and serves a lease protocol
+// over plain HTTP/JSON; workers lease batches of cells, execute them
+// through the sweep's farm.Exec, heartbeat while running, and upload
+// outcomes. The coordinator verifies every upload against the cell's
+// content hash before admitting it, so duplicate and late uploads are
+// no-ops and a summary never holds a cell twice.
+//
+// Robustness model: a lease that is not renewed within its TTL is assumed
+// to belong to a crashed worker and returns to the pending pool; a cell
+// that burns through its reassignment budget is quarantined (reported as
+// failed, never silently dropped); both sides retry transient HTTP
+// failures with bounded, deterministically jittered backoff. The journal
+// format is shared with the local path, so a state dir written by a
+// coordinator resumes under `wasched sweep resume` and vice versa.
+package gridfarm
+
+import (
+	"wasched/internal/farm"
+)
+
+// Wire paths of the coordinator's HTTP API. All bodies are JSON.
+const (
+	// PathSweep (GET) describes the sweep being served so a worker can
+	// build the matching executor from its own registry.
+	PathSweep = "/v1/sweep"
+	// PathLease (POST) grants a batch of cells to a worker.
+	PathLease = "/v1/lease"
+	// PathHeartbeat (POST) renews a worker's outstanding leases.
+	PathHeartbeat = "/v1/heartbeat"
+	// PathComplete (POST) uploads one finished cell outcome.
+	PathComplete = "/v1/complete"
+	// PathStatus (GET) reports the coordinator's live tallies.
+	PathStatus = "/v1/status"
+)
+
+// SweepInfo describes the sweep a coordinator is serving. Workers rebuild
+// the executor locally from (Name, Seed, Repeats) through their sweep
+// registry — cells carry configuration keys, not code.
+type SweepInfo struct {
+	Name    string `json:"name"`
+	Seed    uint64 `json:"seed"`
+	Repeats int    `json:"repeats,omitempty"`
+}
+
+// LeaseRequest asks for up to Max cells on behalf of Worker.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+	Max    int    `json:"max"`
+}
+
+// LeaseResponse grants cells under a TTL, or signals the terminal states:
+// Draining (stop asking, finish in-flight work and exit) and Drained
+// (every cell resolved). An empty grant with neither flag set means
+// nothing is leasable right now — poll again after a backoff.
+type LeaseResponse struct {
+	Cells    []farm.Cell `json:"cells,omitempty"`
+	TTLMS    int64       `json:"ttl_ms,omitempty"`
+	Draining bool        `json:"draining,omitempty"`
+	Drained  bool        `json:"drained,omitempty"`
+}
+
+// HeartbeatRequest renews the leases Worker still holds on Keys.
+type HeartbeatRequest struct {
+	Worker string   `json:"worker"`
+	Keys   []string `json:"keys"`
+}
+
+// HeartbeatResponse lists the keys the coordinator no longer considers
+// leased to this worker (expired and possibly re-leased elsewhere). The
+// worker may keep computing them — its upload is admitted if it lands
+// first and is a no-op otherwise.
+type HeartbeatResponse struct {
+	Stale []string `json:"stale,omitempty"`
+}
+
+// CompleteRequest uploads one finished outcome. The coordinator recomputes
+// Outcome.Cell.Key() and admits the upload only when it names a cell of
+// this sweep.
+type CompleteRequest struct {
+	Worker  string       `json:"worker"`
+	Outcome farm.Outcome `json:"outcome"`
+}
+
+// CompleteResponse reports what the coordinator did with an upload.
+type CompleteResponse struct {
+	// Admitted: the outcome was journaled (and cached, if successful).
+	Admitted bool `json:"admitted,omitempty"`
+	// Duplicate: the cell was already resolved; the upload was a no-op.
+	Duplicate bool `json:"duplicate,omitempty"`
+	// Rejected carries the refusal reason (unknown cell, quarantined,
+	// invalid status); empty otherwise.
+	Rejected string `json:"rejected,omitempty"`
+}
+
+// Stats is a point-in-time snapshot of the coordinator's cell states and
+// protocol counters — the PathStatus payload.
+type Stats struct {
+	Cells       int  `json:"cells"`
+	Pending     int  `json:"pending"`
+	Leased      int  `json:"leased"`
+	Done        int  `json:"done"`
+	Failed      int  `json:"failed"`
+	Quarantined int  `json:"quarantined"`
+	Cached      int  `json:"cached"`
+	Draining    bool `json:"draining,omitempty"`
+	Drained     bool `json:"drained,omitempty"`
+	// Expired counts lease expiries, Duplicates the idempotent re-uploads,
+	// Rejections the refused uploads, FreshDone the admissions produced by
+	// workers this run (Done = Cached + FreshDone + quarantine failures
+	// excluded).
+	Expired    int `json:"expired,omitempty"`
+	Duplicates int `json:"duplicates,omitempty"`
+	Rejections int `json:"rejections,omitempty"`
+	FreshDone  int `json:"fresh_done,omitempty"`
+}

@@ -1,0 +1,360 @@
+package gridfarm
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"wasched/internal/farm"
+)
+
+// WorkerConfig tunes one worker process.
+type WorkerConfig struct {
+	// Coord is the coordinator's base URL (http://host:port).
+	Coord string
+	// Name identifies this worker in leases and the journal.
+	Name string
+	// Parallel bounds concurrent cell executions and the lease batch size
+	// (<= 0: 1).
+	Parallel int
+	// Client overrides the HTTP client (nil: 1-minute-timeout default).
+	Client *http.Client
+	// MaxRetries bounds the retry attempts per HTTP request before the
+	// worker gives up on the coordinator (0: 8; backoff doubles from
+	// BaseBackoff with deterministic per-worker jitter).
+	MaxRetries int
+	// BaseBackoff is the first retry delay (0: 200 ms). The empty-grant
+	// poll interval is 10× this.
+	BaseBackoff time.Duration
+	// Progress receives one-line lifecycle events (nil: silent).
+	Progress io.Writer
+}
+
+func (c *WorkerConfig) normalize() {
+	if c.Name == "" {
+		c.Name = "worker"
+	}
+	if c.Parallel <= 0 {
+		c.Parallel = 1
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: time.Minute}
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 8
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 200 * time.Millisecond
+	}
+}
+
+// WorkerStats tallies one worker run.
+type WorkerStats struct {
+	Executed   int // cells run to an outcome (done or failed)
+	Admitted   int // uploads the coordinator admitted
+	Duplicates int // uploads that were idempotent no-ops
+	Rejected   int // uploads the coordinator refused
+}
+
+// FetchSweepInfo asks a coordinator what sweep it serves, retrying
+// transient failures — a worker typically starts before (or while) the
+// coordinator comes up.
+func FetchSweepInfo(ctx context.Context, cfg WorkerConfig) (SweepInfo, error) {
+	cfg.normalize()
+	var info SweepInfo
+	err := withRetry(ctx, cfg, "sweep", func() error {
+		return getJSON(ctx, cfg.Client, cfg.Coord+PathSweep, &info)
+	})
+	return info, err
+}
+
+// RunWorker leases cells from the coordinator, executes them through
+// exec (with farm's panic isolation), heartbeats while cells run, and
+// uploads outcomes until the coordinator reports the sweep drained or
+// draining. Cancelling ctx is a graceful drain: no further leases are
+// requested, in-flight cells finish and upload, then RunWorker returns
+// nil. The error return is reserved for an unreachable coordinator after
+// the retry budget.
+func RunWorker(ctx context.Context, exec farm.Exec, cfg WorkerConfig) (*WorkerStats, error) {
+	cfg.normalize()
+	if exec == nil {
+		return nil, fmt.Errorf("gridfarm: nil exec")
+	}
+	w := &worker{cfg: cfg, inflight: make(map[string]bool)}
+	defer w.stopHeartbeat()
+	stats := &WorkerStats{}
+	attempt := 0        // consecutive empty polls, for backoff pacing
+	everLeased := false // an exchange with this coordinator succeeded
+	for {
+		select {
+		case <-ctx.Done():
+			w.logf("%s: context cancelled, draining", cfg.Name)
+			return stats, nil
+		default:
+		}
+		var lease LeaseResponse
+		err := withRetry(ctx, cfg, "lease", func() error {
+			return postJSON(ctx, cfg.Client, cfg.Coord+PathLease,
+				LeaseRequest{Worker: cfg.Name, Max: cfg.Parallel}, &lease)
+		})
+		if err != nil {
+			if ctx.Err() != nil {
+				return stats, nil
+			}
+			if everLeased {
+				// The coordinator answered earlier and is now gone through a
+				// full retry budget: it finished (or was stopped) and took
+				// the listener with it. It owns every journaled result, so
+				// there is nothing left for this worker to do — exit clean.
+				w.logf("%s: coordinator gone after serving us, assuming the sweep ended (%d executed, %d admitted)",
+					cfg.Name, stats.Executed, stats.Admitted)
+				return stats, nil
+			}
+			return stats, fmt.Errorf("gridfarm: leasing from %s: %w", cfg.Coord, err)
+		}
+		everLeased = true
+		if lease.Drained || lease.Draining {
+			w.logf("%s: coordinator draining, exiting (%d executed, %d admitted)",
+				cfg.Name, stats.Executed, stats.Admitted)
+			return stats, nil
+		}
+		if len(lease.Cells) == 0 {
+			attempt++
+			sleep(ctx, jittered(cfg.Name, "poll", attempt, 10*cfg.BaseBackoff))
+			continue
+		}
+		attempt = 0
+		// The heartbeat outlives a cancelled run context (it is stopped by
+		// the deferred stopHeartbeat) so cells finishing during a graceful
+		// drain keep their leases.
+		w.startHeartbeat(context.WithoutCancel(ctx), time.Duration(lease.TTLMS)*time.Millisecond/3)
+		w.runBatch(ctx, exec, lease.Cells, stats)
+	}
+}
+
+// worker carries the heartbeat machinery shared by a run's batches.
+type worker struct {
+	cfg      WorkerConfig
+	mu       sync.Mutex
+	inflight map[string]bool
+	hbStop   chan struct{}
+	hbDone   chan struct{}
+}
+
+func (w *worker) logf(format string, args ...any) {
+	if w.cfg.Progress != nil {
+		fmt.Fprintf(w.cfg.Progress, format+"\n", args...)
+	}
+}
+
+// startHeartbeat launches the renewal loop once, at a third of the lease
+// TTL (so a lease survives two dropped heartbeats).
+func (w *worker) startHeartbeat(ctx context.Context, period time.Duration) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.hbStop != nil {
+		return
+	}
+	if period <= 0 {
+		period = time.Second
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	w.hbStop, w.hbDone = stop, done
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				w.beat(ctx)
+			case <-stop:
+				return
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+func (w *worker) stopHeartbeat() {
+	w.mu.Lock()
+	stop, done := w.hbStop, w.hbDone
+	w.hbStop, w.hbDone = nil, nil
+	w.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// beat renews every in-flight lease. Failures are tolerated — the lease
+// protocol treats a missing heartbeat as a possible crash and re-leases,
+// and our eventual upload is an idempotent no-op if someone else finished
+// first.
+func (w *worker) beat(ctx context.Context) {
+	w.mu.Lock()
+	keys := make([]string, 0, len(w.inflight))
+	for key := range w.inflight {
+		keys = append(keys, key)
+	}
+	w.mu.Unlock()
+	if len(keys) == 0 {
+		return
+	}
+	sort.Strings(keys) // map order must not leak into the wire protocol
+	var resp HeartbeatResponse
+	if err := postJSON(ctx, w.cfg.Client, w.cfg.Coord+PathHeartbeat,
+		HeartbeatRequest{Worker: w.cfg.Name, Keys: keys}, &resp); err != nil {
+		w.logf("%s: heartbeat: %v", w.cfg.Name, err)
+	}
+}
+
+// runBatch executes the granted cells concurrently (the grant is already
+// bounded by Parallel) and uploads each outcome as it finishes. Work runs
+// under a detached context: once a cell is leased, a graceful drain
+// (cancelled run context) lets it finish and upload rather than abandoning
+// it to a lease expiry and a re-run elsewhere.
+func (w *worker) runBatch(ctx context.Context, exec farm.Exec, cells []farm.Cell, stats *WorkerStats) {
+	ctx = context.WithoutCancel(ctx)
+	var wg sync.WaitGroup
+	var mu sync.Mutex // guards stats
+	for _, cell := range cells {
+		wg.Add(1)
+		go func(cell farm.Cell) {
+			defer wg.Done()
+			key := cell.Key()
+			w.mu.Lock()
+			w.inflight[key] = true
+			w.mu.Unlock()
+			defer func() {
+				w.mu.Lock()
+				delete(w.inflight, key)
+				w.mu.Unlock()
+			}()
+			out := farm.Execute(ctx, exec, cell)
+			var resp CompleteResponse
+			err := withRetry(ctx, w.cfg, "complete", func() error {
+				return postJSON(ctx, w.cfg.Client, w.cfg.Coord+PathComplete,
+					CompleteRequest{Worker: w.cfg.Name, Outcome: *out}, &resp)
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			stats.Executed++
+			switch {
+			case err != nil:
+				// The outcome is lost to this worker; the lease expires and
+				// the cell is re-run elsewhere.
+				w.logf("%s: uploading %s: %v", w.cfg.Name, cell, err)
+			case resp.Admitted:
+				stats.Admitted++
+			case resp.Duplicate:
+				stats.Duplicates++
+			default:
+				stats.Rejected++
+				w.logf("%s: upload of %s rejected: %s", w.cfg.Name, cell, resp.Rejected)
+			}
+		}(cell)
+	}
+	wg.Wait()
+}
+
+// withRetry runs op with bounded exponential backoff and deterministic
+// per-worker jitter. Cancellation short-circuits between attempts.
+func withRetry(ctx context.Context, cfg WorkerConfig, op string, fn func() error) error {
+	var err error
+	for attempt := 0; attempt < cfg.MaxRetries; attempt++ {
+		if err = fn(); err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+		if !sleep(ctx, jittered(cfg.Name, op, attempt, cfg.BaseBackoff)) {
+			return err
+		}
+	}
+	return fmt.Errorf("%s failed after %d attempts: %w", op, cfg.MaxRetries, err)
+}
+
+// jittered doubles base per attempt (capped at 512×) and spreads workers
+// over [d/2, d) using a hash of (worker, op, attempt) — deterministic, so
+// lint-clean and reproducible, yet distinct per worker so a fleet hitting
+// a restarting coordinator does not stampede in phase.
+func jittered(worker, op string, attempt int, base time.Duration) time.Duration {
+	if attempt > 9 {
+		attempt = 9
+	}
+	d := base << attempt
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s\x00%s\x00%d", worker, op, attempt)
+	frac := float64(h.Sum64()%1024) / 1024
+	return d/2 + time.Duration(float64(d/2)*frac)
+}
+
+// sleep waits d or until cancellation; it reports whether the full wait
+// elapsed.
+func sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// postJSON posts req and decodes the JSON response into resp. Any
+// non-200 status is an error (the coordinator encodes protocol-level
+// refusals inside 200 bodies, so a non-200 is transport or server
+// trouble worth retrying).
+func postJSON(ctx context.Context, client *http.Client, url string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	return doJSON(client, hr, resp)
+}
+
+func getJSON(ctx context.Context, client *http.Client, url string, resp any) error {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	return doJSON(client, hr, resp)
+}
+
+func doJSON(client *http.Client, hr *http.Request, resp any) error {
+	r, err := client.Do(hr)
+	if err != nil {
+		return err
+	}
+	defer closeBody(r)
+	if r.StatusCode != http.StatusOK {
+		msg, err := io.ReadAll(io.LimitReader(r.Body, 4096))
+		if err != nil {
+			msg = []byte(fmt.Sprintf("(unreadable body: %v)", err))
+		}
+		return fmt.Errorf("%s %s: %s: %s", hr.Method, hr.URL.Path, r.Status, bytes.TrimSpace(msg))
+	}
+	return json.NewDecoder(r.Body).Decode(resp)
+}
+
+func closeBody(r *http.Response) {
+	//waschedlint:allow checkederr response bodies are read-only; a close error cannot lose state
+	r.Body.Close()
+}

@@ -51,8 +51,9 @@ func hasPathPrefix(path, prefix string) bool {
 //     timestamps, ETAs) must each carry an allow rationale.
 //   - maporder and tickerstop run everywhere; ordered effects and ticker
 //     leaks are never right.
-//   - checkederr runs where state files are written: the farm and the
-//     CLIs driving it.
+//   - checkederr runs where state files are written or remote state is
+//     acknowledged: the farm, the gridfarm coordinator/worker, and the
+//     CLIs driving them.
 //   - floatguard runs where rate/throughput arithmetic lives: the
 //     scheduler policies and the resource/file-system models.
 func Suite() []ScopedAnalyzer {
@@ -66,7 +67,7 @@ func Suite() []ScopedAnalyzer {
 		{Analyzer: Tickerstop},
 		{
 			Analyzer: Checkederr,
-			Include:  []string{"wasched/internal/farm", "wasched/cmd"},
+			Include:  []string{"wasched/internal/farm", "wasched/internal/gridfarm", "wasched/cmd"},
 		},
 		{
 			Analyzer: Floatguard,
