@@ -1,16 +1,23 @@
 # Development targets. `make check` is the pre-merge gate: static vetting,
 # the waschedlint analyzer suite, the full test suite under the race
 # detector, the sweep checkpoint/resume smoke test, the distributed
-# (coordinator + loopback workers) smoke test, and a short-budget run of
-# every fuzz target (seed corpus + a few seconds of mutation each).
+# (coordinator + loopback workers) smoke test, the chaos crash-recovery
+# smoke test (seeded faults + coordinator kill/restart), and a
+# short-budget run of every fuzz target (seed corpus + a few seconds of
+# mutation each).
 
 GO      ?= go
 FUZZTIME ?= 10s
 SWEEPDIR := .sweep-smoke
 GRIDDIR  := .gridsweep-smoke
 GRIDADDR := 127.0.0.1:39137
+CHAOSDIR  := .gridchaos-smoke
+CHAOSADDR := 127.0.0.1:39141
+# Worker-side wire faults for gridchaos-smoke: drops, lost responses,
+# duplicates, injected 500s and delays, all on the seeded schedule.
+CHAOSWIRE := drop=0.05,droprsp=0.05,dup=0.1,err=0.1,delay=0.2:5ms
 
-.PHONY: build vet lint test race fuzz sweep-smoke gridsweep-smoke check
+.PHONY: build vet lint test race fuzz sweep-smoke gridsweep-smoke gridchaos-smoke check
 
 build:
 	$(GO) build ./...
@@ -65,6 +72,40 @@ gridsweep-smoke:
 	$(GRIDDIR)/wasched sweep status fig6-smoke -state-dir $(GRIDDIR) | grep -q ' 0 remaining'
 	@rm -rf $(GRIDDIR)
 
+# The crash-recovery drill under seeded faults: a fault-free local run
+# writes the reference cache, then a coordinator with a chaos store
+# (seeded admission failures plus one kill point) shards the same sweep
+# across two workers whose requests ride a chaos transport. The kill
+# point tears the journal mid-append and exits with the chaos marker
+# code 7; a restarted coordinator repairs the torn tail, requeues the
+# inherited cells, and drains while the workers park through the outage.
+# The proof is `diff -r`: the chaos run's result cache must be
+# byte-identical to the fault-free run's, with nothing left remaining.
+gridchaos-smoke:
+	@rm -rf $(CHAOSDIR)
+	$(GO) build -o $(CHAOSDIR)/wasched ./cmd/wasched
+	$(CHAOSDIR)/wasched sweep run fig6-smoke -workers 2 -state-dir $(CHAOSDIR)/baseline -quiet >/dev/null
+	@set -e; \
+	( code=0; $(CHAOSDIR)/wasched sweep serve fig6-smoke -state-dir $(CHAOSDIR)/chaos -addr $(CHAOSADDR) -lease-ttl 10s \
+	    -chaos-seed 7 -chaos-plan "recordfail=0.2,kill=2" -quiet >/dev/null 2>$(CHAOSDIR)/coord1.log || code=$$?; \
+	  [ $$code -eq 7 ] || { echo "expected coordinator exit 7 (chaos kill), got $$code" >&2; exit 1; }; \
+	  exec $(CHAOSDIR)/wasched sweep serve fig6-smoke -state-dir $(CHAOSDIR)/chaos -addr $(CHAOSADDR) -lease-ttl 10s \
+	    -chaos-seed 7 -chaos-plan "recordfail=0.1" -quiet >/dev/null 2>$(CHAOSDIR)/coord2.log \
+	) & coord=$$!; \
+	ok=0; for i in 1 2 3 4 5 6 7 8 9 10; do \
+	  $(CHAOSDIR)/wasched sweep status -coord http://$(CHAOSADDR) 2>/dev/null | grep -q '10 cells' && { ok=1; break; }; sleep 1; \
+	done; [ $$ok -eq 1 ] || { echo "live status probe never saw the coordinator"; cat $(CHAOSDIR)/coord1.log; exit 1; }; \
+	$(CHAOSDIR)/wasched sweep work -coord http://$(CHAOSADDR) -parallel 2 -name cw1 -backoff 25ms -park-retries 10 \
+	  -chaos-seed 7 -chaos-plan "$(CHAOSWIRE)" -quiet 2>$(CHAOSDIR)/w1.log & w1=$$!; \
+	$(CHAOSDIR)/wasched sweep work -coord http://$(CHAOSADDR) -parallel 2 -name cw2 -backoff 25ms -park-retries 10 \
+	  -chaos-seed 7 -chaos-plan "$(CHAOSWIRE)" -quiet 2>$(CHAOSDIR)/w2.log & w2=$$!; \
+	wait $$coord || { echo "coordinator kill/restart cycle failed"; cat $(CHAOSDIR)/coord1.log $(CHAOSDIR)/coord2.log; exit 1; }; \
+	wait $$w1 || { echo "worker 1 failed"; cat $(CHAOSDIR)/w1.log; exit 1; }; \
+	wait $$w2 || { echo "worker 2 failed"; cat $(CHAOSDIR)/w2.log; exit 1; }
+	$(CHAOSDIR)/wasched sweep status fig6-smoke -state-dir $(CHAOSDIR)/chaos | grep -q ' 0 remaining'
+	diff -r $(CHAOSDIR)/baseline/cache $(CHAOSDIR)/chaos/cache
+	@rm -rf $(CHAOSDIR)
+
 # Go allows one -fuzz target per invocation, so each runs separately.
 fuzz:
 	$(GO) test ./internal/restrack -run='^$$' -fuzz=FuzzProfile -fuzztime=$(FUZZTIME)
@@ -72,4 +113,4 @@ fuzz:
 	$(GO) test ./internal/sched -run='^$$' -fuzz=FuzzRunRound -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/sched -run='^$$' -fuzz=FuzzTwoGroupSplit -fuzztime=$(FUZZTIME)
 
-check: vet lint race sweep-smoke gridsweep-smoke fuzz
+check: vet lint race sweep-smoke gridsweep-smoke gridchaos-smoke fuzz

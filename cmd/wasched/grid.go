@@ -15,13 +15,21 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
+	"wasched/internal/chaos"
 	"wasched/internal/experiments"
 	"wasched/internal/farm"
 	"wasched/internal/gridfarm"
 )
+
+// exitChaosKill is the marker exit code of a coordinator that died at a
+// chaos kill point: the journal has a torn tail and the state dir is
+// resumable by restarting `sweep serve`. Distinct from exit 3 (clean
+// drain checkpoint) so harnesses can tell a simulated crash from Ctrl-C.
+const exitChaosKill = 7
 
 // sweepServe runs the coordinator side of a distributed sweep.
 func sweepServe(args []string) error {
@@ -34,14 +42,20 @@ func sweepServe(args []string) error {
 	maxReassign := fs.Int("max-reassign", 3, "lease expiries a cell tolerates before quarantine")
 	batch := fs.Int("batch", 16, "max cells granted per lease request")
 	maxCells := fs.Int("max-cells", 0, "drain after N fresh cells as if interrupted (testing resume; 0: off)")
+	chaosSeed := fs.Uint64("chaos-seed", 1, "fault-injection seed (same seed → same store-fault sequence)")
+	chaosPlan := fs.String("chaos-plan", "", "store fault plan, e.g. recordfail=0.1,kill=3 (empty: no faults); kill exits with code 7")
 	quiet := fs.Bool("quiet", false, "suppress lifecycle lines on stderr")
 	name, err := parseNameAndFlags(fs, "serve", args,
-		"usage: wasched sweep serve <name> -state-dir DIR [-addr HOST:PORT] [-seed N] [-repeats N] [-lease-ttl D] [-max-reassign N] [-batch N] [-max-cells N] [-quiet]")
+		"usage: wasched sweep serve <name> -state-dir DIR [-addr HOST:PORT] [-seed N] [-repeats N] [-lease-ttl D] [-max-reassign N] [-batch N] [-max-cells N] [-chaos-seed N -chaos-plan PLAN] [-quiet]")
 	if err != nil {
 		return err
 	}
 	if *stateDir == "" {
 		return fmt.Errorf("sweep serve needs -state-dir (the coordinator owns the sweep's checkpoint state)")
+	}
+	plan, err := chaos.ParsePlan(*chaosPlan)
+	if err != nil {
+		return err
 	}
 	s, ok := experiments.Sweeps()[name]
 	if !ok {
@@ -62,7 +76,19 @@ func sweepServe(args []string) error {
 			fmt.Fprintf(os.Stderr, "wasched: %v\n", cerr)
 		}
 	}()
-	coord, err := gridfarm.NewCoordinator(s.Cells(cfg), store, gridfarm.Config{
+	// Under a fault plan the coordinator's store admissions fail (and, at a
+	// kill point, tear the journal and end the process) on the seeded
+	// schedule — the protocol must absorb both without losing results.
+	var coordStore gridfarm.Store = store
+	if *chaosPlan != "" {
+		cs := chaos.NewStore(store, *chaosSeed, plan)
+		cs.OnKill = func() {
+			fmt.Fprintf(os.Stderr, "wasched sweep serve: chaos kill point — journal torn, exiting %d (restart to recover)\n", exitChaosKill)
+			os.Exit(exitChaosKill)
+		}
+		coordStore = cs
+	}
+	coord, err := gridfarm.NewCoordinator(s.Cells(cfg), coordStore, gridfarm.Config{
 		Sweep:       gridfarm.SweepInfo{Name: name, Seed: *seed, Repeats: *repeats},
 		LeaseTTL:    *leaseTTL,
 		BatchMax:    *batch,
@@ -131,6 +157,12 @@ func sweepWork(args []string) error {
 	coordURL := fs.String("coord", "", "coordinator base URL (http://host:port)")
 	parallel := fs.Int("parallel", 1, "concurrent cell executions (also the lease batch size)")
 	workerName := fs.String("name", "", "worker identity in leases and the journal (default: worker-<pid>)")
+	retries := fs.Int("retries", 0, "transient-failure retries per request (0: default)")
+	backoff := fs.Duration("backoff", 0, "base retry backoff, deterministically jittered (0: default)")
+	reqTimeout := fs.Duration("request-timeout", 0, "per-request context deadline (0: default)")
+	parkRetries := fs.Int("park-retries", 0, "park-and-retry budget while the coordinator is unreachable (0: default)")
+	chaosSeed := fs.Uint64("chaos-seed", 1, "fault-injection seed (same seed + name → same wire-fault sequence)")
+	chaosPlan := fs.String("chaos-plan", "", "wire fault plan, e.g. drop=0.05,dup=0.1,err=0.1,delay=0.2:5ms (empty: no faults)")
 	quiet := fs.Bool("quiet", false, "suppress lifecycle lines on stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -141,6 +173,10 @@ func sweepWork(args []string) error {
 	if *coordURL == "" {
 		return fmt.Errorf("sweep work needs -coord URL")
 	}
+	plan, err := chaos.ParsePlan(*chaosPlan)
+	if err != nil {
+		return err
+	}
 	if *workerName == "" {
 		*workerName = fmt.Sprintf("worker-%d", os.Getpid())
 	}
@@ -149,10 +185,19 @@ func sweepWork(args []string) error {
 		progress = os.Stderr
 	}
 	wcfg := gridfarm.WorkerConfig{
-		Coord:    *coordURL,
-		Name:     *workerName,
-		Parallel: *parallel,
-		Progress: progress,
+		Coord:          *coordURL,
+		Name:           *workerName,
+		Parallel:       *parallel,
+		MaxRetries:     *retries,
+		BaseBackoff:    *backoff,
+		RequestTimeout: *reqTimeout,
+		ParkRetries:    *parkRetries,
+		Progress:       progress,
+	}
+	if *chaosPlan != "" {
+		// Every request this worker sends rides through the seeded fault
+		// transport: drops, duplicates, injected 500s, lost responses.
+		wcfg.Client = &http.Client{Transport: chaos.NewTransport(nil, *chaosSeed, *workerName, plan)}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -170,10 +215,88 @@ func sweepWork(args []string) error {
 	}
 	stats, err := gridfarm.RunWorker(ctx, s.Exec(experiments.SweepConfig{Seed: info.Seed, Repeats: info.Repeats}), wcfg)
 	if stats != nil && !*quiet {
-		fmt.Fprintf(os.Stderr, "wasched sweep work: %s executed %d cell(s): %d admitted, %d duplicate, %d rejected\n",
-			*workerName, stats.Executed, stats.Admitted, stats.Duplicates, stats.Rejected)
+		fmt.Fprintf(os.Stderr, "wasched sweep work: %s executed %d cell(s): %d admitted, %d duplicate, %d rejected (%d retries, %d parks)\n",
+			*workerName, stats.Executed, stats.Admitted, stats.Duplicates, stats.Rejected, stats.Retries, stats.Parks)
 	}
 	return err
+}
+
+// sweepChaos runs a registered sweep through a full fault drill: once
+// fault-free into <dir>/baseline, once under the plan into <dir>/chaos —
+// distributed coordinator + workers over loopback, faults on every wire
+// and on the store, one coordinator kill+restart when the plan has a kill
+// point — then verifies the chaos run's results are byte-identical to the
+// fault-free run. Exit 0 is the proof; any divergence is an error.
+func sweepChaos(args []string) error {
+	fs := flag.NewFlagSet("sweep chaos", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 1, "sweep seed (same seed → identical cells and results)")
+	repeats := fs.Int("repeats", 0, "repeat-count override where the sweep supports it (0: default)")
+	workers := fs.Int("workers", 2, "distributed workers in the fault run")
+	stateDir := fs.String("state-dir", "", "parent dir for the baseline/ and chaos/ state dirs (default: a temp dir, removed on success)")
+	leaseTTL := fs.Duration("lease-ttl", 5*time.Second, "lease lifetime in the fault run (keep above the plan's delays)")
+	chaosSeed := fs.Uint64("chaos-seed", 1, "fault-injection seed (same seed → same fault schedule)")
+	chaosPlan := fs.String("chaos-plan", chaos.DefaultPlan().String(), "fault plan for the drill")
+	quiet := fs.Bool("quiet", false, "suppress lifecycle lines on stderr")
+	name, err := parseNameAndFlags(fs, "chaos", args,
+		"usage: wasched sweep chaos <name> [-seed N] [-repeats N] [-workers N] [-state-dir DIR] [-lease-ttl D] [-chaos-seed N] [-chaos-plan PLAN] [-quiet]")
+	if err != nil {
+		return err
+	}
+	plan, err := chaos.ParsePlan(*chaosPlan)
+	if err != nil {
+		return err
+	}
+	s, ok := experiments.Sweeps()[name]
+	if !ok {
+		return fmt.Errorf("unknown sweep %q (try `wasched sweep list`)", name)
+	}
+	cfg := experiments.SweepConfig{Seed: *seed, Repeats: *repeats}
+
+	dir := *stateDir
+	cleanup := false
+	if dir == "" {
+		if dir, err = os.MkdirTemp("", "wasched-chaos-"); err != nil {
+			return err
+		}
+		cleanup = true
+	}
+	var progress io.Writer
+	if !*quiet {
+		progress = os.Stderr
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := chaos.Drill(ctx, chaos.DrillConfig{
+		Name:        name,
+		Cells:       s.Cells(cfg),
+		Exec:        s.Exec(cfg),
+		Seed:        *chaosSeed,
+		Plan:        plan,
+		Workers:     *workers,
+		BaselineDir: filepath.Join(dir, "baseline"),
+		ChaosDir:    filepath.Join(dir, "chaos"),
+		LeaseTTL:    *leaseTTL,
+		Progress:    progress,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sweep chaos %s: %d cells, plan %q, seed %d: %d requests (%d delayed, %d dropped, %d dup, %d injected 500s, %d lost responses), %d failed store writes, %d coordinator restart(s)\n",
+		name, len(s.Cells(cfg)), plan.String(), *chaosSeed,
+		rep.Transport.Requests, rep.Transport.Delays, rep.Transport.DroppedRequests,
+		rep.Transport.Duplicates, rep.Transport.Injected500s, rep.Transport.DroppedResponses,
+		rep.Store.FailedWrite, rep.Restarts)
+	if !rep.Identical {
+		for _, d := range rep.Diffs {
+			fmt.Printf("  divergence: %s\n", d)
+		}
+		return fmt.Errorf("sweep chaos: end state diverged from the fault-free run (state kept in %s)", dir)
+	}
+	fmt.Printf("sweep chaos %s: verified — end state byte-identical to the fault-free run\n", name)
+	if cleanup {
+		return os.RemoveAll(dir)
+	}
+	return nil
 }
 
 // parseNameAndFlags parses a flag set that takes one positional sweep

@@ -1,0 +1,192 @@
+// Package chaos is the sweep fabric's seeded fault-injection layer: a
+// Transport that drops, delays, duplicates and corrupts HTTP deliveries
+// between gridfarm workers and their coordinator, a Store that fails and
+// kills journal admissions the way a dying state volume or a SIGKILL
+// mid-append would, and a Drill that runs a full sweep under a fault plan
+// and verifies the survivors' on-disk state is byte-identical to a
+// fault-free run.
+//
+// Determinism contract: every fault stream is a splitmix64 sequence keyed
+// by (seed, stream label), so the same seed replays the same verdict
+// sequence per stream — unit-testable, lint-clean (no wall clocks, no
+// global rand), and reproducible in a bug report. Which request consumes
+// which verdict still depends on goroutine scheduling; what is invariant,
+// and what Drill asserts, is the end state: a sweep that survives the
+// plan must land on exactly the bytes a fault-free sweep produces.
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Plan is a fault schedule. Probabilities are per-event in [0, 1];
+// zero-valued knobs inject nothing, so the zero Plan is a no-op.
+type Plan struct {
+	// DropRequest is the probability a request is dropped before it
+	// reaches the server (connection refused mid-flight, from the client's
+	// point of view).
+	DropRequest float64
+	// DropResponse is the probability the server processes the request but
+	// the response is lost — the nastiest case for admission idempotency,
+	// because the worker must retry an upload the coordinator already
+	// journaled.
+	DropResponse float64
+	// Duplicate is the probability a request is delivered twice (retry
+	// racing a slow first delivery).
+	Duplicate float64
+	// Err500 is the probability the client sees an injected 500 without
+	// the server being reached.
+	Err500 float64
+	// Delay is the probability a delivery is delayed; DelayMax bounds the
+	// injected latency (0: 20 ms).
+	Delay    float64
+	DelayMax time.Duration
+	// RecordFail is the probability a store admission fails mid-write (the
+	// coordinator must refuse to acknowledge it).
+	RecordFail float64
+	// KillAfter, when positive, kills the coordinator process at its Nth
+	// store admission: the journal gets a torn tail of TearBytes bytes (0:
+	// 24) and the admission errors, exactly what a SIGKILL between append
+	// and acknowledgement leaves behind. The kill fires once per Store.
+	KillAfter int
+	TearBytes int
+}
+
+func (p *Plan) normalize() {
+	if p.Delay > 0 && p.DelayMax <= 0 {
+		p.DelayMax = 20 * time.Millisecond
+	}
+	if p.KillAfter > 0 && p.TearBytes <= 0 {
+		p.TearBytes = 24
+	}
+}
+
+// String renders the plan in ParsePlan's syntax (empty for a no-op plan).
+func (p Plan) String() string {
+	var parts []string
+	add := func(k string, v float64) {
+		if v > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%g", k, v))
+		}
+	}
+	add("drop", p.DropRequest)
+	add("droprsp", p.DropResponse)
+	add("dup", p.Duplicate)
+	add("err", p.Err500)
+	if p.Delay > 0 {
+		parts = append(parts, fmt.Sprintf("delay=%g:%s", p.Delay, p.DelayMax))
+	}
+	add("recordfail", p.RecordFail)
+	if p.KillAfter > 0 {
+		parts = append(parts, fmt.Sprintf("kill=%d", p.KillAfter))
+		parts = append(parts, fmt.Sprintf("tear=%d", p.TearBytes))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParsePlan parses the CLI fault-plan syntax: comma-separated knobs
+// `drop=P`, `droprsp=P`, `dup=P`, `err=P`, `delay=P[:DUR]`,
+// `recordfail=P`, `kill=N`, `tear=N`. An empty string is the no-op plan.
+func ParsePlan(s string) (Plan, error) {
+	var p Plan
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return p, nil
+	}
+	for _, field := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return Plan{}, fmt.Errorf("chaos: plan knob %q is not key=value", field)
+		}
+		prob := func(raw string) (float64, error) {
+			f, err := strconv.ParseFloat(raw, 64)
+			if err != nil || f < 0 || f > 1 {
+				return 0, fmt.Errorf("chaos: %s=%q is not a probability in [0,1]", k, raw)
+			}
+			return f, nil
+		}
+		var err error
+		switch k {
+		case "drop":
+			p.DropRequest, err = prob(v)
+		case "droprsp":
+			p.DropResponse, err = prob(v)
+		case "dup":
+			p.Duplicate, err = prob(v)
+		case "err":
+			p.Err500, err = prob(v)
+		case "delay":
+			pv, dv, hasDur := strings.Cut(v, ":")
+			if p.Delay, err = prob(pv); err == nil && hasDur {
+				if p.DelayMax, err = time.ParseDuration(dv); err != nil {
+					err = fmt.Errorf("chaos: delay duration %q: %v", dv, err)
+				}
+			}
+		case "recordfail":
+			p.RecordFail, err = prob(v)
+		case "kill":
+			if p.KillAfter, err = strconv.Atoi(v); err != nil || p.KillAfter < 0 {
+				err = fmt.Errorf("chaos: kill=%q is not a non-negative count", v)
+			}
+		case "tear":
+			if p.TearBytes, err = strconv.Atoi(v); err != nil || p.TearBytes < 0 {
+				err = fmt.Errorf("chaos: tear=%q is not a non-negative byte count", v)
+			}
+		default:
+			err = fmt.Errorf("chaos: unknown plan knob %q", k)
+		}
+		if err != nil {
+			return Plan{}, err
+		}
+	}
+	p.normalize()
+	return p, nil
+}
+
+// DefaultPlan is the smoke-test schedule: every fault class enabled at a
+// rate a healthy fabric must shrug off, plus one coordinator kill.
+func DefaultPlan() Plan {
+	p := Plan{
+		DropRequest:  0.05,
+		DropResponse: 0.05,
+		Duplicate:    0.10,
+		Err500:       0.10,
+		Delay:        0.20,
+		DelayMax:     5 * time.Millisecond,
+		RecordFail:   0.05,
+		KillAfter:    3,
+	}
+	p.normalize()
+	return p
+}
+
+// rng is splitmix64 — tiny, seedable, and good enough to schedule faults.
+// The global math/rand source is deliberately avoided: fault sequences
+// must replay from a seed alone.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 draws from [0, 1).
+func (r *rng) float64() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// streamRNG derives an independent splitmix64 stream for a labelled fault
+// stream under a seed: same (seed, label) → same sequence, different
+// labels → decorrelated sequences.
+func streamRNG(seed uint64, label string) *rng {
+	h := fnv.New64a()
+	fmt.Fprint(h, label)
+	r := &rng{s: seed ^ h.Sum64()}
+	r.next() // burn one output so s=0 streams do not start in lockstep
+	return r
+}

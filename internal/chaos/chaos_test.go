@@ -1,0 +1,183 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wasched/internal/farm"
+)
+
+func TestParsePlanRoundTrip(t *testing.T) {
+	in := "drop=0.05,droprsp=0.1,dup=0.2,err=0.15,delay=0.3:7ms,recordfail=0.05,kill=4,tear=32"
+	p, err := ParsePlan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DropRequest != 0.05 || p.DropResponse != 0.1 || p.Duplicate != 0.2 ||
+		p.Err500 != 0.15 || p.Delay != 0.3 || p.DelayMax != 7*time.Millisecond ||
+		p.RecordFail != 0.05 || p.KillAfter != 4 || p.TearBytes != 32 {
+		t.Fatalf("parsed plan: %+v", p)
+	}
+	p2, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", p.String(), err)
+	}
+	if p2 != p {
+		t.Fatalf("round trip: %+v != %+v", p2, p)
+	}
+	if zero, err := ParsePlan(""); err != nil || zero != (Plan{}) {
+		t.Fatalf("empty plan: %+v %v", zero, err)
+	}
+	for _, bad := range []string{"drop", "drop=2", "delay=0.5:zzz", "kill=-1", "bogus=1"} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted invalid input", bad)
+		}
+	}
+}
+
+// TestVerdictSequenceDeterminism is the seed-replay contract: two
+// transports under the same (seed, name, plan) draw identical verdict
+// sequences per stream, and a different seed draws a different one.
+func TestVerdictSequenceDeterminism(t *testing.T) {
+	plan := DefaultPlan()
+	draw := func(seed uint64) []verdict {
+		tr := NewTransport(nil, seed, "w0", plan)
+		var vs []verdict
+		for _, path := range []string{"/v1/lease", "/v1/complete", "/v1/lease", "/v1/heartbeat"} {
+			req := httptest.NewRequest(http.MethodPost, "http://x"+path, nil)
+			for i := 0; i < 16; i++ {
+				vs = append(vs, tr.draw(req))
+			}
+		}
+		return vs
+	}
+	a, b := draw(42), draw(42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed drew different verdict sequences")
+	}
+	if c := draw(43); reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds drew identical verdict sequences (suspicious stream derivation)")
+	}
+	// Streams must be decorrelated: the lease stream's sequence is not the
+	// complete stream's sequence.
+	if reflect.DeepEqual(a[:16], a[16:32]) {
+		t.Fatal("distinct streams drew identical sequences")
+	}
+	// And with every knob enabled, some fault of each class must fire over
+	// a long draw — a silently dead knob would make the drill vacuous.
+	tr := NewTransport(nil, 7, "w0", plan)
+	req := httptest.NewRequest(http.MethodPost, "http://x/v1/complete", nil)
+	for i := 0; i < 2000; i++ {
+		tr.draw(req)
+	}
+	s := tr.Stats()
+	if s.Delays == 0 || s.DroppedRequests == 0 || s.Injected500s == 0 ||
+		s.Duplicates == 0 || s.DroppedResponses == 0 {
+		t.Fatalf("dead fault knob over 2000 draws: %+v", s)
+	}
+}
+
+// fakeStore is an in-memory gridfarm.Store for fault-pattern tests.
+type fakeStore struct{ records int }
+
+func (f *fakeStore) Lookup(farm.Cell) (*farm.Outcome, bool, error) { return nil, false, nil }
+func (f *fakeStore) Record(*farm.Outcome) error                    { f.records++; return nil }
+func (f *fakeStore) Begin(int, int) error                          { return nil }
+func (f *fakeStore) Event(string, farm.Cell, string) error         { return nil }
+func (f *fakeStore) Dir() string                                   { return "" }
+func (f *fakeStore) Name() string                                  { return "fake" }
+func (f *fakeStore) TailRepaired() int64                           { return 0 }
+
+// TestStoreFailurePatternDeterminism: the recordfail schedule is a pure
+// function of the seed.
+func TestStoreFailurePatternDeterminism(t *testing.T) {
+	pattern := func(seed uint64) []bool {
+		s := NewStore(&fakeStore{}, seed, Plan{RecordFail: 0.3})
+		var fails []bool
+		for i := 0; i < 200; i++ {
+			out := &farm.Outcome{Cell: farm.Cell{Experiment: "x", Config: fmt.Sprint(i), Seed: 1}, Status: farm.StatusDone}
+			fails = append(fails, s.Record(out) != nil)
+		}
+		return fails
+	}
+	a, b := pattern(9), pattern(9)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed failed different admissions")
+	}
+	fired := 0
+	for _, f := range a {
+		if f {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("recordfail=0.3 fired %d/%d times", fired, len(a))
+	}
+}
+
+// TestTransportFaultSemantics pins each knob's observable behaviour with
+// probability-1 plans against a live server.
+func TestTransportFaultSemantics(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		_, _ = io.Copy(io.Discard, r.Body)
+		fmt.Fprint(w, "ok")
+	}))
+	defer srv.Close()
+	get := func(tr *Transport) (*http.Response, error) {
+		client := &http.Client{Transport: tr}
+		req, err := http.NewRequest(http.MethodGet, srv.URL, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return client.Do(req)
+	}
+
+	hits.Store(0)
+	if _, err := get(NewTransport(nil, 1, "w", Plan{DropRequest: 1})); err == nil {
+		t.Fatal("dropped request returned no error")
+	}
+	if hits.Load() != 0 {
+		t.Fatal("dropped request reached the server")
+	}
+
+	hits.Store(0)
+	resp, err := get(NewTransport(nil, 1, "w", Plan{Err500: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("injected status: %d", resp.StatusCode)
+	}
+	//waschedlint:allow checkederr test cleanup of a synthetic response body
+	resp.Body.Close()
+	if hits.Load() != 0 {
+		t.Fatal("injected 500 reached the server")
+	}
+
+	hits.Store(0)
+	if _, err := get(NewTransport(nil, 1, "w", Plan{DropResponse: 1})); err == nil {
+		t.Fatal("dropped response returned no error")
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("dropped response: server hits = %d, want 1 (processed, then lost)", hits.Load())
+	}
+
+	hits.Store(0)
+	resp, err = get(NewTransport(nil, 1, "w", Plan{Duplicate: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	//waschedlint:allow checkederr test cleanup of a drained response body
+	resp.Body.Close()
+	if hits.Load() != 2 {
+		t.Fatalf("duplicated delivery: server hits = %d, want 2", hits.Load())
+	}
+}

@@ -1,0 +1,347 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"wasched/internal/farm"
+	"wasched/internal/gridfarm"
+)
+
+// DrillConfig describes one fault drill: a sweep run twice — fault-free
+// and under the plan — with the end states compared byte for byte.
+type DrillConfig struct {
+	// Name keys the journal in both state dirs.
+	Name string
+	// Cells and Exec define the sweep.
+	Cells []farm.Cell
+	Exec  farm.Exec
+	// Seed drives every fault stream; the same seed replays the same
+	// per-stream fault sequences.
+	Seed uint64
+	// Plan is the fault schedule (zero Plan: a faultless control drill).
+	Plan Plan
+	// Workers is the distributed worker count (<= 0: 2).
+	Workers int
+	// BaselineDir and ChaosDir are the two state dirs (required, distinct).
+	BaselineDir, ChaosDir string
+	// LeaseTTL tunes the chaos coordinator (0: 5 s). Keep it above the
+	// plan's injected latency or expiries dominate the run.
+	LeaseTTL time.Duration
+	// Progress receives one-line lifecycle events (nil: silent).
+	Progress io.Writer
+}
+
+// DrillReport is the outcome of a drill.
+type DrillReport struct {
+	// Baseline and Chaos are the two runs' summaries.
+	Baseline, Chaos *farm.Summary
+	// Restarts counts coordinator kill+restart cycles (0 or 1).
+	Restarts int
+	// Transport aggregates every worker's injected transport faults;
+	// Store is the admission-fault tally of the killed coordinator's store.
+	Transport TransportStats
+	Store     StoreStats
+	// Stats is the final coordinator's status snapshot — the counters
+	// `wasched sweep status -coord` would show after the drill.
+	Stats gridfarm.Stats
+	// Identical reports the verification verdict; Diffs lists every
+	// divergence found (empty when Identical).
+	Identical bool
+	Diffs     []string
+}
+
+// Drill runs the sweep fault-free into BaselineDir, then again under the
+// plan into ChaosDir — coordinator + workers over loopback HTTP, faults on
+// every wire and on the store, one coordinator kill+restart if the plan
+// has a kill point — and verifies the chaos run converged to the baseline:
+// result caches byte-identical, outcomes byte-identical, nothing left
+// pending. It is the engine behind `wasched sweep chaos` and the e2e test.
+func Drill(ctx context.Context, cfg DrillConfig) (*DrillReport, error) {
+	if cfg.Name == "" || len(cfg.Cells) == 0 || cfg.Exec == nil {
+		return nil, fmt.Errorf("chaos: drill needs a name, cells and an exec")
+	}
+	if cfg.BaselineDir == "" || cfg.ChaosDir == "" || cfg.BaselineDir == cfg.ChaosDir {
+		return nil, fmt.Errorf("chaos: drill needs two distinct state dirs")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 5 * time.Second
+	}
+	cfg.Plan.normalize()
+	logf := func(format string, args ...any) {
+		if cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, format+"\n", args...)
+		}
+	}
+	rep := &DrillReport{}
+
+	logf("chaos: baseline run (%d cells, fault-free)", len(cfg.Cells))
+	baseline, err := farm.Run(ctx, cfg.Name, cfg.Cells, cfg.Exec,
+		farm.Options{Workers: cfg.Workers, StateDir: cfg.BaselineDir})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: baseline run: %w", err)
+	}
+	rep.Baseline = baseline
+
+	logf("chaos: fault run under plan %q, seed %d", cfg.Plan.String(), cfg.Seed)
+	if err := runUnderFaults(ctx, cfg, rep, logf); err != nil {
+		return nil, err
+	}
+
+	rep.Diffs = verify(cfg, rep)
+	rep.Identical = len(rep.Diffs) == 0
+	if rep.Identical {
+		logf("chaos: verified — %d cells byte-identical to the fault-free run (%d restarts, %d dropped req, %d dropped rsp, %d dup, %d injected 500s, %d failed writes)",
+			len(cfg.Cells), rep.Restarts, rep.Transport.DroppedRequests, rep.Transport.DroppedResponses,
+			rep.Transport.Duplicates, rep.Transport.Injected500s, rep.Store.FailedWrite)
+	} else {
+		for _, d := range rep.Diffs {
+			logf("chaos: DIVERGENCE: %s", d)
+		}
+	}
+	return rep, nil
+}
+
+// coordGen is one coordinator generation: the pieces torn down at a kill.
+type coordGen struct {
+	store *farm.Store
+	chaos *Store
+	coord *gridfarm.Coordinator
+	srv   *http.Server
+}
+
+func (g *coordGen) stop() {
+	//waschedlint:allow checkederr the server is being hard-killed on purpose; Close errors are the simulated crash
+	g.srv.Close()
+	g.coord.Close()
+	//waschedlint:allow checkederr the generation is dead; a close error on its journal handle cannot lose synced admissions
+	g.store.Close()
+}
+
+// startGen opens the state dir, wraps the store in faults (plan), and
+// serves a coordinator on ln.
+func startGen(cfg DrillConfig, plan Plan, ln net.Listener, killC chan<- struct{}) (*coordGen, error) {
+	store, err := farm.OpenStore(cfg.ChaosDir, cfg.Name)
+	if err != nil {
+		return nil, err
+	}
+	cs := NewStore(store, cfg.Seed, plan)
+	cs.OnKill = func() {
+		select {
+		case killC <- struct{}{}:
+		default:
+		}
+	}
+	coord, err := gridfarm.NewCoordinator(cfg.Cells, cs, gridfarm.Config{
+		Sweep:       gridfarm.SweepInfo{Name: cfg.Name, Seed: cfg.Seed},
+		LeaseTTL:    cfg.LeaseTTL,
+		MaxReassign: 10, // fault noise must exhaust, not the reassignment budget
+		Progress:    cfg.Progress,
+	})
+	if err != nil {
+		//waschedlint:allow checkederr the open failed past the store; best-effort close on the way out
+		store.Close()
+		return nil, err
+	}
+	srv := &http.Server{Handler: coord.Handler()}
+	go func() {
+		//waschedlint:allow checkederr Serve always returns ErrServerClosed (or the kill's error) after stop(); the drill owns shutdown
+		srv.Serve(ln)
+	}()
+	return &coordGen{store: store, chaos: cs, coord: coord, srv: srv}, nil
+}
+
+// runUnderFaults drives the distributed chaos run: workers under fault
+// transports, a coordinator whose store fails and (once) kills, a restart
+// on the same address after the kill, and a drain to full resolution.
+func runUnderFaults(ctx context.Context, cfg DrillConfig, rep *DrillReport, logf func(string, ...any)) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("chaos: listen: %w", err)
+	}
+	addr := ln.Addr().String()
+	killC := make(chan struct{}, 1)
+	gen, err := startGen(cfg, cfg.Plan, ln, killC)
+	if err != nil {
+		return fmt.Errorf("chaos: starting coordinator: %w", err)
+	}
+
+	var wg sync.WaitGroup
+	transports := make([]*Transport, cfg.Workers)
+	workerErrs := make([]error, cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		name := fmt.Sprintf("chaos-w%d", i)
+		tr := NewTransport(nil, cfg.Seed, name, cfg.Plan)
+		transports[i] = tr
+		wg.Add(1)
+		go func(i int, name string, tr *Transport) {
+			defer wg.Done()
+			_, err := gridfarm.RunWorker(ctx, cfg.Exec, gridfarm.WorkerConfig{
+				Coord:          "http://" + addr,
+				Name:           name,
+				Parallel:       2,
+				Client:         &http.Client{Transport: tr},
+				BaseBackoff:    10 * time.Millisecond,
+				RequestTimeout: 5 * time.Second,
+				MaxRetries:     6,
+				ParkRetries:    200,
+				Progress:       cfg.Progress,
+			})
+			workerErrs[i] = err
+		}(i, name, tr)
+	}
+
+	// Supervise: ride out at most one kill, then wait for full resolution.
+	for {
+		select {
+		case <-ctx.Done():
+			gen.stop()
+			wg.Wait()
+			return ctx.Err()
+		case <-killC:
+			logf("chaos: kill point fired — coordinator down, restarting on %s", addr)
+			rep.Store = gen.chaos.Stats()
+			gen.stop()
+			rep.Restarts++
+			// Rebind the same address; the kernel may hold it briefly.
+			var ln2 net.Listener
+			for attempt := 0; ; attempt++ {
+				ln2, err = net.Listen("tcp", addr)
+				if err == nil {
+					break
+				}
+				if attempt > 200 {
+					wg.Wait()
+					return fmt.Errorf("chaos: rebinding %s after kill: %w", addr, err)
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			// The restarted generation keeps the record-failure faults but
+			// must not die again, or the drill cannot terminate.
+			plan2 := cfg.Plan
+			plan2.KillAfter = 0
+			gen, err = startGen(cfg, plan2, ln2, killC)
+			if err != nil {
+				wg.Wait()
+				return fmt.Errorf("chaos: restarting coordinator: %w", err)
+			}
+			if gen.store.TailRepaired() == 0 {
+				gen.stop()
+				wg.Wait()
+				return fmt.Errorf("chaos: restart found no torn tail to repair — the kill point did not tear the journal")
+			}
+		case <-gen.coord.DoneC():
+			rep.Stats = gen.coord.Stats()
+			rep.Chaos = gen.coord.Summary()
+			if rep.Restarts == 0 {
+				rep.Store = gen.chaos.Stats()
+			}
+			wg.Wait() // workers see Drained on their next lease and exit
+			gen.stop()
+			for i, werr := range workerErrs {
+				if werr != nil {
+					return fmt.Errorf("chaos: worker %d: %w", i, werr)
+				}
+			}
+			for _, tr := range transports {
+				s := tr.Stats()
+				rep.Transport.Requests += s.Requests
+				rep.Transport.Delays += s.Delays
+				rep.Transport.DroppedRequests += s.DroppedRequests
+				rep.Transport.Injected500s += s.Injected500s
+				rep.Transport.Duplicates += s.Duplicates
+				rep.Transport.DroppedResponses += s.DroppedResponses
+			}
+			return nil
+		}
+	}
+}
+
+// verify compares the two runs' end states: outcomes byte-identical in
+// cell order, caches byte-identical file by file, chaos journal fully
+// resolved. The journals themselves are not byte-compared — they carry
+// timestamps and the fault history (lease churn, expiries, the torn tail)
+// by design; the contract is that the *results* are indistinguishable.
+func verify(cfg DrillConfig, rep *DrillReport) []string {
+	var diffs []string
+	if rep.Chaos.Done != len(cfg.Cells) || rep.Chaos.Failed != 0 || rep.Chaos.Skipped != 0 {
+		diffs = append(diffs, fmt.Sprintf("chaos run did not resolve cleanly: done %d failed %d skipped %d of %d",
+			rep.Chaos.Done, rep.Chaos.Failed, rep.Chaos.Skipped, len(cfg.Cells)))
+	}
+	wantOut, err1 := json.Marshal(rep.Baseline.Outcomes)
+	gotOut, err2 := json.Marshal(rep.Chaos.Outcomes)
+	if err1 != nil || err2 != nil {
+		diffs = append(diffs, fmt.Sprintf("marshaling outcomes: %v %v", err1, err2))
+	} else if !bytes.Equal(wantOut, gotOut) {
+		diffs = append(diffs, "outcome streams differ between baseline and chaos runs")
+	}
+	base, err := cacheFiles(cfg.BaselineDir)
+	if err != nil {
+		diffs = append(diffs, fmt.Sprintf("reading baseline cache: %v", err))
+		return diffs
+	}
+	chaosC, err := cacheFiles(cfg.ChaosDir)
+	if err != nil {
+		diffs = append(diffs, fmt.Sprintf("reading chaos cache: %v", err))
+		return diffs
+	}
+	names := make([]string, 0, len(base)+len(chaosC))
+	for name := range base {
+		names = append(names, name)
+	}
+	for name := range chaosC {
+		if _, ok := base[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b, inBase := base[name]
+		cb, inChaos := chaosC[name]
+		switch {
+		case !inChaos:
+			diffs = append(diffs, fmt.Sprintf("cache entry %s missing from chaos run", name))
+		case !inBase:
+			diffs = append(diffs, fmt.Sprintf("cache entry %s present only in chaos run", name))
+		case !bytes.Equal(b, cb):
+			diffs = append(diffs, fmt.Sprintf("cache entry %s differs between runs", name))
+		}
+	}
+	st, err := farm.ReadStatus(cfg.ChaosDir, cfg.Name)
+	if err != nil {
+		diffs = append(diffs, fmt.Sprintf("reading chaos journal status: %v", err))
+	} else if st.Remaining != 0 || st.Done != len(cfg.Cells) {
+		diffs = append(diffs, fmt.Sprintf("chaos journal not drained: done %d remaining %d", st.Done, st.Remaining))
+	}
+	return diffs
+}
+
+// cacheFiles maps cache file names to contents for byte comparison.
+func cacheFiles(dir string) (map[string][]byte, error) {
+	entries, err := os.ReadDir(filepath.Join(dir, "cache"))
+	if err != nil {
+		return nil, err
+	}
+	files := make(map[string][]byte, len(entries))
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(dir, "cache", e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		files[e.Name()] = b
+	}
+	return files, nil
+}

@@ -1,0 +1,145 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"wasched/internal/des"
+	"wasched/internal/farm"
+)
+
+// drillCells builds a small sweep shaped like the real ablation grids.
+func drillCells(configs, repeats int) []farm.Cell {
+	var cells []farm.Cell
+	for i := 0; i < configs; i++ {
+		for r := 0; r < repeats; r++ {
+			cells = append(cells, farm.Cell{
+				Experiment: "chaos-test",
+				Config:     fmt.Sprintf("cfg%02d", i),
+				Seed:       42 + uint64(r)*7919,
+			})
+		}
+	}
+	return cells
+}
+
+// drillExec is deterministic per cell, like a real simulation: any
+// nondeterminism the faults smuggle in shows up as a changed payload byte.
+func drillExec(ctx context.Context, c farm.Cell) (any, error) {
+	rng := des.NewRNG(farm.CellSeed(7, c), "chaos-test/"+c.Config)
+	sum := 0.0
+	for i := 0; i < 100; i++ {
+		sum += rng.Float64()
+	}
+	return map[string]float64{"digest": sum}, nil
+}
+
+// TestDrillByteIdentityUnderFaults is the acceptance e2e: a sweep under
+// injected drops, delays, 500s, duplicates and record failures, plus one
+// coordinator kill+restart mid-admission, must converge to exactly the
+// bytes a fault-free run produces. Run under -race by `make check`.
+func TestDrillByteIdentityUnderFaults(t *testing.T) {
+	plan := DefaultPlan()
+	plan.KillAfter = 2 // kill early so the restart carries real load
+	cfg := DrillConfig{
+		Name:        "chaosgrid",
+		Cells:       drillCells(5, 2),
+		Exec:        drillExec,
+		Seed:        1337,
+		Plan:        plan,
+		Workers:     2,
+		BaselineDir: t.TempDir(),
+		ChaosDir:    t.TempDir(),
+		LeaseTTL:    800 * time.Millisecond,
+	}
+	rep, err := Drill(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Identical {
+		t.Fatalf("chaos run diverged from baseline: %v", rep.Diffs)
+	}
+	if rep.Restarts != 1 || !rep.Store.Killed {
+		t.Fatalf("kill point did not fire exactly once: restarts=%d store=%+v", rep.Restarts, rep.Store)
+	}
+	if rep.Transport.Requests == 0 {
+		t.Fatal("no transport traffic recorded")
+	}
+	faults := rep.Transport.DroppedRequests + rep.Transport.DroppedResponses +
+		rep.Transport.Duplicates + rep.Transport.Injected500s + rep.Transport.Delays
+	if faults == 0 {
+		t.Fatalf("drill injected no transport faults — vacuous run: %+v", rep.Transport)
+	}
+	if rep.Stats.TornTailBytes == 0 {
+		t.Fatalf("restarted coordinator did not surface the torn tail: %+v", rep.Stats)
+	}
+	if rep.Chaos.Done != len(cfg.Cells) {
+		t.Fatalf("chaos summary: %+v", rep.Chaos)
+	}
+}
+
+// TestDrillFaultFreeControl: the zero plan is a clean distributed run —
+// the drill machinery itself must not perturb results.
+func TestDrillFaultFreeControl(t *testing.T) {
+	rep, err := Drill(context.Background(), DrillConfig{
+		Name:        "quietgrid",
+		Cells:       drillCells(3, 1),
+		Exec:        drillExec,
+		Seed:        1,
+		Workers:     2,
+		BaselineDir: t.TempDir(),
+		ChaosDir:    t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Identical || rep.Restarts != 0 {
+		t.Fatalf("control drill: identical=%v restarts=%d diffs=%v", rep.Identical, rep.Restarts, rep.Diffs)
+	}
+	if rep.Transport.DroppedRequests+rep.Transport.Injected500s+rep.Transport.Duplicates+rep.Transport.DroppedResponses != 0 {
+		t.Fatalf("zero plan injected faults: %+v", rep.Transport)
+	}
+}
+
+// TestDrillSeedReproducibility: the same seed draws the same fault
+// schedule. End state is always byte-identical (that is the drill's
+// contract); what the seed pins is the per-stream verdict sequence, which
+// TestVerdictSequenceDeterminism covers draw-by-draw — here we assert the
+// drill under a repeated seed kills at the same admission ordinal and
+// fails the same count of admissions, the store-side schedule being
+// scheduling-independent in ordinal space.
+func TestDrillSeedReproducibility(t *testing.T) {
+	run := func() *DrillReport {
+		plan := Plan{RecordFail: 0.25, KillAfter: 3}
+		plan.normalize()
+		rep, err := Drill(context.Background(), DrillConfig{
+			Name:        "replaygrid",
+			Cells:       drillCells(4, 1),
+			Exec:        drillExec,
+			Seed:        99,
+			Plan:        plan,
+			Workers:     1,
+			BaselineDir: t.TempDir(),
+			ChaosDir:    t.TempDir(),
+			LeaseTTL:    800 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Identical {
+			t.Fatalf("diverged: %v", rep.Diffs)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.Store.Killed != b.Store.Killed || a.Restarts != b.Restarts {
+		t.Fatalf("kill schedule not reproducible: %+v vs %+v", a.Store, b.Store)
+	}
+	// The first generation's store saw admissions 1..KillAfter with an
+	// identical seeded failure pattern, so its tallies must match exactly.
+	if a.Store != b.Store {
+		t.Fatalf("store fault schedule not reproducible: %+v vs %+v", a.Store, b.Store)
+	}
+}

@@ -1,0 +1,151 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"wasched/internal/farm"
+	"wasched/internal/gridfarm"
+)
+
+// StoreStats counts the faults a Store injected.
+type StoreStats struct {
+	Records     int  // admissions attempted through the wrapper
+	FailedWrite int  // admissions failed by the recordfail knob
+	Killed      bool // the kill point fired
+}
+
+// Store wraps a farm.Store (or any gridfarm.Store) with seeded admission
+// faults: probabilistic record failures — the coordinator must turn each
+// into an unacknowledged 500 — and an optional kill point that tears the
+// journal tail and declares the process dead, the way a SIGKILL between
+// append and acknowledgement would. After the kill fires, every operation
+// errors: a dead process does not keep journaling.
+type Store struct {
+	inner gridfarm.Store
+	plan  Plan
+	// OnKill, when non-nil, fires exactly once when the kill point trips —
+	// after the torn tail is written, before the admission errors. The
+	// Drill uses it to hard-stop the coordinator's server; the CLI exits
+	// the process.
+	OnKill func()
+
+	mu     sync.Mutex
+	rng    *rng
+	stats  StoreStats
+	killed bool
+	once   sync.Once
+}
+
+// NewStore wraps inner under plan, seeded by (seed, "store").
+func NewStore(inner gridfarm.Store, seed uint64, plan Plan) *Store {
+	plan.normalize()
+	return &Store{inner: inner, plan: plan, rng: streamRNG(seed, "store")}
+}
+
+// Stats snapshots the injected-fault counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Record passes the admission through unless the plan fails or kills it.
+// The kill point fires on the Nth attempted admission: it appends a torn
+// partial line to the journal (bypassing the inner store, exactly as a
+// killed writer's buffered tail lands), invokes OnKill, and errors — the
+// admission was neither journaled nor acknowledged.
+func (s *Store) Record(out *farm.Outcome) error {
+	s.mu.Lock()
+	if s.killed {
+		s.mu.Unlock()
+		return fmt.Errorf("chaos: store is dead (kill point fired)")
+	}
+	s.stats.Records++
+	n := s.stats.Records
+	kill := s.plan.KillAfter > 0 && n == s.plan.KillAfter
+	fail := !kill && s.rng.float64() < s.plan.RecordFail
+	if fail {
+		s.stats.FailedWrite++
+	}
+	if kill {
+		s.killed = true
+		s.stats.Killed = true
+	}
+	s.mu.Unlock()
+
+	if kill {
+		if err := s.tearTail(); err != nil {
+			return fmt.Errorf("chaos: kill point: %w", err)
+		}
+		s.once.Do(func() {
+			if s.OnKill != nil {
+				s.OnKill()
+			}
+		})
+		return fmt.Errorf("chaos: coordinator killed mid-admission of %s", out.Cell)
+	}
+	if fail {
+		return fmt.Errorf("chaos: injected record failure for %s", out.Cell)
+	}
+	return s.inner.Record(out)
+}
+
+// tearTail appends a partial journal line with no newline — the torn tail
+// repairJournalTail must truncate on the next open.
+func (s *Store) tearTail() error {
+	frag := []byte(`{"event":"done","key":"chaos-torn-tail-`)
+	for len(frag) < s.plan.TearBytes {
+		frag = append(frag, 'x')
+	}
+	frag = frag[:s.plan.TearBytes]
+	f, err := os.OpenFile(farm.JournalPath(s.inner.Dir(), s.inner.Name()), os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(frag); err != nil {
+		//waschedlint:allow checkederr the write error is already being returned; close is best-effort cleanup
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// The remaining gridfarm.Store methods delegate, refusing once killed.
+
+func (s *Store) dead() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.killed {
+		return fmt.Errorf("chaos: store is dead (kill point fired)")
+	}
+	return nil
+}
+
+func (s *Store) Lookup(c farm.Cell) (*farm.Outcome, bool, error) {
+	if err := s.dead(); err != nil {
+		return nil, false, err
+	}
+	return s.inner.Lookup(c)
+}
+
+func (s *Store) Begin(cells, cached int) error {
+	if err := s.dead(); err != nil {
+		return err
+	}
+	return s.inner.Begin(cells, cached)
+}
+
+func (s *Store) Event(event string, c farm.Cell, worker string) error {
+	if err := s.dead(); err != nil {
+		return err
+	}
+	return s.inner.Event(event, c, worker)
+}
+
+func (s *Store) Dir() string         { return s.inner.Dir() }
+func (s *Store) Name() string        { return s.inner.Name() }
+func (s *Store) TailRepaired() int64 { return s.inner.TailRepaired() }
+
+var _ gridfarm.Store = (*Store)(nil)

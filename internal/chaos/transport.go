@@ -1,0 +1,191 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// verdict is the fault decision for one delivery. Every request draws all
+// five values from its stream in a fixed order regardless of which knobs
+// are enabled, so a stream's verdict sequence depends only on (seed,
+// label, request ordinal) — never on the plan's shape.
+type verdict struct {
+	delay    time.Duration // > 0: hold the delivery this long first
+	dropReq  bool          // never reaches the server
+	err500   bool          // synthetic 500, server not reached
+	dup      bool          // delivered twice
+	dropResp bool          // server processed it, response lost
+}
+
+// TransportStats counts the faults a Transport injected.
+type TransportStats struct {
+	Requests         int
+	Delays           int
+	DroppedRequests  int
+	Injected500s     int
+	Duplicates       int
+	DroppedResponses int
+}
+
+// Transport wraps an http.RoundTripper with a seeded fault schedule. Each
+// (method, URL path) pair is an independent verdict stream, so lease
+// traffic and upload traffic draw decorrelated fault sequences and adding
+// a new call site does not shift the faults of existing ones.
+type Transport struct {
+	base http.RoundTripper
+	plan Plan
+	seed uint64
+	name string
+
+	mu      sync.Mutex
+	streams map[string]*rng
+	stats   TransportStats
+}
+
+// NewTransport builds a fault-injecting RoundTripper under plan, seeded by
+// (seed, name) — name is typically the worker name, so a fleet under one
+// seed still draws distinct per-worker fault sequences. base nil means
+// http.DefaultTransport.
+func NewTransport(base http.RoundTripper, seed uint64, name string, plan Plan) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	plan.normalize()
+	return &Transport{
+		base:    base,
+		plan:    plan,
+		seed:    seed,
+		name:    name,
+		streams: make(map[string]*rng),
+	}
+}
+
+// Stats snapshots the injected-fault counters.
+func (t *Transport) Stats() TransportStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// draw takes the next verdict for the request's stream and tallies it.
+func (t *Transport) draw(req *http.Request) verdict {
+	label := t.name + "\x00" + req.Method + "\x00" + req.URL.Path
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := t.streams[label]
+	if r == nil {
+		r = streamRNG(t.seed, label)
+		t.streams[label] = r
+	}
+	var v verdict
+	// Fixed draw order; every knob consumes exactly one value per request.
+	if d := r.float64(); d < t.plan.Delay {
+		frac := d / t.plan.Delay // reuse the draw so the delay is seeded too
+		v.delay = time.Duration(frac * float64(t.plan.DelayMax))
+	}
+	v.dropReq = r.float64() < t.plan.DropRequest
+	v.err500 = r.float64() < t.plan.Err500
+	v.dup = r.float64() < t.plan.Duplicate
+	v.dropResp = r.float64() < t.plan.DropResponse
+	t.stats.Requests++
+	if v.delay > 0 {
+		t.stats.Delays++
+	}
+	switch {
+	case v.dropReq:
+		t.stats.DroppedRequests++
+	case v.err500:
+		t.stats.Injected500s++
+	default:
+		if v.dup {
+			t.stats.Duplicates++
+		}
+		if v.dropResp {
+			t.stats.DroppedResponses++
+		}
+	}
+	return v
+}
+
+// RoundTrip applies the verdict: delay, then either swallow the request,
+// answer with a synthetic 500, or deliver it (twice, when duplicated) —
+// and finally, possibly lose the response after the server has committed
+// its effects. Faults honour the request's context, so injected latency
+// never outlives the caller's deadline.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	v := t.draw(req)
+	if v.delay > 0 {
+		timer := time.NewTimer(v.delay)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		}
+	}
+	if v.dropReq {
+		return nil, fmt.Errorf("chaos: request dropped (%s %s)", req.Method, req.URL.Path)
+	}
+	if v.err500 {
+		return &http.Response{
+			Status:     "500 chaos injected",
+			StatusCode: http.StatusInternalServerError,
+			Proto:      req.Proto,
+			ProtoMajor: req.ProtoMajor,
+			ProtoMinor: req.ProtoMinor,
+			Header:     http.Header{"Content-Type": []string{"text/plain"}},
+			Body:       io.NopCloser(strings.NewReader("chaos: injected 500")),
+			Request:    req,
+		}, nil
+	}
+	if v.dup {
+		if extra, err := t.clone(req); err == nil {
+			if resp, err := t.base.RoundTrip(extra); err == nil {
+				// The duplicate's effects (a second admission attempt, a
+				// second lease renewal) are the point; its response is not.
+				//waschedlint:allow checkederr the duplicate's response bytes are deliberately thrown away
+				_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+				//waschedlint:allow checkederr the duplicate's response is deliberately discarded; the primary delivery below is the one whose errors matter
+				resp.Body.Close()
+			}
+		}
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if v.dropResp {
+		// The server has already processed the request; drain and drop the
+		// answer so the client sees a torn connection after commit.
+		//waschedlint:allow checkederr the response is being destroyed on purpose; its bytes are the fault
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		//waschedlint:allow checkederr the response is being destroyed to simulate a torn connection; its close error is part of the wreckage
+		resp.Body.Close()
+		return nil, fmt.Errorf("chaos: response dropped (%s %s)", req.Method, req.URL.Path)
+	}
+	return resp, nil
+}
+
+// clone rebuilds the request for a duplicate delivery; requests without a
+// replayable body (no GetBody) cannot be duplicated and return an error.
+func (t *Transport) clone(req *http.Request) (*http.Request, error) {
+	extra := req.Clone(req.Context())
+	if req.Body == nil || req.Body == http.NoBody {
+		return extra, nil
+	}
+	if req.GetBody == nil {
+		return nil, fmt.Errorf("chaos: request body is not replayable")
+	}
+	body, err := req.GetBody()
+	if err != nil {
+		return nil, err
+	}
+	extra.Body = body
+	return extra, nil
+}
+
+var _ http.RoundTripper = (*Transport)(nil)

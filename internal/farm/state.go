@@ -24,6 +24,10 @@ type state struct {
 	name    string
 	mu      sync.Mutex
 	journal *os.File
+	// repairedTail is how many torn-tail bytes openState truncated from
+	// the journal before appending — non-zero exactly when the previous
+	// writer died mid-append.
+	repairedTail int64
 }
 
 // journalRecord is one JSON line of the checkpoint journal.
@@ -47,15 +51,105 @@ func openState(dir, name string) (*state, error) {
 	if err := os.MkdirAll(filepath.Join(dir, "cache"), 0o755); err != nil {
 		return nil, fmt.Errorf("farm: state dir: %w", err)
 	}
+	// Repair a torn tail before opening for append: a process killed
+	// mid-append leaves a partial final line, and appending after it would
+	// glue the next record onto the fragment — turning a tolerable torn
+	// tail into mid-journal corruption that poisons every later read.
+	repaired, err := repairJournalTail(journalPath(dir, name))
+	if err != nil {
+		return nil, err
+	}
 	j, err := os.OpenFile(journalPath(dir, name), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("farm: journal: %w", err)
 	}
-	return &state{dir: dir, name: name, journal: j}, nil
+	return &state{dir: dir, name: name, journal: j, repairedTail: repaired}, nil
 }
 
 func journalPath(dir, name string) string {
 	return filepath.Join(dir, name+".journal.jsonl")
+}
+
+// JournalPath returns the checkpoint journal file for a sweep in a state
+// dir — exported for the chaos harness, which tears journal tails the way
+// a kill mid-append would.
+func JournalPath(dir, name string) string { return journalPath(dir, name) }
+
+// repairJournalTail truncates the torn tail a killed writer left behind:
+// at most one trailing unparsable line (or unterminated fragment) is
+// removed, and a final record that is valid JSON but lost its newline is
+// re-terminated instead of dropped (it was fully written and synced).
+// Corruption anywhere before the tail is journal damage, not a torn tail,
+// and surfaces as an error — repairing it silently would forge history.
+// It returns the number of bytes truncated.
+func repairJournalTail(path string) (int64, error) {
+	b, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("farm: journal: %w", err)
+	}
+	if len(b) == 0 {
+		return 0, nil
+	}
+	parses := func(line []byte) bool {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			return true
+		}
+		var rec journalRecord
+		return json.Unmarshal(line, &rec) == nil
+	}
+	validEnd := 0 // byte offset just past the last good, newline-terminated line
+	badLine := 0  // 1-based line number of the first unparsable line, if any
+	for off, line := 0, 0; off < len(b); {
+		line++
+		nl := bytes.IndexByte(b[off:], '\n')
+		var content []byte
+		end := len(b)
+		if nl < 0 {
+			content = b[off:] // unterminated fragment
+		} else {
+			content, end = b[off:off+nl], off+nl+1
+		}
+		switch {
+		case !parses(content):
+			if badLine != 0 {
+				return 0, fmt.Errorf("farm: journal %s damaged: corrupt line %d is not a torn tail (line %d is also corrupt); run `wasched sweep clean -state-dir %s` and repair by hand", filepath.Base(path), badLine, line, filepath.Dir(path))
+			}
+			badLine = line
+		case badLine != 0:
+			return 0, fmt.Errorf("farm: journal %s damaged: corrupt line %d is not a torn tail (line %d follows it); run `wasched sweep clean -state-dir %s` and repair by hand", filepath.Base(path), badLine, line, filepath.Dir(path))
+		case nl < 0:
+			// Fully written record that lost only its newline to the kill:
+			// complete it rather than dropping a synced admission.
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return 0, fmt.Errorf("farm: journal: %w", err)
+			}
+			if _, err := f.WriteString("\n"); err != nil {
+				//waschedlint:allow checkederr the write error is already being returned; close is best-effort cleanup
+				f.Close()
+				return 0, fmt.Errorf("farm: journal: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return 0, fmt.Errorf("farm: journal: %w", err)
+			}
+			return 0, nil
+		default:
+			validEnd = end
+		}
+		off = end
+	}
+	dropped := int64(len(b) - validEnd)
+	if dropped == 0 {
+		return 0, nil
+	}
+	if err := os.Truncate(path, int64(validEnd)); err != nil {
+		return 0, fmt.Errorf("farm: truncating torn journal tail: %w", err)
+	}
+	return dropped, nil
 }
 
 // close releases the journal. Every append already fsyncs, so a close
@@ -208,6 +302,11 @@ type SweepStatus struct {
 	// states — non-zero only for state dirs written by a distributed
 	// coordinator (wasched sweep serve).
 	Leased, Quarantined int
+	// Expiries counts every lease-expired event across all runs — the
+	// journal's cumulative record of worker crashes, stalls and dropped
+	// heartbeats (unlike Leased/Quarantined, which reflect only each
+	// cell's latest state).
+	Expiries int
 	// Runs counts begin records (1 = never resumed).
 	Runs int
 	// LastEvent is the timestamp of the newest journal line.
@@ -241,6 +340,9 @@ func ReadStatus(dir, name string) (*SweepStatus, error) {
 			st.CacheHits = rec.Cached
 			lastBegin = idx
 		case string(StatusDone), string(StatusFailed), EventLease, EventLeaseExpired, EventQuarantine:
+			if rec.Event == EventLeaseExpired {
+				st.Expiries++
+			}
 			if rec.Key != "" {
 				if _, seen := latest[rec.Key]; !seen {
 					keys = append(keys, rec.Key)

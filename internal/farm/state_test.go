@@ -157,3 +157,122 @@ func TestUnwritableStateDir(t *testing.T) {
 		t.Fatalf("unwritable state dir must fail Run, got: %v", err)
 	}
 }
+
+// TestRepairJournalTail: opening a journal whose previous writer was
+// killed mid-append truncates the torn fragment, so later appends extend a
+// clean line instead of gluing onto garbage (which would read back as
+// mid-journal corruption).
+func TestRepairJournalTail(t *testing.T) {
+	dir := t.TempDir()
+	journalWrite(t, dir, "s", `{"event":"begin","cells":2}`, `{"event":"done","key":"aaaa"}`)
+	// Simulate a kill mid-append: a partial record with no newline.
+	f, err := os.OpenFile(journalPath(dir, "s"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"event":"done","key":"bb`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := openState(dir, "s")
+	if err != nil {
+		t.Fatalf("open over torn tail: %v", err)
+	}
+	if st.repairedTail == 0 {
+		t.Fatal("torn tail was not repaired")
+	}
+	// The next append must land on its own line: the journal stays fully
+	// parsable with the fragment gone and the new record present.
+	if err := st.append(journalRecord{Event: "done", Key: "cccc"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.close(); err != nil {
+		t.Fatal(err)
+	}
+	status, err := ReadStatus(dir, "s")
+	if err != nil {
+		t.Fatalf("journal unreadable after repair+append: %v", err)
+	}
+	if status.Done != 2 {
+		t.Fatalf("want 2 done cells (aaaa + cccc, fragment dropped), got %+v", status)
+	}
+}
+
+// TestRepairJournalTailCompleteLine: a final record that was fully written
+// but lost its newline to the kill is a synced admission — repair must
+// re-terminate it, not drop it.
+func TestRepairJournalTailCompleteLine(t *testing.T) {
+	dir := t.TempDir()
+	journalWrite(t, dir, "s", `{"event":"begin","cells":2}`)
+	f, err := os.OpenFile(journalPath(dir, "s"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"event":"done","key":"aaaa"}`); err != nil { // no newline
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := openState(dir, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.repairedTail != 0 {
+		t.Fatalf("complete line must not be truncated, dropped %d bytes", st.repairedTail)
+	}
+	if err := st.append(journalRecord{Event: "done", Key: "bbbb"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.close(); err != nil {
+		t.Fatal(err)
+	}
+	status, err := ReadStatus(dir, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.Done != 2 {
+		t.Fatalf("want both done cells preserved, got %+v", status)
+	}
+}
+
+// TestRepairJournalMidstreamDamage: corruption that is not a torn tail
+// (a bad line with valid lines after it) must refuse to open — silently
+// truncating it would forge history.
+func TestRepairJournalMidstreamDamage(t *testing.T) {
+	dir := t.TempDir()
+	journalWrite(t, dir, "s",
+		`{"event":"begin","cells":2}`,
+		`{"event":"done","key":"aa`, // corrupt, but not the tail
+		`{"event":"done","key":"bbbb"}`,
+	)
+	if _, err := openState(dir, "s"); err == nil || !strings.Contains(err.Error(), "damaged") {
+		t.Fatalf("mid-stream damage must refuse to open, got: %v", err)
+	}
+}
+
+// TestReadStatusExpiries: lease-expired events accumulate across runs in
+// the status view — the journal's record of worker churn.
+func TestReadStatusExpiries(t *testing.T) {
+	dir := t.TempDir()
+	journalWrite(t, dir, "s",
+		`{"event":"begin","cells":1}`,
+		`{"event":"lease","key":"aaaa","worker":"w1"}`,
+		`{"event":"lease-expired","key":"aaaa","worker":"w1"}`,
+		`{"event":"lease","key":"aaaa","worker":"w2"}`,
+		`{"event":"lease-expired","key":"aaaa","worker":"w2"}`,
+		`{"event":"done","key":"aaaa"}`,
+	)
+	st, err := ReadStatus(dir, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Expiries != 2 {
+		t.Fatalf("want 2 cumulative expiries, got %+v", st)
+	}
+	if st.Done != 1 || st.Leased != 0 {
+		t.Fatalf("latest-state tallies skewed by expiry counting: %+v", st)
+	}
+}

@@ -48,6 +48,12 @@ func (s *Store) Dir() string { return s.st.dir }
 // Name returns the sweep name the journal is keyed by.
 func (s *Store) Name() string { return s.st.name }
 
+// TailRepaired reports how many torn-tail bytes were truncated from the
+// journal when this store opened it — non-zero exactly when the previous
+// writer was killed mid-append. Orchestrators surface it as a crash
+// indicator.
+func (s *Store) TailRepaired() int64 { return s.st.repairedTail }
+
 // Lookup serves a cell from the result cache; see the unexported lookup
 // for the corruption discipline (a damaged entry errors, never silently
 // recomputes).

@@ -2,14 +2,39 @@ package gridfarm
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"net/http"
 	"sync"
 	"time"
 
 	"wasched/internal/farm"
 )
+
+// Store is the persistence seam the coordinator writes through: the farm's
+// result cache + checkpoint journal (*farm.Store satisfies it), or a
+// wrapper injecting faults around one (internal/chaos). Keeping it an
+// interface is what lets the chaos harness exercise the admission path's
+// crash discipline — an unjournaled admission must never be acknowledged —
+// without a real disk failing on cue.
+type Store interface {
+	// Lookup serves a cell from the result cache.
+	Lookup(c farm.Cell) (*farm.Outcome, bool, error)
+	// Record journals a finished cell and persists its payload.
+	Record(out *farm.Outcome) error
+	// Begin journals the start of a run.
+	Begin(cells, cached int) error
+	// Event journals a grid lifecycle event.
+	Event(event string, c farm.Cell, worker string) error
+	// Dir and Name locate the journal for the recovery scan.
+	Dir() string
+	Name() string
+	// TailRepaired reports torn-tail bytes truncated at open — the
+	// signature of a predecessor killed mid-append.
+	TailRepaired() int64
+}
 
 // Config tunes a coordinator.
 type Config struct {
@@ -83,7 +108,7 @@ func (e *cellEntry) resolved() bool {
 // local farm.Run over the same cells would report.
 type Coordinator struct {
 	cfg   Config
-	store *farm.Store
+	store Store
 
 	mu          sync.Mutex
 	order       []*cellEntry
@@ -105,9 +130,16 @@ type Coordinator struct {
 
 // NewCoordinator builds a coordinator over the cells, pre-filling resolved
 // entries from the store's result cache (store may be nil for purely
-// in-memory grids, e.g. tests) and journaling the run's begin record. The
-// janitor that expires stale leases starts immediately; Close stops it.
-func NewCoordinator(cells []farm.Cell, store *farm.Store, cfg Config) (*Coordinator, error) {
+// in-memory grids, e.g. tests) and journaling the run's begin record.
+// Before serving, it runs a recovery scan over the shared journal: prior
+// failures and quarantines return to the pool (they were never cached, so
+// resume retries them), leases a dead predecessor left dangling are
+// recognised and released, and a torn journal tail — the fingerprint of a
+// coordinator killed mid-append — is counted after the farm layer repaired
+// it. The scan makes a restart under load indistinguishable, cell for
+// cell, from a clean start over the same state dir. The janitor that
+// expires stale leases starts immediately; Close stops it.
+func NewCoordinator(cells []farm.Cell, store Store, cfg Config) (*Coordinator, error) {
 	cfg.normalize()
 	if len(cells) == 0 {
 		return nil, fmt.Errorf("gridfarm: no cells")
@@ -144,6 +176,9 @@ func NewCoordinator(cells []farm.Cell, store *farm.Store, cfg Config) (*Coordina
 	c.stats.Cells = len(cells)
 	c.stats.Cached = cached
 	if store != nil {
+		if err := c.recover(store); err != nil {
+			return nil, err
+		}
 		if err := store.Begin(len(cells), cached); err != nil {
 			return nil, err
 		}
@@ -173,6 +208,33 @@ func NewCoordinator(cells []farm.Cell, store *farm.Store, cfg Config) (*Coordina
 		}
 	}()
 	return c, nil
+}
+
+// recover scans the shared journal for the wreckage of a previous
+// coordinator: cells whose latest event is a dangling lease (the holder —
+// or the coordinator tracking it — died), latest-failed cells, and
+// quarantined cells all return to the pending pool on this run, because
+// none of them ever reached the result cache. The tallies land in Stats
+// so `wasched sweep status -coord` shows what a restart inherited. A
+// missing journal is a fresh state dir, not an error.
+func (c *Coordinator) recover(store Store) error {
+	st, err := farm.ReadStatus(store.Dir(), store.Name())
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	c.stats.RetriedFailed = st.Failed
+	c.stats.ReleasedLeases = st.Leased
+	c.stats.RequeuedQuarantined = st.Quarantined
+	c.stats.TornTailBytes = store.TailRepaired()
+	c.stats.Expiries = st.Expiries
+	if st.Failed+st.Leased+st.Quarantined > 0 || c.stats.TornTailBytes > 0 {
+		c.logf("gridfarm: recovery: requeued %d failed, %d leased, %d quarantined cell(s); repaired %d torn journal byte(s)",
+			st.Failed, st.Leased, st.Quarantined, c.stats.TornTailBytes)
+	}
+	return nil
 }
 
 // Close stops the janitor. It does not close the store — the caller that
@@ -438,6 +500,10 @@ func (c *Coordinator) complete(req CompleteRequest) (CompleteResponse, error) {
 	wasLeased := e.status == cellLeased
 	if c.store != nil {
 		if err := c.store.Record(&out); err != nil {
+			// The admission was not journaled, so it must not be
+			// acknowledged: the 500 this becomes tells the worker to retry
+			// the upload, and StoreErrors counts the near-miss.
+			c.stats.StoreErrors++
 			return CompleteResponse{}, err
 		}
 	}

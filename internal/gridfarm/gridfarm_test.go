@@ -70,7 +70,11 @@ func openStore(t *testing.T, dir, name string) *farm.Store {
 
 func newCoordinator(t *testing.T, cells []farm.Cell, store *farm.Store, cfg Config) (*Coordinator, *httptest.Server) {
 	t.Helper()
-	coord, err := NewCoordinator(cells, store, cfg)
+	var s Store
+	if store != nil { // avoid a typed-nil Store interface
+		s = store
+	}
+	coord, err := NewCoordinator(cells, s, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +92,7 @@ func newCoordinator(t *testing.T, cells []farm.Cell, store *farm.Store, cfg Conf
 func rawLease(t *testing.T, url, worker string, max int) LeaseResponse {
 	t.Helper()
 	var resp LeaseResponse
-	if err := postJSON(context.Background(), testClient, url+PathLease,
+	if err := postJSON(context.Background(), testClient, time.Minute, url+PathLease,
 		LeaseRequest{Worker: worker, Max: max}, &resp); err != nil {
 		t.Fatalf("raw lease: %v", err)
 	}
@@ -98,7 +102,7 @@ func rawLease(t *testing.T, url, worker string, max int) LeaseResponse {
 func rawComplete(t *testing.T, url, worker string, out farm.Outcome) CompleteResponse {
 	t.Helper()
 	var resp CompleteResponse
-	if err := postJSON(context.Background(), testClient, url+PathComplete,
+	if err := postJSON(context.Background(), testClient, time.Minute, url+PathComplete,
 		CompleteRequest{Worker: worker, Outcome: out}, &resp); err != nil {
 		t.Fatalf("raw complete: %v", err)
 	}

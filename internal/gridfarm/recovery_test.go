@@ -1,0 +1,442 @@
+package gridfarm
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wasched/internal/farm"
+)
+
+// TestHeartbeatGoroutineExitsOnResolution audits the renewal-loop leak:
+// the heartbeat goroutine must be provably dead — not merely idle — the
+// moment a batch's last upload is admitted, and it must have actually
+// renewed leases while cells ran (otherwise the audit is vacuous).
+func TestHeartbeatGoroutineExitsOnResolution(t *testing.T) {
+	cells := gridCells(1, 2)
+	coord, err := NewCoordinator(cells, nil, Config{
+		Sweep:    SweepInfo{Name: "grid"},
+		LeaseTTL: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	var beats atomic.Int64
+	handler := coord.Handler()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == PathHeartbeat {
+			beats.Add(1)
+		}
+		handler.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	cfg := WorkerConfig{Coord: srv.URL, Name: "hb", Parallel: 2, BaseBackoff: 5 * time.Millisecond}
+	cfg.normalize()
+	w := &worker{cfg: cfg, stats: &WorkerStats{}, inflight: make(map[string]bool)}
+	lease := rawLease(t, srv.URL, "hb", 2)
+	if len(lease.Cells) != 2 {
+		t.Fatalf("lease: %+v", lease)
+	}
+	slow := func(ctx context.Context, c farm.Cell) (any, error) {
+		time.Sleep(250 * time.Millisecond) // several heartbeat periods
+		return gridExec(ctx, c)
+	}
+	w.startHeartbeat(context.Background(), 40*time.Millisecond)
+	if !w.heartbeatActive() {
+		t.Fatal("heartbeat loop did not start")
+	}
+	w.runBatch(context.Background(), slow, lease.Cells)
+
+	// runBatch has returned: every upload resolved, so the goroutine must
+	// already be gone — no grace period, removeInflight stops it inline.
+	if w.heartbeatActive() {
+		t.Fatal("heartbeat goroutine still running after the batch resolved")
+	}
+	if beats.Load() == 0 {
+		t.Fatal("no heartbeat observed while cells ran; the audit is vacuous")
+	}
+	// And it must stay gone: no ticker fires after resolution.
+	after := beats.Load()
+	time.Sleep(150 * time.Millisecond)
+	if got := beats.Load(); got != after {
+		t.Fatalf("heartbeats kept arriving after resolution: %d -> %d", after, got)
+	}
+	if got := coord.Stats(); got.Done != 2 || got.Expired != 0 {
+		t.Fatalf("coordinator stats: %+v", got)
+	}
+}
+
+// TestHeartbeatStopsOnQuarantinedUpload: a batch whose upload is rejected
+// (quarantined cell) resolves the in-flight set just like an admission —
+// rejection must also release the renewal goroutine.
+func TestHeartbeatStopsOnQuarantinedUpload(t *testing.T) {
+	cells := gridCells(1, 1)
+	coord, err := NewCoordinator(cells, nil, Config{
+		Sweep:       SweepInfo{Name: "grid"},
+		LeaseTTL:    30 * time.Millisecond,
+		MaxReassign: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	// Burn the cell's reassignment budget so it quarantines.
+	deadline := time.Now().Add(30 * time.Second)
+	for coord.Stats().Quarantined == 0 {
+		rawLease(t, srv.URL, "crasher", 1)
+		if time.Now().After(deadline) {
+			t.Fatalf("cell never quarantined: %+v", coord.Stats())
+		}
+		time.Sleep(40 * time.Millisecond)
+	}
+
+	cfg := WorkerConfig{Coord: srv.URL, Name: "late", BaseBackoff: 5 * time.Millisecond}
+	cfg.normalize()
+	w := &worker{cfg: cfg, stats: &WorkerStats{}, inflight: make(map[string]bool)}
+	w.startHeartbeat(context.Background(), 10*time.Millisecond)
+	w.runBatch(context.Background(), gridExec, cells)
+	if w.heartbeatActive() {
+		t.Fatal("heartbeat goroutine survived a rejected (quarantined) upload")
+	}
+	if w.stats.Rejected != 1 {
+		t.Fatalf("worker stats: %+v", w.stats)
+	}
+}
+
+// TestWorkerParksThroughCoordinatorRestart kills the coordinator process
+// mid-sweep (hard server close, leases in flight) and restarts it on the
+// same address over the same state dir. The workers must park — bounded
+// retries, never exiting — and the restarted coordinator's recovery scan
+// must requeue the dangling leases, so the sweep drains to completion with
+// no cell lost and no worker churn.
+func TestWorkerParksThroughCoordinatorRestart(t *testing.T) {
+	cells := gridCells(4, 2)
+	dir := t.TempDir()
+
+	store1, err := farm.OpenStore(dir, "grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord1, err := NewCoordinator(cells, store1, Config{
+		Sweep:    SweepInfo{Name: "grid"},
+		LeaseTTL: 400 * time.Millisecond,
+		BatchMax: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	srv1 := &http.Server{Handler: coord1.Handler()}
+	go func() {
+		//waschedlint:allow checkederr Serve always returns non-nil after Close; the test owns shutdown
+		srv1.Serve(ln)
+	}()
+
+	slow := func(ctx context.Context, c farm.Cell) (any, error) {
+		time.Sleep(30 * time.Millisecond)
+		return gridExec(ctx, c)
+	}
+	var wg sync.WaitGroup
+	workerStats := make([]*WorkerStats, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			stats, err := RunWorker(context.Background(), slow, WorkerConfig{
+				Coord:          "http://" + addr,
+				Name:           fmt.Sprintf("p%d", i),
+				Parallel:       2,
+				MaxRetries:     2,
+				BaseBackoff:    5 * time.Millisecond,
+				RequestTimeout: 2 * time.Second,
+				ParkRetries:    1000, // never give up inside the test window
+			})
+			if err != nil {
+				t.Errorf("worker %d: %v", i, err)
+			}
+			workerStats[i] = stats
+		}(i)
+	}
+
+	// Kill the coordinator once some cells are admitted but work remains.
+	deadline := time.Now().Add(30 * time.Second)
+	for coord1.Stats().Done < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep never progressed: %+v", coord1.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := srv1.Close(); err != nil { // hard close: in-flight connections die
+		t.Fatal(err)
+	}
+	coord1.Close()
+	if err := store1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Let the workers hit the dead address and park at least once.
+	time.Sleep(150 * time.Millisecond)
+
+	// Restart over the same state dir on the same address. Rebinding can
+	// race the kernel's socket teardown, so retry briefly.
+	store2, err := farm.OpenStore(dir, "grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := store2.Close(); err != nil {
+			t.Errorf("closing store: %v", err)
+		}
+	}()
+	coord2, err := NewCoordinator(cells, store2, Config{
+		Sweep:    SweepInfo{Name: "grid"},
+		LeaseTTL: 400 * time.Millisecond,
+		BatchMax: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord2.Close()
+	var ln2 net.Listener
+	for {
+		ln2, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebinding %s: %v", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	srv2 := &http.Server{Handler: coord2.Handler()}
+	go func() {
+		//waschedlint:allow checkederr Serve always returns non-nil after Close; the test owns shutdown
+		srv2.Serve(ln2)
+	}()
+	defer func() {
+		if err := srv2.Close(); err != nil {
+			t.Errorf("closing server: %v", err)
+		}
+	}()
+
+	waitDone(t, coord2, 30*time.Second)
+	wg.Wait()
+
+	sum := coord2.Summary()
+	if sum.Done != len(cells) || sum.Failed != 0 || sum.Skipped != 0 {
+		t.Fatalf("summary after restart: %+v", sum)
+	}
+	stats2 := coord2.Stats()
+	if stats2.Cached < 2 {
+		t.Fatalf("restarted coordinator should have inherited admissions from the cache: %+v", stats2)
+	}
+	parks := 0
+	for i, ws := range workerStats {
+		if ws == nil {
+			t.Fatalf("worker %d reported no stats", i)
+		}
+		parks += ws.Parks
+	}
+	if parks == 0 {
+		t.Fatalf("no worker parked through the restart: %+v %+v", workerStats[0], workerStats[1])
+	}
+	st, err := farm.ReadStatus(dir, "grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Remaining != 0 || st.Done != len(cells) || st.Runs != 2 {
+		t.Fatalf("journal status after restart: %+v", st)
+	}
+}
+
+// copyDir clones a state dir so two resume paths can run concurrently
+// without sharing a journal writer.
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, b, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// readCacheDir maps cache file names to their bytes for byte-identity
+// comparison between two state dirs.
+func readCacheDir(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	entries, err := os.ReadDir(filepath.Join(dir, "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := make(map[string][]byte, len(entries))
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(dir, "cache", e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[e.Name()] = b
+	}
+	return files
+}
+
+// TestTornTailConcurrentResume is the satellite coverage for journal
+// recovery: a sweep is interrupted, its journal tail is torn the way a
+// kill mid-append tears it, and the damaged state dir is resumed
+// CONCURRENTLY by both paths — a local farm.Run and a coordinator+worker
+// grid — each over its own clone. Both must repair the tail, finish every
+// cell, and land in byte-identical recovered state.
+func TestTornTailConcurrentResume(t *testing.T) {
+	cells := gridCells(4, 2)
+	seed := t.TempDir()
+
+	// Interrupted first run: 3 fresh admissions, then stop.
+	part, err := farm.Run(context.Background(), "grid", cells, gridExec,
+		farm.Options{Workers: 1, StateDir: seed, MaxFresh: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !part.Interrupted || part.Done != 3 {
+		t.Fatalf("partial run: %+v", part)
+	}
+	// Tear the tail: a half-written record with no newline, exactly what a
+	// SIGKILL between write and sync leaves behind.
+	j, err := os.OpenFile(farm.JournalPath(seed, "grid"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.WriteString(`{"event":"done","key":"torn-frag`); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dirLocal, dirGrid := t.TempDir(), t.TempDir()
+	copyDir(t, seed, dirLocal)
+	copyDir(t, seed, dirGrid)
+
+	var wg sync.WaitGroup
+	var localSum *farm.Summary
+	var localErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		localSum, localErr = farm.Run(context.Background(), "grid", cells, gridExec,
+			farm.Options{Workers: 2, StateDir: dirLocal})
+	}()
+
+	store, err := farm.OpenStore(dirGrid, "grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := store.Close(); err != nil {
+			t.Errorf("closing store: %v", err)
+		}
+	}()
+	if store.TailRepaired() == 0 {
+		t.Fatal("distributed open did not repair the torn tail")
+	}
+	coord, srvURL := func() (*Coordinator, string) {
+		c, err := NewCoordinator(cells, store, Config{
+			Sweep:    SweepInfo{Name: "grid"},
+			LeaseTTL: 2 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := httptest.NewServer(c.Handler())
+		t.Cleanup(func() {
+			s.Close()
+			c.Close()
+		})
+		return c, s.URL
+	}()
+	if got := coord.Stats().TornTailBytes; got == 0 {
+		t.Fatalf("coordinator stats must surface the repaired tail: %+v", coord.Stats())
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := RunWorker(context.Background(), gridExec, WorkerConfig{
+			Coord:       srvURL,
+			Name:        "resumer",
+			Parallel:    2,
+			BaseBackoff: 5 * time.Millisecond,
+		}); err != nil {
+			t.Errorf("resume worker: %v", err)
+		}
+	}()
+	waitDone(t, coord, 30*time.Second)
+	wg.Wait()
+	if localErr != nil {
+		t.Fatal(localErr)
+	}
+
+	// Both paths completed every cell, serving the 3 pre-crash admissions
+	// from cache.
+	if localSum.Done != len(cells) || localSum.Cached != 3 {
+		t.Fatalf("local resume: %+v", localSum)
+	}
+	gridSum := coord.Summary()
+	if gridSum.Done != len(cells) || gridSum.Failed != 0 || gridSum.Skipped != 0 {
+		t.Fatalf("grid resume: %+v", gridSum)
+	}
+	if got, want := marshalOutcomes(t, gridSum), marshalOutcomes(t, localSum); !bytes.Equal(got, want) {
+		t.Fatalf("resume outcomes diverge:\n%s\n%s", got, want)
+	}
+
+	// Same recovered state on disk: cache byte-identical, journals agree.
+	localCache, gridCache := readCacheDir(t, dirLocal), readCacheDir(t, dirGrid)
+	if len(localCache) != len(cells) || len(gridCache) != len(cells) {
+		t.Fatalf("cache sizes: local %d grid %d want %d", len(localCache), len(gridCache), len(cells))
+	}
+	for name, b := range localCache {
+		if !bytes.Equal(b, gridCache[name]) {
+			t.Fatalf("cache entry %s differs between resume paths", name)
+		}
+	}
+	for _, dir := range []string{dirLocal, dirGrid} {
+		st, err := farm.ReadStatus(dir, "grid")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Remaining != 0 || st.Done != len(cells) || st.Failed != 0 {
+			t.Fatalf("recovered status in %s: %+v", dir, st)
+		}
+	}
+}

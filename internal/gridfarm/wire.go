@@ -114,4 +114,20 @@ type Stats struct {
 	Duplicates int `json:"duplicates,omitempty"`
 	Rejections int `json:"rejections,omitempty"`
 	FreshDone  int `json:"fresh_done,omitempty"`
+	// Recovery + fault counters. RetriedFailed, ReleasedLeases and
+	// RequeuedQuarantined report what the startup recovery scan inherited
+	// from a previous coordinator over the same state dir (all three cell
+	// classes return to the pending pool — none ever reached the result
+	// cache). TornTailBytes is how many bytes of torn journal tail the farm
+	// layer truncated at open — non-zero exactly when the predecessor was
+	// killed mid-append. Expiries is the journal's cumulative lease-expiry
+	// count across all runs; StoreErrors counts admissions refused because
+	// the store failed mid-write (each one became a 500 and a worker
+	// retry).
+	RetriedFailed       int   `json:"retried_failed,omitempty"`
+	ReleasedLeases      int   `json:"released_leases,omitempty"`
+	RequeuedQuarantined int   `json:"requeued_quarantined,omitempty"`
+	TornTailBytes       int64 `json:"torn_tail_bytes,omitempty"`
+	Expiries            int   `json:"expiries,omitempty"`
+	StoreErrors         int   `json:"store_errors,omitempty"`
 }

@@ -24,15 +24,26 @@ type WorkerConfig struct {
 	// Parallel bounds concurrent cell executions and the lease batch size
 	// (<= 0: 1).
 	Parallel int
-	// Client overrides the HTTP client (nil: 1-minute-timeout default).
+	// Client overrides the HTTP client (nil: default client; every request
+	// carries its own context deadline, so no client-level timeout is
+	// needed).
 	Client *http.Client
 	// MaxRetries bounds the retry attempts per HTTP request before the
-	// worker gives up on the coordinator (0: 8; backoff doubles from
-	// BaseBackoff with deterministic per-worker jitter).
+	// request is abandoned (0: 8; backoff doubles from BaseBackoff with
+	// deterministic per-worker jitter).
 	MaxRetries int
 	// BaseBackoff is the first retry delay (0: 200 ms). The empty-grant
 	// poll interval is 10× this.
 	BaseBackoff time.Duration
+	// RequestTimeout is the per-request context deadline on every HTTP
+	// call (0: 10 s). No call the worker makes is ever unbounded.
+	RequestTimeout time.Duration
+	// ParkRetries bounds how many consecutive unreachable-coordinator
+	// episodes the worker parks through before giving up (0: 30). Each
+	// episode is one exhausted MaxRetries budget followed by a capped
+	// backoff, so the default rides out a coordinator restart measured in
+	// minutes instead of exiting at the first refused connection.
+	ParkRetries int
 	// Progress receives one-line lifecycle events (nil: silent).
 	Progress io.Writer
 }
@@ -45,13 +56,19 @@ func (c *WorkerConfig) normalize() {
 		c.Parallel = 1
 	}
 	if c.Client == nil {
-		c.Client = &http.Client{Timeout: time.Minute}
+		c.Client = &http.Client{}
 	}
 	if c.MaxRetries <= 0 {
 		c.MaxRetries = 8
 	}
 	if c.BaseBackoff <= 0 {
 		c.BaseBackoff = 200 * time.Millisecond
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.ParkRetries <= 0 {
+		c.ParkRetries = 30
 	}
 }
 
@@ -61,6 +78,8 @@ type WorkerStats struct {
 	Admitted   int // uploads the coordinator admitted
 	Duplicates int // uploads that were idempotent no-ops
 	Rejected   int // uploads the coordinator refused
+	Retries    int // HTTP attempts beyond the first, across all calls
+	Parks      int // unreachable-coordinator episodes parked through
 }
 
 // FetchSweepInfo asks a coordinator what sweep it serves, retrying
@@ -69,10 +88,22 @@ type WorkerStats struct {
 func FetchSweepInfo(ctx context.Context, cfg WorkerConfig) (SweepInfo, error) {
 	cfg.normalize()
 	var info SweepInfo
-	err := withRetry(ctx, cfg, "sweep", func() error {
-		return getJSON(ctx, cfg.Client, cfg.Coord+PathSweep, &info)
+	err := withRetry(ctx, cfg, "sweep", nil, func(ctx context.Context) error {
+		return getJSON(ctx, cfg.Client, cfg.RequestTimeout, cfg.Coord+PathSweep, &info)
 	})
 	return info, err
+}
+
+// FetchStats asks a live coordinator for its /v1/status snapshot — the
+// `wasched sweep status -coord` path. One bounded attempt; the caller owns
+// retry policy for a status probe.
+func FetchStats(ctx context.Context, coordURL string, timeout time.Duration) (Stats, error) {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	var st Stats
+	err := getJSON(ctx, &http.Client{}, timeout, coordURL+PathStatus, &st)
+	return st, err
 }
 
 // RunWorker leases cells from the coordinator, executes them through
@@ -80,18 +111,21 @@ func FetchSweepInfo(ctx context.Context, cfg WorkerConfig) (SweepInfo, error) {
 // uploads outcomes until the coordinator reports the sweep drained or
 // draining. Cancelling ctx is a graceful drain: no further leases are
 // requested, in-flight cells finish and upload, then RunWorker returns
-// nil. The error return is reserved for an unreachable coordinator after
-// the retry budget.
+// nil. An unreachable coordinator parks the worker — bounded retry
+// episodes with capped deterministic backoff — so a coordinator restart
+// (crash recovery, redeploy) is ridden out rather than fatal; only a
+// coordinator that never comes back within the park budget errors out.
 func RunWorker(ctx context.Context, exec farm.Exec, cfg WorkerConfig) (*WorkerStats, error) {
 	cfg.normalize()
 	if exec == nil {
 		return nil, fmt.Errorf("gridfarm: nil exec")
 	}
-	w := &worker{cfg: cfg, inflight: make(map[string]bool)}
-	defer w.stopHeartbeat()
 	stats := &WorkerStats{}
-	attempt := 0        // consecutive empty polls, for backoff pacing
-	everLeased := false // an exchange with this coordinator succeeded
+	w := &worker{cfg: cfg, stats: stats, inflight: make(map[string]bool)}
+	defer w.stopHeartbeat()
+	attempt := 0 // consecutive empty polls, for backoff pacing
+	parked := 0  // consecutive unreachable episodes
+	everLeased := false
 	for {
 		select {
 		case <-ctx.Done():
@@ -100,25 +134,46 @@ func RunWorker(ctx context.Context, exec farm.Exec, cfg WorkerConfig) (*WorkerSt
 		default:
 		}
 		var lease LeaseResponse
-		err := withRetry(ctx, cfg, "lease", func() error {
-			return postJSON(ctx, cfg.Client, cfg.Coord+PathLease,
+		err := withRetry(ctx, cfg, "lease", w.countRetry, func(ctx context.Context) error {
+			return postJSON(ctx, cfg.Client, cfg.RequestTimeout, cfg.Coord+PathLease,
 				LeaseRequest{Worker: cfg.Name, Max: cfg.Parallel}, &lease)
 		})
 		if err != nil {
 			if ctx.Err() != nil {
 				return stats, nil
 			}
-			if everLeased {
-				// The coordinator answered earlier and is now gone through a
-				// full retry budget: it finished (or was stopped) and took
-				// the listener with it. It owns every journaled result, so
-				// there is nothing left for this worker to do — exit clean.
-				w.logf("%s: coordinator gone after serving us, assuming the sweep ended (%d executed, %d admitted)",
-					cfg.Name, stats.Executed, stats.Admitted)
-				return stats, nil
+			// The coordinator is unreachable through a full retry budget.
+			// Park instead of exiting: a restarting coordinator (the crash
+			// recovery this protocol exists for) comes back on the same
+			// address, and abandoning the sweep at its first refused
+			// connection would turn every coordinator blip into worker
+			// churn. The budget is bounded so a coordinator that is truly
+			// gone still releases the process.
+			parked++
+			w.mu.Lock()
+			stats.Parks++
+			w.mu.Unlock()
+			if parked > cfg.ParkRetries {
+				if everLeased {
+					// It served us and never came back: the sweep ended (or
+					// moved); everything admitted is journaled on its side.
+					w.logf("%s: coordinator gone after %d parked retries, assuming the sweep ended (%d executed, %d admitted)",
+						cfg.Name, parked-1, stats.Executed, stats.Admitted)
+					return stats, nil
+				}
+				return stats, fmt.Errorf("gridfarm: leasing from %s: coordinator unreachable after %d parked retries: %w",
+					cfg.Coord, parked-1, err)
 			}
-			return stats, fmt.Errorf("gridfarm: leasing from %s: %w", cfg.Coord, err)
+			w.logf("%s: coordinator unreachable (%v), parked %d/%d",
+				cfg.Name, err, parked, cfg.ParkRetries)
+			parkAttempt := parked
+			if parkAttempt > 4 {
+				parkAttempt = 4 // cap the park backoff at 16× the poll interval
+			}
+			sleep(ctx, jittered(cfg.Name, "park", parkAttempt, 10*cfg.BaseBackoff))
+			continue
 		}
+		parked = 0
 		everLeased = true
 		if lease.Drained || lease.Draining {
 			w.logf("%s: coordinator draining, exiting (%d executed, %d admitted)",
@@ -131,11 +186,12 @@ func RunWorker(ctx context.Context, exec farm.Exec, cfg WorkerConfig) (*WorkerSt
 			continue
 		}
 		attempt = 0
-		// The heartbeat outlives a cancelled run context (it is stopped by
-		// the deferred stopHeartbeat) so cells finishing during a graceful
-		// drain keep their leases.
+		// The heartbeat outlives a cancelled run context (it stops itself
+		// once the batch's uploads resolve, and stopHeartbeat is deferred as
+		// a backstop) so cells finishing during a graceful drain keep their
+		// leases.
 		w.startHeartbeat(context.WithoutCancel(ctx), time.Duration(lease.TTLMS)*time.Millisecond/3)
-		w.runBatch(ctx, exec, lease.Cells, stats)
+		w.runBatch(ctx, exec, lease.Cells)
 	}
 }
 
@@ -143,6 +199,7 @@ func RunWorker(ctx context.Context, exec farm.Exec, cfg WorkerConfig) (*WorkerSt
 type worker struct {
 	cfg      WorkerConfig
 	mu       sync.Mutex
+	stats    *WorkerStats
 	inflight map[string]bool
 	hbStop   chan struct{}
 	hbDone   chan struct{}
@@ -154,8 +211,18 @@ func (w *worker) logf(format string, args ...any) {
 	}
 }
 
-// startHeartbeat launches the renewal loop once, at a third of the lease
-// TTL (so a lease survives two dropped heartbeats).
+func (w *worker) countRetry() {
+	w.mu.Lock()
+	w.stats.Retries++
+	w.mu.Unlock()
+}
+
+// startHeartbeat launches the renewal loop at a third of the lease TTL
+// (so a lease survives two dropped heartbeats). The loop lives only while
+// cells are in flight: removeInflight stops it — and its goroutine exits —
+// the moment the batch's last upload resolves, so an idle worker holds no
+// renewal goroutine and a resolved (admitted or quarantined) cell is never
+// renewed again.
 func (w *worker) startHeartbeat(ctx context.Context, period time.Duration) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -185,6 +252,8 @@ func (w *worker) startHeartbeat(ctx context.Context, period time.Duration) {
 	}()
 }
 
+// stopHeartbeat stops the renewal loop and waits for its goroutine to
+// exit. Idempotent; safe with no loop running.
 func (w *worker) stopHeartbeat() {
 	w.mu.Lock()
 	stop, done := w.hbStop, w.hbDone
@@ -193,6 +262,44 @@ func (w *worker) stopHeartbeat() {
 	if stop != nil {
 		close(stop)
 		<-done
+	}
+}
+
+// heartbeatActive reports whether the renewal goroutine is live — the
+// leak-audit hook for tests.
+func (w *worker) heartbeatActive() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.hbDone == nil {
+		return false
+	}
+	select {
+	case <-w.hbDone:
+		return false
+	default:
+		return true
+	}
+}
+
+// addInflight registers a cell under lease renewal.
+func (w *worker) addInflight(key string) {
+	w.mu.Lock()
+	w.inflight[key] = true
+	w.mu.Unlock()
+}
+
+// removeInflight drops a resolved cell from renewal and, when it was the
+// last one, shuts the heartbeat loop down entirely: once every upload in
+// the batch is admitted (or rejected as quarantined), there is no lease
+// left to renew and keeping the goroutine alive would be a slow leak — one
+// idle ticking loop per worker lifetime, renewing nothing.
+func (w *worker) removeInflight(key string) {
+	w.mu.Lock()
+	delete(w.inflight, key)
+	idle := len(w.inflight) == 0
+	w.mu.Unlock()
+	if idle {
+		w.stopHeartbeat()
 	}
 }
 
@@ -212,7 +319,7 @@ func (w *worker) beat(ctx context.Context) {
 	}
 	sort.Strings(keys) // map order must not leak into the wire protocol
 	var resp HeartbeatResponse
-	if err := postJSON(ctx, w.cfg.Client, w.cfg.Coord+PathHeartbeat,
+	if err := postJSON(ctx, w.cfg.Client, w.cfg.RequestTimeout, w.cfg.Coord+PathHeartbeat,
 		HeartbeatRequest{Worker: w.cfg.Name, Keys: keys}, &resp); err != nil {
 		w.logf("%s: heartbeat: %v", w.cfg.Name, err)
 	}
@@ -223,43 +330,42 @@ func (w *worker) beat(ctx context.Context) {
 // under a detached context: once a cell is leased, a graceful drain
 // (cancelled run context) lets it finish and upload rather than abandoning
 // it to a lease expiry and a re-run elsewhere.
-func (w *worker) runBatch(ctx context.Context, exec farm.Exec, cells []farm.Cell, stats *WorkerStats) {
+func (w *worker) runBatch(ctx context.Context, exec farm.Exec, cells []farm.Cell) {
 	ctx = context.WithoutCancel(ctx)
+	// Register every cell before the first goroutine can resolve: if the
+	// fastest cell finished before a sibling registered, the in-flight set
+	// would transiently empty and removeInflight would stop the heartbeat
+	// under a still-running batch.
+	for _, cell := range cells {
+		w.addInflight(cell.Key())
+	}
 	var wg sync.WaitGroup
-	var mu sync.Mutex // guards stats
 	for _, cell := range cells {
 		wg.Add(1)
 		go func(cell farm.Cell) {
 			defer wg.Done()
 			key := cell.Key()
-			w.mu.Lock()
-			w.inflight[key] = true
-			w.mu.Unlock()
-			defer func() {
-				w.mu.Lock()
-				delete(w.inflight, key)
-				w.mu.Unlock()
-			}()
+			defer w.removeInflight(key)
 			out := farm.Execute(ctx, exec, cell)
 			var resp CompleteResponse
-			err := withRetry(ctx, w.cfg, "complete", func() error {
-				return postJSON(ctx, w.cfg.Client, w.cfg.Coord+PathComplete,
+			err := withRetry(ctx, w.cfg, "complete", w.countRetry, func(ctx context.Context) error {
+				return postJSON(ctx, w.cfg.Client, w.cfg.RequestTimeout, w.cfg.Coord+PathComplete,
 					CompleteRequest{Worker: w.cfg.Name, Outcome: *out}, &resp)
 			})
-			mu.Lock()
-			defer mu.Unlock()
-			stats.Executed++
+			w.mu.Lock()
+			defer w.mu.Unlock()
+			w.stats.Executed++
 			switch {
 			case err != nil:
 				// The outcome is lost to this worker; the lease expires and
 				// the cell is re-run elsewhere.
 				w.logf("%s: uploading %s: %v", w.cfg.Name, cell, err)
 			case resp.Admitted:
-				stats.Admitted++
+				w.stats.Admitted++
 			case resp.Duplicate:
-				stats.Duplicates++
+				w.stats.Duplicates++
 			default:
-				stats.Rejected++
+				w.stats.Rejected++
 				w.logf("%s: upload of %s rejected: %s", w.cfg.Name, cell, resp.Rejected)
 			}
 		}(cell)
@@ -268,11 +374,17 @@ func (w *worker) runBatch(ctx context.Context, exec farm.Exec, cells []farm.Cell
 }
 
 // withRetry runs op with bounded exponential backoff and deterministic
-// per-worker jitter. Cancellation short-circuits between attempts.
-func withRetry(ctx context.Context, cfg WorkerConfig, op string, fn func() error) error {
+// per-worker jitter; every attempt gets a fresh per-request deadline via
+// the context fn receives. onRetry (may be nil) is called once per attempt
+// beyond the first, for stats. Cancellation short-circuits between
+// attempts.
+func withRetry(ctx context.Context, cfg WorkerConfig, op string, onRetry func(), fn func(ctx context.Context) error) error {
 	var err error
 	for attempt := 0; attempt < cfg.MaxRetries; attempt++ {
-		if err = fn(); err == nil {
+		if attempt > 0 && onRetry != nil {
+			onRetry()
+		}
+		if err = fn(ctx); err == nil {
 			return nil
 		}
 		if ctx.Err() != nil {
@@ -313,15 +425,17 @@ func sleep(ctx context.Context, d time.Duration) bool {
 	}
 }
 
-// postJSON posts req and decodes the JSON response into resp. Any
-// non-200 status is an error (the coordinator encodes protocol-level
-// refusals inside 200 bodies, so a non-200 is transport or server
-// trouble worth retrying).
-func postJSON(ctx context.Context, client *http.Client, url string, req, resp any) error {
+// postJSON posts req under a fresh timeout-bounded context and decodes the
+// JSON response into resp. Any non-200 status is an error (the coordinator
+// encodes protocol-level refusals inside 200 bodies, so a non-200 is
+// transport or server trouble worth retrying).
+func postJSON(ctx context.Context, client *http.Client, timeout time.Duration, url string, req, resp any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return err
 	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
 	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		return err
@@ -330,7 +444,9 @@ func postJSON(ctx context.Context, client *http.Client, url string, req, resp an
 	return doJSON(client, hr, resp)
 }
 
-func getJSON(ctx context.Context, client *http.Client, url string, resp any) error {
+func getJSON(ctx context.Context, client *http.Client, timeout time.Duration, url string, resp any) error {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
 	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return err
@@ -338,7 +454,15 @@ func getJSON(ctx context.Context, client *http.Client, url string, resp any) err
 	return doJSON(client, hr, resp)
 }
 
+// doJSON performs one bounded request. It refuses a request without a
+// context deadline: every call site above attaches one, and an unbounded
+// call here would hang a worker on a half-open connection forever — the
+// ctxdeadline analyzer pins this invariant statically, this guard pins it
+// at runtime.
 func doJSON(client *http.Client, hr *http.Request, resp any) error {
+	if _, ok := hr.Context().Deadline(); !ok {
+		return fmt.Errorf("gridfarm: request %s %s carries no deadline", hr.Method, hr.URL)
+	}
 	r, err := client.Do(hr)
 	if err != nil {
 		return err

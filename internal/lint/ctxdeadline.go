@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"wasched/internal/lint/analysis"
+)
+
+// Ctxdeadline flags outbound http.Client calls that cannot prove a
+// context deadline — the class of bug where a worker blocks forever on a
+// half-open connection to a dead coordinator. The gridfarm protocol's
+// liveness rests on every request eventually returning, so:
+//
+//   - The context-free convenience calls (http.Get, Client.Get, Post,
+//     PostForm, Head) are always flagged: they cannot carry a deadline at
+//     all (a client-level Timeout is invisible at the call site and not
+//     required by any type, so it does not count as proof).
+//   - Client.Do(req) is accepted only when the enclosing function either
+//     guards `req.Context().Deadline()` explicitly (the runtime-check
+//     idiom) or built req itself via http.NewRequestWithContext with a
+//     context derived from context.WithTimeout/WithDeadline in the same
+//     function. Anything else — a request smuggled in from elsewhere, a
+//     bare context.Background() — is flagged.
+//
+// Deliberate exceptions carry a //waschedlint:allow ctxdeadline rationale.
+var Ctxdeadline = &analysis.Analyzer{
+	Name: "ctxdeadline",
+	Doc:  "every outbound http.Client call must carry a context with a deadline",
+	Run:  runCtxdeadline,
+}
+
+func runCtxdeadline(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		parents := analysis.Parents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "net/http" {
+				return true
+			}
+			sig, _ := fn.Type().(*types.Signature)
+			if sig == nil {
+				return true
+			}
+			if sig.Recv() == nil {
+				switch fn.Name() {
+				case "Get", "Head", "Post", "PostForm":
+					pass.Reportf(call.Pos(), "http.%s carries no context deadline; build the request with http.NewRequestWithContext under context.WithTimeout", fn.Name())
+				}
+				return true
+			}
+			if !isHTTPClient(sig.Recv().Type()) {
+				return true
+			}
+			switch fn.Name() {
+			case "Get", "Head", "Post", "PostForm":
+				pass.Reportf(call.Pos(), "http.Client.%s carries no context deadline; build the request with http.NewRequestWithContext under context.WithTimeout", fn.Name())
+			case "Do":
+				checkDo(pass, parents, call)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isHTTPClient reports whether recv is net/http.Client or *net/http.Client.
+func isHTTPClient(recv types.Type) bool {
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Client"
+}
+
+// checkDo accepts Client.Do(req) when the enclosing function proves a
+// deadline on req, by either idiom.
+func checkDo(pass *analysis.Pass, parents map[ast.Node]ast.Node, call *ast.CallExpr) {
+	body := analysis.FuncBody(analysis.EnclosingFunc(parents, call))
+	if body == nil {
+		return // method value or package-level wiring: out of intra-function reach
+	}
+	if hasDeadlineGuard(body) {
+		return
+	}
+	if len(call.Args) == 1 {
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+			obj := pass.TypesInfo.Uses[id]
+			if obj != nil && requestHasDeadline(pass.TypesInfo, body, obj) {
+				return
+			}
+		}
+	}
+	pass.Reportf(call.Pos(), "http.Client.Do without a provable context deadline; derive the request context from context.WithTimeout or guard req.Context().Deadline()")
+}
+
+// hasDeadlineGuard looks for a `<x>.Context().Deadline()` call anywhere in
+// body — the runtime-check idiom that refuses unbounded requests.
+func hasDeadlineGuard(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		outer, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(outer.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Deadline" {
+			return true
+		}
+		inner, ok := ast.Unparen(sel.X).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		innerSel, ok := ast.Unparen(inner.Fun).(*ast.SelectorExpr)
+		if ok && innerSel.Sel.Name == "Context" {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// requestHasDeadline reports whether req was assigned from
+// http.NewRequestWithContext whose context argument was produced by
+// context.WithTimeout or context.WithDeadline inside body.
+func requestHasDeadline(info *types.Info, body *ast.BlockStmt, req types.Object) bool {
+	ok := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		assign, isAssign := n.(*ast.AssignStmt)
+		if !isAssign || len(assign.Rhs) != 1 || len(assign.Lhs) == 0 {
+			return true
+		}
+		if !assignsTo(info, assign.Lhs[0], req) {
+			return true
+		}
+		call, isCall := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !isCall || !isPkgCall(info, call, "net/http", "NewRequestWithContext") || len(call.Args) == 0 {
+			return true
+		}
+		ok = contextHasDeadline(info, body, call.Args[0])
+		return true
+	})
+	return ok
+}
+
+// contextHasDeadline reports whether the context expression provably
+// carries a deadline: a direct context.WithTimeout/WithDeadline result, or
+// a variable assigned from one inside body.
+func contextHasDeadline(info *types.Info, body *ast.BlockStmt, ctxArg ast.Expr) bool {
+	ctxArg = ast.Unparen(ctxArg)
+	if call, isCall := ctxArg.(*ast.CallExpr); isCall {
+		return isDeadlineCtor(info, call)
+	}
+	id, isIdent := ctxArg.(*ast.Ident)
+	if !isIdent {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	ok := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		assign, isAssign := n.(*ast.AssignStmt)
+		if !isAssign || len(assign.Rhs) != 1 || len(assign.Lhs) == 0 {
+			return true
+		}
+		if !assignsTo(info, assign.Lhs[0], obj) {
+			return true
+		}
+		if call, isCall := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr); isCall {
+			ok = isDeadlineCtor(info, call)
+		}
+		return true
+	})
+	return ok
+}
+
+func isDeadlineCtor(info *types.Info, call *ast.CallExpr) bool {
+	return isPkgCall(info, call, "context", "WithTimeout") ||
+		isPkgCall(info, call, "context", "WithDeadline")
+}
+
+func isPkgCall(info *types.Info, call *ast.CallExpr, pkg, name string) bool {
+	fn := analysis.CalleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkg && fn.Name() == name
+}
+
+// assignsTo reports whether lhs is an identifier resolving to obj (defined
+// or reused).
+func assignsTo(info *types.Info, lhs ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if info.Defs[id] == obj {
+		return true
+	}
+	return info.Uses[id] == obj
+}

@@ -52,8 +52,11 @@ func hasPathPrefix(path, prefix string) bool {
 //   - maporder and tickerstop run everywhere; ordered effects and ticker
 //     leaks are never right.
 //   - checkederr runs where state files are written or remote state is
-//     acknowledged: the farm, the gridfarm coordinator/worker, and the
-//     CLIs driving them.
+//     acknowledged: the farm, the gridfarm coordinator/worker, the chaos
+//     harness that tears their journals, and the CLIs driving them.
+//   - ctxdeadline runs where outbound HTTP leaves the process: the
+//     gridfarm worker/coordinator client paths and the CLIs. A request
+//     without a deadline hangs a worker forever on a half-open socket.
 //   - floatguard runs where rate/throughput arithmetic lives: the
 //     scheduler policies and the resource/file-system models.
 func Suite() []ScopedAnalyzer {
@@ -67,7 +70,20 @@ func Suite() []ScopedAnalyzer {
 		{Analyzer: Tickerstop},
 		{
 			Analyzer: Checkederr,
-			Include:  []string{"wasched/internal/farm", "wasched/internal/gridfarm", "wasched/cmd"},
+			Include: []string{
+				"wasched/internal/farm",
+				"wasched/internal/gridfarm",
+				"wasched/internal/chaos",
+				"wasched/cmd",
+			},
+		},
+		{
+			Analyzer: Ctxdeadline,
+			Include: []string{
+				"wasched/internal/gridfarm",
+				"wasched/internal/chaos",
+				"wasched/cmd",
+			},
 		},
 		{
 			Analyzer: Floatguard,

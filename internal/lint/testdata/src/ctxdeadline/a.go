@@ -1,0 +1,102 @@
+// Corpus for the ctxdeadline analyzer: context-free http.Client
+// convenience calls are always flagged; Client.Do is flagged unless the
+// enclosing function proves a deadline — by deriving the request context
+// from context.WithTimeout/WithDeadline, or by guarding
+// req.Context().Deadline() at runtime.
+package a
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+func convenienceCalls(c *http.Client) {
+	c.Get("http://coord/v1/sweep")           // want `http.Client.Get carries no context deadline`
+	c.Head("http://coord/v1/sweep")          // want `http.Client.Head carries no context deadline`
+	c.Post("http://coord/v1/lease", "", nil) // want `http.Client.Post carries no context deadline`
+	c.PostForm("http://coord/v1/lease", nil) // want `http.Client.PostForm carries no context deadline`
+}
+
+func packageLevel() {
+	http.Get("http://coord/v1/status") // want `http.Get carries no context deadline`
+	http.Post("http://coord", "", nil) // want `http.Post carries no context deadline`
+}
+
+// A client-level Timeout is invisible at the call site and not required by
+// any type, so it is not accepted as proof.
+func clientTimeoutIsNotProof() {
+	c := &http.Client{Timeout: time.Minute}
+	c.Get("http://coord/v1/status") // want `http.Client.Get carries no context deadline`
+}
+
+func doWithTimeout(ctx context.Context, c *http.Client) error {
+	ctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://coord/v1/status", nil)
+	if err != nil {
+		return err
+	}
+	_, err = c.Do(req) // ok: req's context derives from WithTimeout here
+	return err
+}
+
+func doWithDeadline(ctx context.Context, c *http.Client, t time.Time) error {
+	dctx, cancel := context.WithDeadline(ctx, t)
+	defer cancel()
+	req, err := http.NewRequestWithContext(dctx, http.MethodGet, "http://coord/v1/status", nil)
+	if err != nil {
+		return err
+	}
+	_, err = c.Do(req) // ok: req's context derives from WithDeadline here
+	return err
+}
+
+func doWithBareContext(ctx context.Context, c *http.Client) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://coord/v1/status", nil)
+	if err != nil {
+		return err
+	}
+	_, err = c.Do(req) // want `http.Client.Do without a provable context deadline`
+	return err
+}
+
+func doWithBackground(c *http.Client) error {
+	req, err := http.NewRequestWithContext(context.Background(), http.MethodGet, "http://coord", nil)
+	if err != nil {
+		return err
+	}
+	_, err = c.Do(req) // want `http.Client.Do without a provable context deadline`
+	return err
+}
+
+func doWithoutContextAtAll(c *http.Client) error {
+	req, err := http.NewRequest(http.MethodGet, "http://coord", nil)
+	if err != nil {
+		return err
+	}
+	_, err = c.Do(req) // want `http.Client.Do without a provable context deadline`
+	return err
+}
+
+// The runtime-guard idiom: a helper that receives requests built elsewhere
+// may refuse unbounded ones explicitly instead of rebuilding them.
+func doWithRuntimeGuard(c *http.Client, req *http.Request) error {
+	if _, ok := req.Context().Deadline(); !ok {
+		return nil
+	}
+	_, err := c.Do(req) // ok: the guard above refuses deadline-free requests
+	return err
+}
+
+// A request smuggled in from another function, no guard: flagged even
+// though the caller may have bounded it — the proof must be local.
+func doWithForeignRequest(c *http.Client, req *http.Request) error {
+	_, err := c.Do(req) // want `http.Client.Do without a provable context deadline`
+	return err
+}
+
+func annotated(c *http.Client) {
+	//waschedlint:allow ctxdeadline long-poll endpoint; unbounded by design and documented
+	c.Get("http://coord/v1/watch")
+}
