@@ -17,7 +17,7 @@ CHAOSADDR := 127.0.0.1:39141
 # duplicates, injected 500s and delays, all on the seeded schedule.
 CHAOSWIRE := drop=0.05,droprsp=0.05,dup=0.1,err=0.1,delay=0.2:5ms
 
-.PHONY: build vet lint test race fuzz sweep-smoke gridsweep-smoke gridchaos-smoke check
+.PHONY: build vet lint test race fuzz sweep-smoke gridsweep-smoke gridchaos-smoke bench-replay bench-replay-check check
 
 build:
 	$(GO) build ./...
@@ -105,6 +105,17 @@ gridchaos-smoke:
 	$(CHAOSDIR)/wasched sweep status fig6-smoke -state-dir $(CHAOSDIR)/chaos | grep -q ' 0 remaining'
 	diff -r $(CHAOSDIR)/baseline/cache $(CHAOSDIR)/chaos/cache
 	@rm -rf $(CHAOSDIR)
+
+# Archive-trace replay benchmark: replay the bundled 10k-job SWF trace
+# through all four policies, append the measured jobs/s to the
+# BENCH_replay.json trajectory, and fail on a >20% regression against the
+# previous entry. CI runs it with -check-only so the workflow never
+# commits trajectory entries from runner hardware.
+bench-replay:
+	$(GO) run ./cmd/benchreplay -label "make bench-replay"
+
+bench-replay-check:
+	$(GO) run ./cmd/benchreplay -check-only
 
 # Go allows one -fuzz target per invocation, so each runs separately.
 fuzz:

@@ -22,6 +22,7 @@ import (
 	"wasched/internal/des"
 	"wasched/internal/experiments"
 	"wasched/internal/sched"
+	"wasched/internal/schedcheck"
 	"wasched/internal/workload"
 )
 
@@ -226,6 +227,63 @@ func BenchmarkAblation(b *testing.B) {
 					continue
 				}
 				b.ReportMetric(100*r.VsBase, fmt.Sprintf("row%d-vs-base-%%", i))
+			}
+		})
+	}
+}
+
+// BenchmarkReplaySWF measures the archive-trace scheduling hot path: the
+// bundled 10k-job synthetic SWF trace through the lightweight replayer
+// (incremental sched.Session state, invariant checks off) for each paper
+// policy. The jobs/s and rounds/s metrics are the numbers `make
+// bench-replay` tracks in BENCH_replay.json; the allocs/op column is the
+// event-pool/backfill-churn regression guard.
+func BenchmarkReplaySWF(b *testing.B) {
+	f, err := workload.OpenSWF("testdata/swf/synthetic-10k.swf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := workload.DefaultSWFOptions()
+	jobs, _, err := schedcheck.LoadSWFSimJobs(f, opts)
+	//waschedlint:allow checkederr the trace is opened read-only; close cannot lose data
+	f.Close()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const nodes = 15
+	limit := 20 * 1024 * 1024 * 1024.0
+	for _, v := range []struct {
+		label  string
+		policy sched.Policy
+		limit  float64
+	}{
+		{"default", sched.NodePolicy{TotalNodes: nodes}, 0},
+		{"io-aware", sched.IOAwarePolicy{TotalNodes: nodes, ThroughputLimit: limit}, limit},
+		{"adaptive", sched.AdaptivePolicy{TotalNodes: nodes, ThroughputLimit: limit, TwoGroup: true}, limit},
+		{"adaptive-naive", sched.AdaptivePolicy{TotalNodes: nodes, ThroughputLimit: limit, TwoGroup: false}, limit},
+	} {
+		b.Run(v.label, func(b *testing.B) {
+			b.ReportAllocs()
+			cfg := schedcheck.ReplayConfig{
+				Policy:          v.policy,
+				Options:         sched.Options{MaxJobTest: sched.SlurmDefaultTestLimit},
+				Nodes:           nodes,
+				Limit:           v.limit,
+				MaxRounds:       1 << 30,
+				SkipRoundChecks: true,
+			}
+			var res *schedcheck.ReplayResult
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				res = schedcheck.Replay(jobs, cfg)
+				if len(res.Jobs) != len(jobs) {
+					b.Fatalf("completed %d of %d jobs", len(res.Jobs), len(jobs))
+				}
+			}
+			elapsed := time.Since(start).Seconds()
+			if elapsed > 0 {
+				b.ReportMetric(float64(len(jobs)*b.N)/elapsed, "jobs/s")
+				b.ReportMetric(float64(res.Rounds*b.N)/elapsed, "rounds/s")
 			}
 		})
 	}

@@ -5,18 +5,25 @@
 //
 //	wagen -workload w1|w2|mixed|bursty [-poisson SECONDS] [-seed N] [-out FILE]
 //	wagen -swf trace.swf [-io-fraction 0.4] [-max-jobs N] [-out FILE]
+//	wagen -gen-swf N [-seed N] [-nodes 15] [-cores-per-node 56] [-quirk-every N] [-out FILE]
 //
 // By default all jobs are submitted at t=0 (the paper's batch protocol);
 // -poisson spreads submissions with exponential inter-arrival gaps. With
 // -swf, a Standard Workload Format trace (Parallel Workloads Archive) is
 // converted instead, with synthetic I/O assigned to -io-fraction of jobs.
+// With -gen-swf, a deterministic synthetic SWF trace is written instead —
+// the archive traces cannot be redistributed, so `wasched replay` and the
+// replay benchmark run on traces produced here (see testdata/swf). An
+// -out name ending in ".gz" is written gzip-compressed.
 package main
 
 import (
+	"compress/gzip"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"wasched/internal/des"
 	"wasched/internal/slurm"
@@ -56,7 +63,33 @@ func run() error {
 	swf := flag.String("swf", "", "convert a Standard Workload Format trace instead")
 	ioFraction := flag.Float64("io-fraction", 0.4, "fraction of SWF jobs given synthetic I/O")
 	maxJobs := flag.Int("max-jobs", 0, "truncate the SWF trace (0 = all)")
+	genSWF := flag.Int("gen-swf", 0, "write a synthetic SWF trace with this many jobs instead")
+	genNodes := flag.Int("nodes", 15, "cluster size the synthetic trace's arrival rate is matched to")
+	genCores := flag.Int("cores-per-node", 56, "cores per node for synthetic SWF processor counts")
+	genUtil := flag.Float64("utilization", 0.7, "offered load of the synthetic trace as a fraction of capacity")
+	quirkEvery := flag.Int("quirk-every", 0, "inject one malformed SWF row every N jobs (0 = clean trace)")
 	flag.Parse()
+
+	if *genSWF > 0 {
+		cfg := workload.SWFGenConfig{
+			Jobs:         *genSWF,
+			Seed:         *seed,
+			Nodes:        *genNodes,
+			CoresPerNode: *genCores,
+			Utilization:  *genUtil,
+			QuirkEvery:   *quirkEvery,
+		}
+		return encodeTo(*out, func(w io.Writer) error {
+			if strings.HasSuffix(*out, ".gz") {
+				zw := gzip.NewWriter(w)
+				if err := workload.WriteSyntheticSWF(zw, cfg); err != nil {
+					return err
+				}
+				return zw.Close()
+			}
+			return workload.WriteSyntheticSWF(w, cfg)
+		})
+	}
 
 	if *swf != "" {
 		f, err := os.Open(*swf)

@@ -5,6 +5,7 @@
 //	wasched list
 //	wasched workloads
 //	wasched run <experiment> [-seed N] [-parallel N]
+//	wasched replay <trace.swf[.gz]> [-policy P] ...
 //	wasched sweep list|run|resume|status|clean|serve|work|chaos ...
 //
 // `wasched list` prints the registered experiments (fig3..fig6 plus the
@@ -86,6 +87,8 @@ func run(args []string) error {
 		return entry.Run(os.Stdout, experiments.RunOptions{Seed: *seed, CSVDir: *csvDir, Workers: *parallel})
 	case "sweep":
 		return runSweep(args[1:])
+	case "replay":
+		return runReplay(args[1:])
 	case "verify":
 		fs := flag.NewFlagSet("verify", flag.ContinueOnError)
 		seed := fs.Uint64("seed", 1, "experiment seed")
@@ -405,6 +408,9 @@ commands:
   workloads            print the standard workloads' sizes
   run <name> [-seed N] [-csv DIR] [-parallel N]
                        run one experiment and print its report
+  replay <trace.swf[.gz]> [-policy P] [-nodes N] [-limit-gib G] [-checks]
+                       stream an SWF archive trace through the lightweight
+                       replayer and report scheduling throughput per policy
   sweep list           list the registered cell sweeps
   sweep run <name> [-seed N] [-repeats N] [-workers N] [-state-dir DIR] [-quiet]
                        run a sweep through the farm orchestrator; with a

@@ -1,0 +1,175 @@
+// The `wasched replay` subcommand: stream a Standard Workload Format
+// trace (Parallel Workloads Archive, optionally gzipped) through the
+// lightweight round-based replayer and report scheduling throughput per
+// policy. This is the archive-scale path — a 10⁵–10⁶ job trace replays in
+// minutes because the replayer runs on incremental scheduling state
+// (sched.Session) instead of the full prototype's file-system model.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wasched/internal/des"
+	"wasched/internal/pfs"
+	"wasched/internal/sched"
+	"wasched/internal/schedcheck"
+	"wasched/internal/workload"
+)
+
+// replayPolicies builds the named policy set for a replay.
+func replayPolicies(name string, nodes int, limit float64) ([]sched.Policy, []float64, error) {
+	mk := func(label string) (sched.Policy, float64, error) {
+		switch label {
+		case "default":
+			return sched.NodePolicy{TotalNodes: nodes}, 0, nil
+		case "io-aware":
+			return sched.IOAwarePolicy{TotalNodes: nodes, ThroughputLimit: limit}, limit, nil
+		case "adaptive":
+			return sched.AdaptivePolicy{TotalNodes: nodes, ThroughputLimit: limit, TwoGroup: true}, limit, nil
+		case "adaptive-naive":
+			return sched.AdaptivePolicy{TotalNodes: nodes, ThroughputLimit: limit, TwoGroup: false}, limit, nil
+		default:
+			return nil, 0, fmt.Errorf("unknown policy %q (want default, io-aware, adaptive, adaptive-naive or all)", label)
+		}
+	}
+	labels := []string{name}
+	if name == "all" {
+		labels = []string{"default", "io-aware", "adaptive", "adaptive-naive"}
+	}
+	policies := make([]sched.Policy, 0, len(labels))
+	limits := make([]float64, 0, len(labels))
+	for _, l := range labels {
+		p, lim, err := mk(l)
+		if err != nil {
+			return nil, nil, err
+		}
+		policies = append(policies, p)
+		limits = append(limits, lim)
+	}
+	return policies, limits, nil
+}
+
+// runReplay implements `wasched replay <trace.swf[.gz]> [flags]`.
+func runReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
+	policy := fs.String("policy", "all", "policy: default, io-aware, adaptive, adaptive-naive or all")
+	nodes := fs.Int("nodes", 15, "cluster size (the paper's Stria partition)")
+	coresPerNode := fs.Int("cores-per-node", 56, "cores per node for SWF processor→node conversion")
+	limitGiB := fs.Float64("limit-gib", 20, "policy throughput limit R_limit, GiB/s")
+	interval := fs.Float64("interval", 30, "scheduling round period, seconds")
+	maxJobs := fs.Int("max-jobs", 0, "truncate the trace (0 = all jobs)")
+	ioFraction := fs.Float64("io-fraction", 0.4, "fraction of jobs given synthetic I/O")
+	seed := fs.Uint64("seed", 1, "seed for the deterministic I/O assignment")
+	maxRounds := fs.Int("max-rounds", 0, "round budget (0 = sized from the trace span)")
+	checks := fs.Bool("checks", false, "run the per-round invariant checks (slower)")
+	quiet := fs.Bool("quiet", false, "suppress live progress on stderr")
+	// Accept flags before or after the trace path, like `wasched run`.
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("usage: wasched replay <trace.swf[.gz]> [-policy P] [-nodes N] [-limit-gib G] ...")
+	}
+	path := rest[0]
+	if err := fs.Parse(rest[1:]); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("usage: wasched replay <trace.swf[.gz]> [-policy P] [-nodes N] [-limit-gib G] ...")
+	}
+
+	opts := workload.DefaultSWFOptions()
+	opts.CoresPerNode = *coresPerNode
+	opts.MaxNodes = *nodes
+	opts.IOFraction = *ioFraction
+	opts.MaxJobs = *maxJobs
+	opts.Seed = *seed
+	limit := *limitGiB * pfs.GiB
+
+	f, err := workload.OpenSWF(path)
+	if err != nil {
+		return err
+	}
+	//waschedlint:allow checkederr the trace is opened read-only; close cannot lose data
+	defer f.Close()
+	loadStart := time.Now()
+	jobs, quirks, err := schedcheck.LoadSWFSimJobs(f, opts)
+	if err != nil {
+		return err
+	}
+	if len(jobs) == 0 {
+		return fmt.Errorf("%s: no usable jobs (quirks: %s)", path, quirks)
+	}
+	fmt.Printf("loaded %s: %d jobs in %.2fs (quirks: %s)\n",
+		path, len(jobs), time.Since(loadStart).Seconds(), quirks)
+
+	policies, limits, err := replayPolicies(*policy, *nodes, limit)
+	if err != nil {
+		return err
+	}
+	for i, p := range policies {
+		cfg := schedcheck.ReplayConfig{
+			Policy:          p,
+			Options:         sched.Options{MaxJobTest: sched.SlurmDefaultTestLimit},
+			Interval:        des.FromSeconds(*interval),
+			Nodes:           *nodes,
+			Limit:           limits[i],
+			MaxRounds:       *maxRounds,
+			SkipRoundChecks: !*checks,
+		}
+		if cfg.MaxRounds == 0 {
+			cfg.MaxRounds = replayRoundBudget(jobs, cfg.Interval)
+		}
+		if !*quiet {
+			last := time.Now()
+			cfg.Progress = func(done int, now des.Time) {
+				if time.Since(last) < 2*time.Second {
+					return
+				}
+				last = time.Now()
+				fmt.Fprintf(os.Stderr, "  %-16s %8d/%d jobs  t=%.0fh\r",
+					p.Name(), done, len(jobs), now.Seconds()/3600)
+			}
+		}
+		wall := time.Now()
+		res := schedcheck.Replay(jobs, cfg)
+		elapsed := time.Since(wall).Seconds()
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "%60s\r", "")
+		}
+		fmt.Printf("%-16s %8d jobs  %9d rounds  makespan %8.1fh  %6.2fs wall  %9.0f jobs/s  %9.0f rounds/s\n",
+			res.Policy, len(res.Jobs), res.Rounds, res.Makespan.Seconds()/3600,
+			elapsed, float64(len(res.Jobs))/elapsed, float64(res.Rounds)/elapsed)
+		if n := len(res.Check.Violations); n > 0 {
+			for _, v := range res.Check.Violations {
+				fmt.Printf("  violation %s: %s\n", v.Invariant, v.Detail)
+			}
+			return fmt.Errorf("%s: %d invariant violations", res.Policy, n)
+		}
+	}
+	return nil
+}
+
+// replayRoundBudget sizes MaxRounds from the trace: the whole submit span
+// plus generous drain time, so a healthy replay never trips the budget but
+// a starved queue still terminates.
+func replayRoundBudget(jobs []schedcheck.SimJob, interval des.Duration) int {
+	var span des.Time
+	for _, j := range jobs {
+		if end := j.Submit.Add(j.Limit); end > span {
+			span = end
+		}
+	}
+	rounds := int(span/des.Time(interval)) + 1
+	// Drain allowance: every job serialized after the last arrival.
+	var tail des.Duration
+	for _, j := range jobs {
+		tail += j.Limit
+	}
+	rounds += int(tail/interval) + 1000
+	return rounds
+}

@@ -1,69 +1,79 @@
 package des
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
-// Event is a scheduled callback. Events are single-shot; a fired or
-// cancelled event is inert. Events are ordered by time, then by scheduling
-// sequence number, which makes simultaneous events fire in the order they
-// were scheduled.
+// Event is a handle to a scheduled callback. Events are single-shot; a
+// fired or cancelled event is inert, and so is the zero Event. Events are
+// ordered by time, then by scheduling sequence number, which makes
+// simultaneous events fire in the order they were scheduled.
+//
+// The handle is a small value (engine, slot index, generation) rather than
+// a pointer: the engine stores event state in a pooled slot array and
+// recycles slots as events fire, so a heap allocation per scheduled event
+// — the dominant allocation in large replays — never happens. The
+// generation stamp makes stale handles safe: cancelling or rescheduling an
+// event whose slot has been recycled for a newer event is a no-op, exactly
+// like cancelling an already-fired pointer event used to be.
 type Event struct {
-	at    Time
-	seq   uint64
-	index int // position in the heap, -1 when not queued
-	fn    func()
-	name  string
+	eng *Engine
+	id  int32
+	gen uint32
 }
 
-// At returns the time the event is (or was) scheduled to fire.
-func (e *Event) At() Time { return e.at }
-
-// Name returns the diagnostic label given at scheduling time.
-func (e *Event) Name() string { return e.name }
+// live reports whether the handle still refers to a queued event.
+func (ev Event) live() bool {
+	return ev.eng != nil && int(ev.id) < len(ev.eng.slots) &&
+		ev.eng.slots[ev.id].gen == ev.gen && ev.eng.slots[ev.id].pos >= 0
+}
 
 // Pending reports whether the event is still queued.
-func (e *Event) Pending() bool { return e != nil && e.index >= 0 }
+func (ev Event) Pending() bool { return ev.live() }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// At returns the time the event is scheduled to fire, or zero if the event
+// already fired or was cancelled.
+func (ev Event) At() Time {
+	if !ev.live() {
+		return 0
 	}
-	return h[i].seq < h[j].seq
+	return ev.eng.slots[ev.id].at
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// Name returns the diagnostic label given at scheduling time, or "" once
+// the event has fired or been cancelled.
+func (ev Event) Name() string {
+	if !ev.live() {
+		return ""
+	}
+	return ev.eng.slots[ev.id].name
 }
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+
+// slot is the pooled storage behind one Event handle.
+type slot struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	name string
+	gen  uint32
+	pos  int32 // position in the heap, -1 when free or fired
 }
 
 // Engine is a deterministic discrete-event simulation executive. It is not
 // safe for concurrent use: a simulation is a single logical timeline, and
 // all model code runs inside event callbacks on one goroutine.
+//
+// The pending queue keeps the container/heap binary-heap discipline the
+// engine has always used (sift-up on push, sift-down on pop, the
+// heap.Fix/heap.Remove moves for reschedule and cancel), but specialised
+// to pooled slot indices: pushing an event appends an int32 to the heap
+// and popping recycles the slot through a free list, so the steady state
+// allocates nothing per event and never boxes through an interface.
 type Engine struct {
-	now    Time
-	queue  eventHeap
-	seq    uint64
-	fired  uint64
-	inStep bool
+	now   Time
+	slots []slot
+	heap  []int32 // slot ids ordered by (at, seq)
+	free  []int32 // recycled slot ids
+	seq   uint64
+	fired uint64
 }
 
 // NewEngine returns an engine positioned at time zero with an empty queue.
@@ -73,15 +83,20 @@ func NewEngine() *Engine { return &Engine{} }
 func (e *Engine) Now() Time { return e.now }
 
 // Pending returns the number of queued events.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return len(e.heap) }
 
 // Fired returns the total number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
+// PoolSize returns the number of event slots ever allocated; the
+// steady-state pool footprint equals the maximum number of simultaneously
+// pending events, independent of how many events fire in total.
+func (e *Engine) PoolSize() int { return len(e.slots) }
+
 // At schedules fn to run at absolute time at. Scheduling in the past
 // (before Now) panics: it would mean the model produced a causality
 // violation, which is always a bug.
-func (e *Engine) At(at Time, name string, fn func()) *Event {
+func (e *Engine) At(at Time, name string, fn func()) Event {
 	if at < e.now {
 		panic(fmt.Sprintf("des: event %q scheduled at %v before now %v", name, at, e.now))
 	}
@@ -89,60 +104,67 @@ func (e *Engine) At(at Time, name string, fn func()) *Event {
 		panic("des: nil event callback")
 	}
 	e.seq++
-	ev := &Event{at: at, seq: e.seq, fn: fn, name: name}
-	heap.Push(&e.queue, ev)
-	return ev
+	id := e.alloc()
+	s := &e.slots[id]
+	s.at = at
+	s.seq = e.seq
+	s.fn = fn
+	s.name = name
+	e.heapPush(id)
+	return Event{eng: e, id: id, gen: s.gen}
 }
 
 // After schedules fn to run d after the current time. Negative d panics.
-func (e *Engine) After(d Duration, name string, fn func()) *Event {
+func (e *Engine) After(d Duration, name string, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("des: event %q scheduled %v in the past", name, d))
 	}
 	return e.At(e.now.Add(d), name, fn)
 }
 
-// Cancel removes a pending event from the queue. Cancelling a nil, fired or
-// already-cancelled event is a no-op and returns false.
-func (e *Engine) Cancel(ev *Event) bool {
-	if ev == nil || ev.index < 0 {
+// Cancel removes a pending event from the queue. Cancelling a zero, fired,
+// already-cancelled, or stale (slot since recycled) event is a no-op and
+// returns false.
+func (e *Engine) Cancel(ev Event) bool {
+	if ev.eng != e || !ev.live() {
 		return false
 	}
-	heap.Remove(&e.queue, ev.index)
-	ev.index = -1
-	ev.fn = nil
+	e.heapRemove(int(e.slots[ev.id].pos))
+	e.release(ev.id)
 	return true
 }
 
 // Reschedule moves a pending event to a new time, preserving its callback.
 // If the event already fired or was cancelled it returns false.
-func (e *Engine) Reschedule(ev *Event, at Time) bool {
-	if ev == nil || ev.index < 0 {
+func (e *Engine) Reschedule(ev Event, at Time) bool {
+	if ev.eng != e || !ev.live() {
 		return false
 	}
+	s := &e.slots[ev.id]
 	if at < e.now {
-		panic(fmt.Sprintf("des: event %q rescheduled to %v before now %v", ev.name, at, e.now))
+		panic(fmt.Sprintf("des: event %q rescheduled to %v before now %v", s.name, at, e.now))
 	}
-	ev.at = at
+	s.at = at
 	e.seq++
-	ev.seq = e.seq
-	heap.Fix(&e.queue, ev.index)
+	s.seq = e.seq
+	e.heapFix(int(s.pos))
 	return true
 }
 
 // Step executes the earliest pending event, advancing the clock to its
 // timestamp. It returns false when the queue is empty.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	if len(e.heap) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
-	if ev.at < e.now {
+	id := e.heapPopMin()
+	s := &e.slots[id]
+	if s.at < e.now {
 		panic("des: corrupt event queue (time went backwards)")
 	}
-	e.now = ev.at
-	fn := ev.fn
-	ev.fn = nil
+	e.now = s.at
+	fn := s.fn
+	e.release(id)
 	e.fired++
 	fn()
 	return true
@@ -153,14 +175,12 @@ func (e *Engine) Step() bool {
 // and the deadline when the deadline is the binding constraint; otherwise
 // at the time of the last executed event.
 func (e *Engine) Run(until Time) {
-	for len(e.queue) > 0 && e.queue[0].at <= until {
+	for len(e.heap) > 0 && e.slots[e.heap[0]].at <= until {
 		e.Step()
 	}
-	if e.now < until && len(e.queue) == 0 {
-		// Nothing left to do; park the clock at the deadline so that
-		// callers observe a consistent "simulated through" time.
-		e.now = until
-	} else if e.now < until {
+	if e.now < until {
+		// Nothing left to do before the deadline; park the clock there so
+		// that callers observe a consistent "simulated through" time.
 		e.now = until
 	}
 }
@@ -179,10 +199,10 @@ func (e *Engine) RunUntilIdle(limit uint64) {
 }
 
 func (e *Engine) peekName() string {
-	if len(e.queue) == 0 {
+	if len(e.heap) == 0 {
 		return "<none>"
 	}
-	return e.queue[0].name
+	return e.slots[e.heap[0]].name
 }
 
 // Ticker invokes fn every period, starting at the current time plus period,
@@ -192,7 +212,7 @@ func (e *Engine) Ticker(period Duration, name string, fn func(Time)) (stop func(
 	if period <= 0 {
 		panic("des: ticker period must be positive")
 	}
-	var ev *Event
+	var ev Event
 	stopped := false
 	var tick func()
 	tick = func() {
@@ -209,4 +229,120 @@ func (e *Engine) Ticker(period Duration, name string, fn func(Time)) (stop func(
 		stopped = true
 		e.Cancel(ev)
 	}
+}
+
+// alloc takes a slot from the free list, growing the pool only when every
+// slot is in flight.
+func (e *Engine) alloc() int32 {
+	if n := len(e.free); n > 0 {
+		id := e.free[n-1]
+		e.free = e.free[:n-1]
+		return id
+	}
+	e.slots = append(e.slots, slot{pos: -1})
+	return int32(len(e.slots) - 1)
+}
+
+// release recycles a slot that fired or was cancelled: the generation bump
+// invalidates every outstanding handle, and dropping the callback and name
+// releases whatever the closure captured.
+func (e *Engine) release(id int32) {
+	s := &e.slots[id]
+	s.gen++
+	s.fn = nil
+	s.name = ""
+	s.pos = -1
+	e.free = append(e.free, id)
+}
+
+// The binary heap over slot ids. less, swap and the sift moves mirror
+// container/heap exactly; working on int32 ids keeps Push/Pop free of the
+// interface boxing that made the pointer-based queue allocate per event.
+
+func (e *Engine) heapLess(a, b int32) bool {
+	sa, sb := &e.slots[a], &e.slots[b]
+	if sa.at != sb.at {
+		return sa.at < sb.at
+	}
+	return sa.seq < sb.seq
+}
+
+func (e *Engine) heapSwap(i, j int) {
+	h := e.heap
+	h[i], h[j] = h[j], h[i]
+	e.slots[h[i]].pos = int32(i)
+	e.slots[h[j]].pos = int32(j)
+}
+
+func (e *Engine) heapPush(id int32) {
+	e.slots[id].pos = int32(len(e.heap))
+	e.heap = append(e.heap, id)
+	e.siftUp(len(e.heap) - 1)
+}
+
+func (e *Engine) heapPopMin() int32 {
+	id := e.heap[0]
+	last := len(e.heap) - 1
+	e.heapSwap(0, last)
+	e.heap = e.heap[:last]
+	if last > 0 {
+		e.siftDown(0)
+	}
+	return id
+}
+
+// heapRemove removes the element at heap position i (container/heap's
+// Remove): swap with the last element, shrink, then re-sift the swapped-in
+// element whichever way restores order.
+func (e *Engine) heapRemove(i int) {
+	last := len(e.heap) - 1
+	if i != last {
+		e.heapSwap(i, last)
+	}
+	e.heap = e.heap[:last]
+	if i < last {
+		e.heapFix(i)
+	}
+}
+
+// heapFix restores order after the element at position i changed key
+// (container/heap's Fix).
+func (e *Engine) heapFix(i int) {
+	if !e.siftDown(i) {
+		e.siftUp(i)
+	}
+}
+
+func (e *Engine) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.heapLess(e.heap[i], e.heap[parent]) {
+			break
+		}
+		e.heapSwap(i, parent)
+		i = parent
+	}
+}
+
+// siftDown reports whether the element moved, matching container/heap's
+// down() so heapFix can decide whether to sift up instead.
+func (e *Engine) siftDown(i int) bool {
+	start := i
+	n := len(e.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && e.heapLess(e.heap[right], e.heap[left]) {
+			least = right
+		}
+		if !e.heapLess(e.heap[least], e.heap[i]) {
+			break
+		}
+		e.heapSwap(i, least)
+		i = least
+	}
+	return i > start
 }

@@ -89,10 +89,13 @@ func TestEngineCancel(t *testing.T) {
 	}
 }
 
-func TestEngineCancelNil(t *testing.T) {
+func TestEngineCancelZero(t *testing.T) {
 	e := NewEngine()
-	if e.Cancel(nil) {
-		t.Fatal("cancel(nil) must be a no-op")
+	if e.Cancel(Event{}) {
+		t.Fatal("cancel of the zero Event must be a no-op")
+	}
+	if (Event{}).Pending() {
+		t.Fatal("zero Event must not be pending")
 	}
 }
 

@@ -293,6 +293,10 @@ dispatch:
 			sum.Failed++
 		}
 	}
+	// Stop the live reporter before the final line: both write opts.Progress,
+	// and the ticker goroutine must not race the summary (stop is idempotent,
+	// so the deferred call remains a no-op).
+	prog.stop()
 	prog.final(sum)
 	return sum, nil
 }

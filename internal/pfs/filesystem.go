@@ -50,7 +50,7 @@ type Stream struct {
 	started  bool // past the MDS create phase
 	finished bool
 	cancel   bool
-	event    *des.Event // next boundary: completion or burst expiry
+	event    des.Event    // next boundary: completion or burst expiry
 	complete func()
 }
 
@@ -95,6 +95,12 @@ type FileSystem struct {
 	volDegrade    []float64 // nil until first injection; factor per volume
 	globalDegrade float64   // 0 means 1 (healthy)
 
+	// Solver scratch, reused across recompute() calls: the solver runs on
+	// every stream boundary and noise tick, so per-call slice allocations
+	// dominate the replay hot path without this.
+	volCountScratch  []int
+	srvDemandScratch []float64
+
 	recomputes uint64
 }
 
@@ -106,12 +112,16 @@ func New(eng *des.Engine, cfg Config, seed uint64) (*FileSystem, error) {
 		return nil, err
 	}
 	fs := &FileSystem{
-		eng:         eng,
-		cfg:         cfg,
-		perNode:     make(map[string]*Counters),
-		volLogNoise: make([]float64, cfg.Volumes),
-		noiseRNG:    des.NewRNG(seed, "pfs/noise"),
-		lastSync:    eng.Now(),
+		eng:             eng,
+		cfg:             cfg,
+		perNode:         make(map[string]*Counters),
+		volLogNoise:     make([]float64, cfg.Volumes),
+		noiseRNG:        des.NewRNG(seed, "pfs/noise"),
+		lastSync:        eng.Now(),
+		volCountScratch: make([]int, cfg.Volumes),
+	}
+	if cfg.Servers > 0 {
+		fs.srvDemandScratch = make([]float64, cfg.Servers)
 	}
 	// Start the noise processes at their stationary distribution.
 	for i := range fs.volLogNoise {
@@ -246,7 +256,7 @@ func (fs *FileSystem) CancelStream(s *Stream) {
 	fs.sync()
 	fs.removeStream(s)
 	fs.eng.Cancel(s.event)
-	s.event = nil
+	s.event = des.Event{}
 	s.rate = 0
 	fs.recompute()
 }
@@ -300,7 +310,10 @@ func (fs *FileSystem) recompute() {
 	fs.recomputes++
 	cfg := &fs.cfg
 	// Streams per volume.
-	volCount := make([]int, cfg.Volumes)
+	volCount := fs.volCountScratch
+	for i := range volCount {
+		volCount[i] = 0
+	}
 	for _, s := range fs.streams {
 		volCount[s.volume]++
 	}
@@ -323,7 +336,10 @@ func (fs *FileSystem) recompute() {
 	// Optional OSS layer: streams on the same server share its bandwidth
 	// proportionally when oversubscribed.
 	if cfg.Servers > 0 {
-		serverDemand := make([]float64, cfg.Servers)
+		serverDemand := fs.srvDemandScratch
+		for i := range serverDemand {
+			serverDemand[i] = 0
+		}
 		for _, s := range fs.streams {
 			serverDemand[s.volume%cfg.Servers] += s.rate
 		}
@@ -367,7 +383,7 @@ func (fs *FileSystem) recompute() {
 // completion or the expiry of its burst credit, whichever is sooner.
 func (fs *FileSystem) scheduleBoundary(s *Stream, now des.Time) {
 	fs.eng.Cancel(s.event)
-	s.event = nil
+	s.event = des.Event{}
 	if s.rate <= 0 {
 		return // stalled; the next noise tick or membership change revives it
 	}
@@ -386,7 +402,7 @@ func (fs *FileSystem) scheduleBoundary(s *Stream, now des.Time) {
 		d = 0
 	}
 	s.event = fs.eng.At(now.Add(d), "pfs/stream", func() {
-		s.event = nil
+		s.event = des.Event{}
 		fs.sync()
 		if s.total-s.done <= 1 { // within a byte: finished
 			fs.finish(s)
@@ -446,6 +462,23 @@ func (fs *FileSystem) CurrentAggregateRate() float64 {
 		r += s.rate
 	}
 	return r
+}
+
+// CurrentNodeRates sums the instantaneous rates of active streams by
+// client node into dst (cleared first; allocated when nil) and returns
+// it. Every byte per second of CurrentAggregateRate is attributed to
+// exactly one node here — schedcheck's throughput-attribution invariant
+// cross-checks the two against the job-to-node allocation.
+func (fs *FileSystem) CurrentNodeRates(dst map[string]float64) map[string]float64 {
+	if dst == nil {
+		dst = make(map[string]float64, len(fs.perNode))
+	} else {
+		clear(dst)
+	}
+	for _, s := range fs.streams {
+		dst[s.node] += s.rate
+	}
+	return dst
 }
 
 // SetVolumeDegradation scales one volume's bandwidth by factor (1 =

@@ -55,7 +55,25 @@ type Options struct {
 // BackfillMax reservations have been made, after which jobs are skipped
 // for this round.
 func RunRound(p Policy, in RoundInput, opt Options) ([]Decision, Round) {
+	var rn Runner
 	rt := p.NewRound(in)
+	return rn.RunRound(p, rt, in, opt), rt
+}
+
+// Runner owns the backfill engine's per-round buffers (the decision list,
+// the reordered-window copy) so a long replay reuses them instead of
+// allocating every round. The zero value is ready. The returned decision
+// slice is valid until the Runner's next RunRound call.
+type Runner struct {
+	decisions []Decision
+	window    []*Job
+}
+
+// RunRound is the engine loop of the package-level RunRound, but against a
+// caller-supplied Round — the entry point for incremental sessions, which
+// build the Round from carried state (Session.BeginRound) rather than
+// asking the policy for a fresh one.
+func (rn *Runner) RunRound(p Policy, rt Round, in RoundInput, opt Options) []Decision {
 	window := in.Waiting
 	if opt.MaxJobTest > 0 && len(window) > opt.MaxJobTest {
 		window = window[:opt.MaxJobTest]
@@ -63,12 +81,11 @@ func RunRound(p Policy, in RoundInput, opt Options) ([]Decision, Round) {
 	// Packing policies (WindowOrderer) reorder the examined window; the
 	// copy keeps the controller's queue order intact.
 	if orderer, ok := p.(WindowOrderer); ok {
-		reordered := make([]*Job, len(window))
-		copy(reordered, window)
-		orderer.OrderWindow(in, reordered)
-		window = reordered
+		rn.window = append(rn.window[:0], window...)
+		orderer.OrderWindow(in, rn.window)
+		window = rn.window
 	}
-	decisions := make([]Decision, 0, len(window))
+	decisions := rn.decisions[:0]
 	backfillCount := 0
 	for _, j := range window {
 		d := Decision{Job: j}
@@ -102,7 +119,8 @@ func RunRound(p Policy, in RoundInput, opt Options) ([]Decision, Round) {
 		}
 		decisions = append(decisions, d)
 	}
-	return decisions, rt
+	rn.decisions = decisions
+	return decisions
 }
 
 // StartNowJobs filters a decision list down to the jobs to start now, in

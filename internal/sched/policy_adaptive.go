@@ -121,25 +121,35 @@ func clampNonNeg(r float64) float64 {
 	return r
 }
 
+// splitEntry is one queued job's contribution to the two-group split.
+type splitEntry struct {
+	ratio   float64 // r_j / n_j
+	nodeSec float64 // n_j · d_j
+	rate    float64 // r_j
+}
+
 // twoGroupSplit chooses the minimum threshold r* such that the zero group
 // holds at least QoSFraction of the queued node·seconds (Eq. 2), and
 // returns it with the zero group's average per-node load r̄_zero (Eq. 3).
 // With TwoGroup disabled it returns (0, 0): only genuinely zero-throughput
 // jobs form the zero group and no adjustment applies.
 func (p AdaptivePolicy) twoGroupSplit(waiting []*Job) (rStar, rZeroBar float64) {
+	rStar, rZeroBar, _ = p.twoGroupSplitInto(waiting, nil)
+	return rStar, rZeroBar
+}
+
+// twoGroupSplitInto is twoGroupSplit with a caller-supplied scratch slice
+// (pass scratch[:0] to reuse its backing array across rounds — adaptive
+// sessions call this every round, and the entry slice was the split's
+// dominant allocation). The returned slice is the grown scratch.
+func (p AdaptivePolicy) twoGroupSplitInto(waiting []*Job, entries []splitEntry) (rStar, rZeroBar float64, scratch []splitEntry) {
 	if !p.TwoGroup || len(waiting) == 0 {
-		return 0, 0
+		return 0, 0, entries
 	}
 	frac := p.QoSFraction
 	if frac == 0 {
 		frac = 0.5
 	}
-	type entry struct {
-		ratio   float64 // r_j / n_j
-		nodeSec float64 // n_j · d_j
-		rate    float64 // r_j
-	}
-	entries := make([]entry, 0, len(waiting))
 	totalNodeSec := 0.0
 	for _, j := range waiting {
 		// Defensive guard: the engine and the controller both validate
@@ -157,7 +167,7 @@ func (p AdaptivePolicy) twoGroupSplit(waiting []*Job) (rStar, rZeroBar float64) 
 		if ns <= 0 {
 			continue
 		}
-		entries = append(entries, entry{
+		entries = append(entries, splitEntry{
 			ratio:   rate / float64(j.Nodes),
 			nodeSec: ns,
 			rate:    rate,
@@ -165,10 +175,10 @@ func (p AdaptivePolicy) twoGroupSplit(waiting []*Job) (rStar, rZeroBar float64) 
 		totalNodeSec += ns
 	}
 	if len(entries) == 0 {
-		return 0, 0
+		return 0, 0, entries
 	}
 	if totalNodeSec == 0 {
-		return 0, 0
+		return 0, 0, entries
 	}
 	sort.Slice(entries, func(a, b int) bool { return entries[a].ratio < entries[b].ratio })
 	need := frac * totalNodeSec
@@ -193,9 +203,9 @@ func (p AdaptivePolicy) twoGroupSplit(waiting []*Job) (rStar, rZeroBar float64) 
 		}
 	}
 	if zeroNodeSec == 0 {
-		return rStar, 0
+		return rStar, 0, entries
 	}
-	return rStar, zeroLoad / zeroNodeSec
+	return rStar, zeroLoad / zeroNodeSec, entries
 }
 
 type adaptiveRound struct {

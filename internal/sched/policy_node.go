@@ -18,12 +18,16 @@ type NodePolicy struct {
 // Name implements Policy.
 func (p NodePolicy) Name() string { return "default" }
 
-// NewRound implements Policy: it initialises the node tracker NT with the
-// running jobs' allocations held until their time limits.
-func (p NodePolicy) NewRound(in RoundInput) Round {
+func (p NodePolicy) validate() {
 	if p.TotalNodes <= 0 {
 		panic(fmt.Sprintf("sched: NodePolicy.TotalNodes must be positive, got %d", p.TotalNodes))
 	}
+}
+
+// NewRound implements Policy: it initialises the node tracker NT with the
+// running jobs' allocations held until their time limits.
+func (p NodePolicy) NewRound(in RoundInput) Round {
+	p.validate()
 	nt := restrack.NewNodeTracker(p.TotalNodes)
 	if in.UnavailableNodes > 0 {
 		nt.Reserve(in.Now, des.MaxTime, in.UnavailableNodes)

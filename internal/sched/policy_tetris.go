@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // WindowOrderer is an optional Policy interface: a policy that implements
@@ -77,11 +78,12 @@ func (p TetrisPolicy) OrderWindow(in RoundInput, window []*Job) {
 	if p.ThroughputLimit > 0 {
 		ab = availBW / p.ThroughputLimit
 	}
-	type scored struct {
-		pos   int
-		score float64
+	sc := tetrisScratchPool.Get().(*tetrisScratch)
+	defer tetrisScratchPool.Put(sc)
+	if cap(sc.scores) < len(window) {
+		sc.scores = make([]scored, len(window))
 	}
-	scores := make([]scored, len(window))
+	scores := sc.scores[:len(window)]
 	for i, j := range window {
 		dn := float64(j.Nodes) / float64(p.TotalNodes)
 		db := 0.0
@@ -95,15 +97,31 @@ func (p TetrisPolicy) OrderWindow(in RoundInput, window []*Job) {
 		}
 		scores[i] = scored{pos: i, score: score}
 	}
-	ordered := make([]*Job, len(window))
-	copy(ordered, window)
+	ordered := append(sc.ordered[:0], window...)
+	sc.ordered = ordered
 	sort.SliceStable(scores, func(a, b int) bool {
 		if scores[a].score != scores[b].score {
 			return scores[a].score > scores[b].score
 		}
 		return scores[a].pos < scores[b].pos
 	})
-	for i, sc := range scores {
-		window[i] = ordered[sc.pos]
+	for i, s := range scores {
+		window[i] = ordered[s.pos]
 	}
 }
+
+// scored is one window job's packing score, keyed by original position.
+type scored struct {
+	pos   int
+	score float64
+}
+
+// tetrisScratch holds OrderWindow's per-call slices. The policy value is
+// stateless and shared, so the scratch rides a sync.Pool; every element is
+// overwritten before use, which keeps reuse invisible to the ordering.
+type tetrisScratch struct {
+	scores  []scored
+	ordered []*Job
+}
+
+var tetrisScratchPool = sync.Pool{New: func() any { return new(tetrisScratch) }}

@@ -1,0 +1,232 @@
+package sched
+
+import (
+	"wasched/internal/des"
+	"wasched/internal/restrack"
+)
+
+// Session carries a policy's reservation state across scheduling rounds,
+// updated by job start/finish deltas instead of rebuilt from the running
+// set every round — the backfill hot path at trace scale. BeginRound
+// snapshots the carried base profiles into reusable working trackers (one
+// memmove each) and layers the per-round state (unavailable nodes, the
+// measured-throughput guard, the adaptive split) on top, so the Round it
+// returns decides identically to Policy.NewRound(in): the node profile
+// arithmetic is exact (integer-valued floats), and the bandwidth deltas
+// apply the same clamped per-job values the from-scratch build would, so
+// any divergence is below the trackers' fit tolerance. The replay
+// determinism test (internal/schedcheck) holds the two paths to
+// byte-identical schedules over the whole differential corpus.
+//
+// Sessions assume what trace replay guarantees: a job's request fields and
+// estimates (Nodes, Limit, Rate, EstRuntime, Priority) stay fixed while it
+// waits or runs, every start is reported through JobStarted and every
+// finish through JobFinished. The live controller refreshes estimates
+// before each round, so it keeps calling Policy.NewRound; NewSession
+// returns nil for policies without session support and callers fall back.
+type Session interface {
+	// BeginRound returns this round's reservation state. The Round (and
+	// any decisions referencing it) is valid until the next BeginRound.
+	BeginRound(in RoundInput) Round
+	// JobStarted records that j started at j.StartedAt (already set by the
+	// caller), reserving [StartedAt, StartedAt+Limit) in the base state.
+	JobStarted(j *Job)
+	// JobFinished records that j left the running set at end, releasing
+	// the unused tail [end, StartedAt+Limit) of its reservations.
+	JobFinished(j *Job, end des.Time)
+}
+
+// NewSession returns an incremental Session for p, or nil when p has no
+// session support (custom policies fall back to per-round NewRound).
+func NewSession(p Policy) Session {
+	switch pol := p.(type) {
+	case NodePolicy:
+		pol.validate()
+		return &nodeSession{p: pol, work: restrack.NewNodeTracker(pol.TotalNodes)}
+	case IOAwarePolicy:
+		return newIOSession(pol)
+	case AdaptivePolicy:
+		pol.validate()
+		return &adaptiveSession{
+			p:     pol,
+			inner: newIOSession(IOAwarePolicy{TotalNodes: pol.TotalNodes, ThroughputLimit: pol.ThroughputLimit}),
+			at:    restrack.NewBandwidthTracker(0),
+		}
+	case TetrisPolicy:
+		// Tetris is a window ordering layered on its inner policy's
+		// reservation model; the session is the inner policy's.
+		if pol.Inner == nil {
+			panic("sched: TetrisPolicy needs an inner policy")
+		}
+		return NewSession(pol.Inner)
+	default:
+		return nil
+	}
+}
+
+// trimEvery bounds base-profile growth: every this many rounds the dead
+// breakpoints before the current time are dropped. Trimming moves points
+// without recomputing values, so it cannot perturb decisions.
+const trimEvery = 64
+
+// nodeSession is the incremental form of NodePolicy.
+type nodeSession struct {
+	p      NodePolicy
+	base   restrack.Profile
+	work   *restrack.NodeTracker
+	round  nodeRound
+	rounds int
+}
+
+func (s *nodeSession) BeginRound(in RoundInput) Round {
+	if s.rounds++; s.rounds%trimEvery == 0 {
+		s.base.TrimBefore(in.Now)
+	}
+	s.work.LoadFrom(&s.base)
+	if in.UnavailableNodes > 0 {
+		s.work.Reserve(in.Now, des.MaxTime, in.UnavailableNodes)
+	}
+	s.round = nodeRound{nt: s.work}
+	return &s.round
+}
+
+func (s *nodeSession) JobStarted(j *Job) {
+	s.base.Add(j.StartedAt, j.StartedAt.Add(j.Limit), float64(j.Nodes))
+}
+
+func (s *nodeSession) JobFinished(j *Job, end des.Time) {
+	if limEnd := j.StartedAt.Add(j.Limit); end < limEnd {
+		s.base.Add(end, limEnd, -float64(j.Nodes))
+	}
+}
+
+// ioSession is the incremental form of IOAwarePolicy: base node and
+// bandwidth profiles carry the running set's reservations; the
+// measured-throughput guard — a function of this round's measurement —
+// is recomputed onto the working copy each round, exactly as Algorithm 2
+// lines 7–8 do.
+type ioSession struct {
+	p        IOAwarePolicy
+	baseNode restrack.Profile
+	baseRate restrack.Profile
+	nt       *restrack.NodeTracker
+	lt       *restrack.BandwidthTracker
+	round    ioAwareRound
+	rounds   int
+}
+
+func newIOSession(p IOAwarePolicy) *ioSession {
+	p.validate()
+	return &ioSession{
+		p:  p,
+		nt: restrack.NewNodeTracker(p.TotalNodes),
+		lt: restrack.NewBandwidthTracker(p.ThroughputLimit),
+	}
+}
+
+func (s *ioSession) BeginRound(in RoundInput) Round {
+	if s.rounds++; s.rounds%trimEvery == 0 {
+		s.baseNode.TrimBefore(in.Now)
+		s.baseRate.TrimBefore(in.Now)
+	}
+	s.nt.LoadFrom(&s.baseNode)
+	s.lt.LoadFrom(&s.baseRate)
+	if in.UnavailableNodes > 0 {
+		s.nt.Reserve(in.Now, des.MaxTime, in.UnavailableNodes)
+	}
+	sumRunning := 0.0
+	maxEnd := in.Now
+	for _, j := range in.Running {
+		sumRunning += s.p.clampRate(j.Rate)
+		if end := j.StartedAt.Add(j.Limit); end > maxEnd {
+			maxEnd = end
+		}
+	}
+	if !s.p.IgnoreMeasured && in.MeasuredThroughput > sumRunning {
+		end := maxEnd
+		if len(in.Running) == 0 {
+			end = in.Now.Add(MeasuredResidualHorizon)
+		}
+		s.lt.Reserve(in.Now, end, in.MeasuredThroughput-sumRunning)
+	}
+	s.round = ioAwareRound{p: s.p, nt: s.nt, lt: s.lt}
+	return &s.round
+}
+
+func (s *ioSession) JobStarted(j *Job) {
+	end := j.StartedAt.Add(j.Limit)
+	s.baseNode.Add(j.StartedAt, end, float64(j.Nodes))
+	s.baseRate.Add(j.StartedAt, end, s.p.clampRate(j.Rate))
+}
+
+func (s *ioSession) JobFinished(j *Job, end des.Time) {
+	limEnd := j.StartedAt.Add(j.Limit)
+	if end >= limEnd {
+		return
+	}
+	s.baseNode.Add(end, limEnd, -float64(j.Nodes))
+	s.baseRate.Add(end, limEnd, -s.p.clampRate(j.Rate))
+}
+
+// adaptiveSession is the incremental form of AdaptivePolicy. The target,
+// the two-group split and the adjusted tracker AT are by definition
+// functions of this round's queue, so they are recomputed every round with
+// the same operation order as NewRound — but into reused buffers (the
+// split's entry slice, the AT profile), which removes the per-round
+// allocation churn without moving a single float.
+type adaptiveSession struct {
+	p       AdaptivePolicy
+	inner   *ioSession
+	at      *restrack.BandwidthTracker
+	entries []splitEntry
+	round   adaptiveRound
+}
+
+func (s *adaptiveSession) BeginRound(in RoundInput) Round {
+	rt := s.inner.BeginRound(in).(*ioAwareRound)
+
+	vIO := 0.0
+	nodeSec := 0.0
+	for _, j := range in.Running {
+		rem := j.remaining(in.Now).Seconds()
+		vIO += clampNonNeg(j.Rate) * rem
+		nodeSec += float64(j.Nodes) * rem
+	}
+	for _, j := range in.Waiting {
+		d := j.estRuntime().Seconds()
+		if d <= 0 || j.Nodes < 1 {
+			continue
+		}
+		vIO += clampNonNeg(j.Rate) * d
+		nodeSec += float64(j.Nodes) * d
+	}
+	target := 0.0
+	if nodeSec > 0 {
+		target = vIO * float64(s.p.TotalNodes) / nodeSec
+	}
+
+	var rStar, rZeroBar float64
+	rStar, rZeroBar, s.entries = s.p.twoGroupSplitInto(in.Waiting, s.entries[:0])
+	adjTarget := target - float64(s.p.TotalNodes)*rZeroBar
+	if adjTarget < 0 {
+		adjTarget = 0
+	}
+
+	s.at.Reset()
+	s.at.SetLimit(adjTarget)
+	for _, j := range in.Running {
+		s.at.ReserveSigned(in.Now, j.StartedAt.Add(j.Limit), clampNonNeg(j.Rate)-float64(j.Nodes)*rZeroBar)
+	}
+	s.round = adaptiveRound{
+		p:        s.p,
+		rt:       rt,
+		at:       s.at,
+		rStar:    rStar,
+		rZeroBar: rZeroBar,
+		target:   target,
+	}
+	return &s.round
+}
+
+func (s *adaptiveSession) JobStarted(j *Job)                { s.inner.JobStarted(j) }
+func (s *adaptiveSession) JobFinished(j *Job, end des.Time) { s.inner.JobFinished(j, end) }

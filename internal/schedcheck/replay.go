@@ -49,8 +49,18 @@ type ReplayConfig struct {
 	// 0 skips the bandwidth check (node-only policies).
 	Limit float64
 	// MaxRounds bounds the replay (0 = 50000); exceeding it is reported
-	// as a starvation violation.
+	// as a starvation violation. Archive-scale traces need an explicit
+	// budget: a day of simulated time is 2880 rounds.
 	MaxRounds int
+	// SkipRoundChecks disables the per-round invariant checking (and the
+	// final schedule validation), leaving only the schedule itself. The
+	// replay benchmark uses it to measure the scheduling hot path alone;
+	// corpus and differential runs always keep the checks on.
+	SkipRoundChecks bool
+	// Progress, when non-nil, is called after every round that completed
+	// at least one job, with jobs completed so far and the current
+	// simulated time — the hook behind `wasched replay`'s live output.
+	Progress func(done int, now des.Time)
 }
 
 // ReplayResult is one policy's completed replay.
@@ -67,13 +77,219 @@ type ReplayResult struct {
 	Check Result
 }
 
+// runJob is one running job's replay state.
+type runJob struct {
+	sim  *SimJob
+	view *sched.Job
+	end  des.Time
+}
+
 // Replay runs the workload through one policy on a round-based replayer
 // that mirrors the controller's loop: every Interval it completes finished
 // jobs, rebuilds the round input from the queue and the running set, runs
 // one backfill round, and starts the selected jobs. Each round is invariant
 // checked (node capacity, bandwidth headroom, decision-state exclusivity)
 // and the final schedule goes through ValidateJobs.
+//
+// This is the trace-scale hot path, so it runs on incremental scheduling
+// state: reservation trackers carried across rounds by a sched.Session
+// (updated on job start/finish deltas instead of rebuilt from the running
+// set), a waiting queue kept sorted by insertion instead of re-sorted
+// every round, and reused per-round buffers. The schedule it produces is
+// byte-identical to the from-scratch path — replayReference, kept as the
+// oracle — which TestReplayMatchesReferenceOnCorpus enforces over the
+// whole differential corpus. Policies without session support fall back
+// to the reference path.
 func Replay(workload []SimJob, cfg ReplayConfig) *ReplayResult {
+	if cfg.Policy == nil {
+		panic("schedcheck: Replay needs a policy")
+	}
+	session := sched.NewSession(cfg.Policy)
+	if session == nil {
+		return replayReference(workload, cfg)
+	}
+	interval := cfg.Interval
+	if interval <= 0 {
+		interval = 30 * des.Second
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 50000
+	}
+
+	// One contiguous view array (a *sched.Job per SimJob) instead of one
+	// allocation per job; simOf resolves a decision's view back to its job.
+	pending := make([]*SimJob, len(workload))
+	viewArr := make([]sched.Job, len(workload))
+	simOf := make(map[*sched.Job]*SimJob, len(workload))
+	viewOf := make(map[*SimJob]*sched.Job, len(workload))
+	for i := range workload {
+		j := &workload[i]
+		pending[i] = j
+		v := &viewArr[i]
+		*v = sched.Job{
+			ID:          j.ID,
+			Fingerprint: j.Fingerprint,
+			Nodes:       j.Nodes,
+			Limit:       j.Limit,
+			Submit:      j.Submit,
+			Priority:    j.Priority,
+			Rate:        j.EstRate,
+			EstRuntime:  j.EstRuntime,
+		}
+		simOf[v] = j
+		viewOf[j] = v
+	}
+	sort.SliceStable(pending, func(a, b int) bool { return pending[a].Submit < pending[b].Submit })
+
+	res := &ReplayResult{Policy: cfg.Policy.Name(), Starts: make(map[string]des.Time, len(workload))}
+	var (
+		running      []*runJob
+		waiting      []*SimJob    // arrival order, as the controller holds it
+		waitingViews []*sched.Job // kept sorted in SortQueue order
+		runningViews []*sched.Job
+		runner       sched.Runner
+		started      = make(map[*sched.Job]bool)
+	)
+	next := 0 // index into pending of the next arrival
+
+	for round := 0; ; round++ {
+		if round >= maxRounds {
+			res.Check.violatef("starvation", "policy %s: %d jobs still unfinished after %d rounds",
+				res.Policy, len(waiting)+len(running)+(len(pending)-next), maxRounds)
+			break
+		}
+		now := des.Time(round) * des.Time(interval)
+		// Completions first, as the controller's end events precede the
+		// round that reacts to them.
+		completed := false
+		kept := running[:0]
+		for _, r := range running {
+			if r.end <= now {
+				res.Jobs = append(res.Jobs, trace.JobTrace{
+					ID:          r.sim.ID,
+					Name:        r.sim.Fingerprint,
+					Fingerprint: r.sim.Fingerprint,
+					Nodes:       r.sim.Nodes,
+					Submit:      r.sim.Submit.Seconds(),
+					Start:       r.view.StartedAt.Seconds(),
+					End:         r.end.Seconds(),
+					Limit:       r.sim.Limit.Seconds(),
+					Priority:    r.sim.Priority,
+				})
+				if r.end > res.Makespan {
+					res.Makespan = r.end
+				}
+				session.JobFinished(r.view, r.end)
+				completed = true
+				continue
+			}
+			kept = append(kept, r)
+		}
+		running = kept
+		if completed && cfg.Progress != nil {
+			cfg.Progress(len(res.Jobs), now)
+		}
+		for next < len(pending) && pending[next].Submit <= now {
+			j := pending[next]
+			waiting = append(waiting, j)
+			waitingViews = queueInsert(waitingViews, viewOf[j])
+			next++
+		}
+		res.Rounds = round + 1
+		if len(waiting) == 0 && len(running) == 0 && next == len(pending) {
+			break
+		}
+		if len(waiting) == 0 {
+			continue
+		}
+
+		runningViews = runningViews[:0]
+		measured := 0.0
+		for _, r := range running {
+			runningViews = append(runningViews, r.view)
+			measured += r.sim.Rate
+		}
+		in := sched.RoundInput{
+			Now:                now,
+			Running:            runningViews,
+			Waiting:            waitingViews,
+			MeasuredThroughput: measured,
+		}
+		state := session.BeginRound(in)
+		decisions := runner.RunRound(cfg.Policy, state, in, cfg.Options)
+		if !cfg.SkipRoundChecks {
+			checkRound(in, decisions, state, cfg, &res.Check)
+		}
+
+		anyStarted := false
+		for _, d := range decisions {
+			if d.StartNow {
+				started[d.Job] = true
+				anyStarted = true
+			}
+		}
+		if !anyStarted {
+			continue
+		}
+		keptWaiting := waiting[:0]
+		for _, j := range waiting {
+			v := viewOf[j]
+			if !started[v] {
+				keptWaiting = append(keptWaiting, j)
+				continue
+			}
+			v.StartedAt = now
+			session.JobStarted(v)
+			running = append(running, &runJob{sim: j, view: v, end: now.Add(j.Actual)})
+			res.Starts[j.ID] = now
+		}
+		waiting = keptWaiting
+		keptViews := waitingViews[:0]
+		for _, v := range waitingViews {
+			if !started[v] {
+				keptViews = append(keptViews, v)
+			}
+		}
+		waitingViews = keptViews
+		clear(started)
+	}
+	if !cfg.SkipRoundChecks {
+		res.Check.Merge(ValidateJobs(res.Jobs, ValidateOptions{Nodes: cfg.Nodes}))
+	}
+	return res
+}
+
+// queueInsert inserts v into views, which is sorted in SortQueue order
+// (priority desc, submit asc, ID asc — a total order, so insertion yields
+// exactly the slice SortQueue would). Replay queue keys never change after
+// submission, which is what makes maintaining sortedness by insertion
+// equivalent to the reference's full re-sort every round.
+func queueInsert(views []*sched.Job, v *sched.Job) []*sched.Job {
+	i := sort.Search(len(views), func(i int) bool { return queueLess(v, views[i]) })
+	views = append(views, nil)
+	copy(views[i+1:], views[i:])
+	views[i] = v
+	return views
+}
+
+// queueLess is SortQueue's strict ordering.
+func queueLess(a, b *sched.Job) bool {
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	if a.Submit != b.Submit {
+		return a.Submit < b.Submit
+	}
+	return a.ID < b.ID
+}
+
+// replayReference is the pre-optimization replay loop, rebuilt-from-scratch
+// scheduling state and all. It is retained verbatim as the oracle for the
+// incremental path: TestReplayMatchesReferenceOnCorpus requires Replay to
+// produce byte-identical schedules to this function on the full corpus,
+// and policies without session support run on it directly.
+func replayReference(workload []SimJob, cfg ReplayConfig) *ReplayResult {
 	if cfg.Policy == nil {
 		panic("schedcheck: Replay needs a policy")
 	}
@@ -86,11 +302,6 @@ func Replay(workload []SimJob, cfg ReplayConfig) *ReplayResult {
 		maxRounds = 50000
 	}
 
-	type runJob struct {
-		sim  *SimJob
-		view *sched.Job
-		end  des.Time
-	}
 	pending := make([]*SimJob, len(workload))
 	views := make(map[string]*sched.Job, len(workload))
 	for i := range workload {
@@ -175,7 +386,9 @@ func Replay(workload []SimJob, cfg ReplayConfig) *ReplayResult {
 			MeasuredThroughput: measured,
 		}
 		decisions, state := sched.RunRound(cfg.Policy, in, cfg.Options)
-		checkRound(in, decisions, state, cfg, &res.Check)
+		if !cfg.SkipRoundChecks {
+			checkRound(in, decisions, state, cfg, &res.Check)
+		}
 
 		startedIDs := make(map[string]bool)
 		for _, d := range decisions {
@@ -196,7 +409,9 @@ func Replay(workload []SimJob, cfg ReplayConfig) *ReplayResult {
 		}
 		waiting = keptWaiting
 	}
-	res.Check.Merge(ValidateJobs(res.Jobs, ValidateOptions{Nodes: cfg.Nodes}))
+	if !cfg.SkipRoundChecks {
+		res.Check.Merge(ValidateJobs(res.Jobs, ValidateOptions{Nodes: cfg.Nodes}))
+	}
 	return res
 }
 

@@ -1,0 +1,115 @@
+package schedcheck
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"wasched/internal/sched"
+)
+
+// replayVariants mirrors RunDifferential's policy set: the four paper
+// policies plus the unbounded-limit baseline, on the differential corpus
+// defaults (16 nodes, 20 GiB/s).
+func replayVariants(nodes int, limit float64) []struct {
+	label  string
+	policy sched.Policy
+	limit  float64
+} {
+	return []struct {
+		label  string
+		policy sched.Policy
+		limit  float64
+	}{
+		{labelDefault, sched.NodePolicy{TotalNodes: nodes}, 0},
+		{labelIOAware, sched.IOAwarePolicy{TotalNodes: nodes, ThroughputLimit: limit}, limit},
+		{labelAdaptive, sched.AdaptivePolicy{TotalNodes: nodes, ThroughputLimit: limit, TwoGroup: true}, limit},
+		{labelNaive, sched.AdaptivePolicy{TotalNodes: nodes, ThroughputLimit: limit, TwoGroup: false}, limit},
+		{labelInf, sched.IOAwarePolicy{TotalNodes: nodes, ThroughputLimit: InfLimit}, 0},
+	}
+}
+
+// scheduleDigest renders everything observable about a replay — the
+// realised schedule in completion order, the round count, the makespan and
+// every invariant finding — into one canonical string, so two replays are
+// byte-identical exactly when their digests are equal.
+func scheduleDigest(r *ReplayResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "policy=%s rounds=%d makespan=%d\n", r.Policy, r.Rounds, r.Makespan)
+	for _, j := range r.Jobs {
+		fmt.Fprintf(&b, "job %s submit=%.9g start=%.9g end=%.9g nodes=%d\n",
+			j.ID, j.Submit, j.Start, j.End, j.Nodes)
+	}
+	for _, v := range r.Check.Violations {
+		fmt.Fprintf(&b, "violation %s: %s\n", v.Invariant, v.Detail)
+	}
+	for _, w := range r.Check.Warnings {
+		fmt.Fprintf(&b, "warning %s\n", w)
+	}
+	return b.String()
+}
+
+// TestReplayMatchesReferenceOnCorpus is the determinism guarantee behind
+// the incremental-backfill optimization: over the full differential corpus
+// (every workload kind × every corpus seed) and every policy variant, the
+// session-based Replay must produce a byte-identical schedule — same
+// starts, same completions in the same order, same violations — as the
+// retained pre-optimization path (replayReference).
+func TestReplayMatchesReferenceOnCorpus(t *testing.T) {
+	const nodes = 16
+	const limit = 20 * 1024 * 1024 * 1024
+	for _, kind := range Kinds() {
+		for _, seed := range CorpusSeeds() {
+			kind, seed := kind, seed
+			t.Run(fmt.Sprintf("%s-seed%d", kind, seed), func(t *testing.T) {
+				t.Parallel()
+				workload := Generate(kind, seed, nodes, limit)
+				for _, v := range replayVariants(nodes, limit) {
+					cfg := ReplayConfig{
+						Policy:  v.policy,
+						Options: sched.Options{MaxJobTest: sched.SlurmDefaultTestLimit},
+						Nodes:   nodes,
+						Limit:   v.limit,
+					}
+					fast := Replay(workload, cfg)
+					ref := replayReference(workload, cfg)
+					got, want := scheduleDigest(fast), scheduleDigest(ref)
+					if got != want {
+						t.Fatalf("policy %s: incremental replay diverged from reference\n--- incremental ---\n%s--- reference ---\n%s",
+							v.label, clipDigest(got), clipDigest(want))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestReplayMatchesReferenceUnlimitedWindow re-runs a slice of the corpus
+// with the whole queue examined and unlimited backfill — the regime where
+// reservation state is deepest and the incremental path diverging would
+// hurt most.
+func TestReplayMatchesReferenceUnlimitedWindow(t *testing.T) {
+	const nodes = 16
+	const limit = 20 * 1024 * 1024 * 1024
+	for _, kind := range Kinds() {
+		workload := Generate(kind, 3, nodes, limit)
+		for _, v := range replayVariants(nodes, limit) {
+			cfg := ReplayConfig{Policy: v.policy, Nodes: nodes, Limit: v.limit}
+			got := scheduleDigest(Replay(workload, cfg))
+			want := scheduleDigest(replayReference(workload, cfg))
+			if got != want {
+				t.Fatalf("%s/%s: incremental replay diverged from reference\n--- incremental ---\n%s--- reference ---\n%s",
+					kind, v.label, clipDigest(got), clipDigest(want))
+			}
+		}
+	}
+}
+
+// clipDigest bounds a failure dump to something readable.
+func clipDigest(s string) string {
+	const max = 4000
+	if len(s) <= max {
+		return s
+	}
+	return s[:max] + "…(clipped)\n"
+}

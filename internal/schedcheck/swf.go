@@ -1,0 +1,76 @@
+package schedcheck
+
+import (
+	"fmt"
+	"io"
+
+	"wasched/internal/des"
+	"wasched/internal/workload"
+)
+
+// SimJobsFromSWF converts parsed SWF records into lightweight replay jobs
+// for Replay. It mirrors workload.ConvertSWF exactly — same node
+// conversion, same limit rule, same deterministic I/O-assignment stream —
+// so the jobs that carry synthetic I/O here are the very jobs that would
+// carry it in the full prototype. The replay has no file-system model, so
+// an I/O job's rate is its write volume averaged over its runtime
+// (IOShare·IORate for an isolated job).
+func SimJobsFromSWF(records []workload.SWFRecord, opts workload.SWFOptions) ([]SimJob, workload.SWFQuirks, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, workload.SWFQuirks{}, err
+	}
+	rng := des.NewRNG(opts.Seed, "workload/swf")
+	var quirks workload.SWFQuirks
+	jobs := make([]SimJob, 0, len(records))
+	seen := make(map[string]int, len(records))
+	for _, rec := range records {
+		if workload.SWFNodes(rec, opts) > opts.MaxNodes {
+			quirks.TooWide++
+			continue // too-wide jobs consume no I/O draw
+		}
+		sh := workload.ShapeSWF(rec, opts, rng.Float64())
+		id := fmt.Sprintf("swf-%d", rec.JobNo)
+		// Archive job numbers are unique in theory; malformed traces repeat
+		// them, and replay identity (queue order, the starts map) needs
+		// unique IDs.
+		if n := seen[id]; n > 0 {
+			seen[id] = n + 1
+			id = fmt.Sprintf("%s.%d", id, n+1)
+		} else {
+			seen[id] = 1
+		}
+		j := SimJob{
+			ID:          id,
+			Nodes:       sh.Nodes,
+			Limit:       des.FromSeconds(sh.Limit),
+			Actual:      des.FromSeconds(sh.Runtime),
+			Submit:      des.TimeFromSeconds(rec.Submit),
+			Fingerprint: fmt.Sprintf("swf-cpu-n%d", sh.Nodes),
+		}
+		if sh.DoesIO {
+			j.Fingerprint = fmt.Sprintf("swf-io-n%d", sh.Nodes)
+			j.Rate = sh.Bytes / sh.Runtime
+			j.EstRate = j.Rate
+		}
+		jobs = append(jobs, j)
+		if opts.MaxJobs > 0 && len(jobs) >= opts.MaxJobs {
+			break
+		}
+	}
+	return jobs, quirks, nil
+}
+
+// LoadSWFSimJobs reads an SWF trace and converts it for Replay, merging
+// the row-level quirks into the conversion's.
+func LoadSWFSimJobs(r io.Reader, opts workload.SWFOptions) ([]SimJob, workload.SWFQuirks, error) {
+	records, quirks, err := workload.ParseSWFRecords(r)
+	if err != nil {
+		return nil, quirks, err
+	}
+	jobs, conv, err := SimJobsFromSWF(records, opts)
+	if err != nil {
+		return nil, quirks, err
+	}
+	quirks.TooWide += conv.TooWide
+	return jobs, quirks, nil
+}

@@ -1,6 +1,7 @@
 package schedcheck
 
 import (
+	"math"
 	"sort"
 
 	"wasched/internal/pfs"
@@ -25,9 +26,10 @@ type ValidateOptions struct {
 	// legitimately over-books while estimates lag measurements, so this is
 	// a soft check; zero defaults to 0.25.
 	ThroughputSlack float64
-	// SkipOrderCheck disables the FIFO-within-class invariant. Required
-	// when requeue preemption or dynamic priorities are active: a
-	// preempted job legitimately restarts after a later-submitted twin.
+	// SkipOrderCheck disables the FIFO-within-class invariant. The check
+	// is requeue-aware (attempts are ordered by their eligible time, so
+	// preemption does not need this), but dynamic priorities — where queue
+	// position changes without leaving a trace — still do.
 	SkipOrderCheck bool
 }
 
@@ -47,10 +49,16 @@ type ValidateOptions struct {
 //     sweep cannot see a schedule that stays under N nodes in total while
 //     placing two jobs on one node; this check can.
 //   - fifo-class-order: within a class of identical jobs (fingerprint,
-//     nodes, limit, priority — hence identical estimates every round), a
-//     later-arriving job never starts before an earlier one. Backfill may
-//     reorder *different* jobs, but reordering identical ones means a job
-//     was delayed past its reservation by a later arrival.
+//     nodes, limit, priority — hence identical estimates every round), no
+//     attempt starts while an identical job ahead of it in queue order is
+//     still pending. Backfill may reorder *different* jobs, but passing
+//     over an identical one means a job was delayed past its reservation
+//     by a later arrival. The check is requeue-aware: each attempt is
+//     ordered by its own eligible time (Eligible, falling back to Submit),
+//     so a job preempted mid-run is only "pending" between its requeue and
+//     its restart — later twins that started during its first run are
+//     legitimate, later twins that jumped it while it waited again are
+//     violations.
 //
 // Never-started jobs (cancelled before start) are skipped.
 func ValidateJobs(jobs []trace.JobTrace, opts ValidateOptions) Result {
@@ -183,6 +191,21 @@ type classKey struct {
 	priority int64
 }
 
+// eligibleAt is when an attempt entered the pending queue: its recorded
+// Eligible time (set by requeue-aware recorders), falling back to Submit
+// for older traces where the fields coincide.
+func eligibleAt(j trace.JobTrace) float64 {
+	if j.Eligible > 0 {
+		return j.Eligible
+	}
+	return j.Submit
+}
+
+// classOrderViolationCap bounds fifo-class-order violations reported per
+// class: a systematically misordered class would otherwise flood the
+// report with one line per pair.
+const classOrderViolationCap = 5
+
 func checkClassOrder(jobs []trace.JobTrace, res *Result) {
 	classes := make(map[classKey][]trace.JobTrace)
 	for _, j := range jobs {
@@ -209,26 +232,94 @@ func checkClassOrder(jobs []trace.JobTrace, res *Result) {
 	})
 	for _, k := range keys {
 		members := classes[k]
+		// Queue order: FIFO within a class is by submit time (a requeued
+		// job keeps its original submit, so its later attempts still sit
+		// ahead of later-submitted twins).
 		sort.Slice(members, func(a, b int) bool {
 			if members[a].Submit != members[b].Submit {
 				return members[a].Submit < members[b].Submit
 			}
-			return members[a].ID < members[b].ID
-		})
-		for i := 1; i < len(members); i++ {
-			prev, cur := members[i-1], members[i]
-			if cur.Start < prev.Start-timeEps {
-				res.violatef("fifo-class-order",
-					"job %s (submit %.0f) started at %.3f before identical earlier job %s (submit %.0f, start %.3f) of class %s/%dn",
-					cur.ID, cur.Submit, cur.Start, prev.ID, prev.Submit, prev.Start, k.fp, k.nodes)
+			if members[a].ID != members[b].ID {
+				return members[a].ID < members[b].ID
 			}
+			return members[a].Attempt < members[b].Attempt
+		})
+		violations := 0
+		maxStart := 0.0 // max start among members[0..i-1]
+		if len(members) > 0 {
+			maxStart = members[0].Start
+		}
+		for i := 1; i < len(members) && violations < classOrderViolationCap; i++ {
+			x := members[i]
+			// Fast path: if no earlier-queued attempt started after x, no
+			// pair can violate — keeps the sweep linear on clean traces
+			// (classes in million-job replays hold tens of thousands of
+			// members; the quadratic scan below only runs near a suspect).
+			if x.Start >= maxStart-timeEps {
+				if x.Start > maxStart {
+					maxStart = x.Start
+				}
+				continue
+			}
+			for p := 0; p < i; p++ {
+				y := members[p]
+				if y.ID == x.ID {
+					continue // attempts of one job order themselves
+				}
+				// x is queued behind y; x starting while y's attempt was
+				// pending means the scheduler passed over an identical job.
+				if x.Start < y.Start-timeEps && eligibleAt(y) <= x.Start+timeEps {
+					res.violatef("fifo-class-order",
+						"job %s (submit %.0f) started at %.3f while identical earlier job %s (submit %.0f, eligible %.0f) was pending until %.3f, class %s/%dn",
+						x.ID, x.Submit, x.Start, y.ID, y.Submit, eligibleAt(y), y.Start, k.fp, k.nodes)
+					if violations++; violations >= classOrderViolationCap {
+						break
+					}
+				}
+			}
+		}
+		if violations >= classOrderViolationCap {
+			res.violatef("fifo-class-order",
+				"class %s/%dn: further violations suppressed after %d", k.fp, k.nodes, classOrderViolationCap)
+		}
+	}
+}
+
+// attributionTolGiB is the allowed absolute gap in GiB/s between total
+// and job-attributed throughput per sample. Both are sums over the same
+// stream set grouped differently, so only float association noise is
+// legitimate; a real leak shows up at stream-rate scale (~GiB/s).
+const attributionTolGiB = 1e-3
+
+// checkAttribution enforces per-job throughput attribution: every sample
+// of total Lustre throughput must be fully accounted for by the nodes of
+// then-running jobs. An unattributed share means an I/O stream outlived
+// its job or runs on a node no job holds — exactly the accounting leaks
+// the allocation-churn optimisations could introduce.
+func checkAttribution(rec *trace.Recorder, res *Result) {
+	if rec.Attributed.Len() != rec.Throughput.Len() {
+		if rec.Attributed.Len() == 0 {
+			return // recorder predates the attribution series
+		}
+		res.violatef("throughput-attribution", "attributed series has %d samples, throughput %d",
+			rec.Attributed.Len(), rec.Throughput.Len())
+		return
+	}
+	for i, total := range rec.Throughput.Values {
+		att := rec.Attributed.Values[i]
+		if diff := math.Abs(total - att); diff > attributionTolGiB {
+			res.violatef("throughput-attribution",
+				"sample %d at t=%.0fs: %.6f GiB/s total but %.6f GiB/s attributed to running jobs (gap %.6f)",
+				i, rec.Throughput.Times[i], total, att, diff)
+			break
 		}
 	}
 }
 
 // ValidateRun validates a recorded run: the job-level invariants of
 // ValidateJobs plus the sampled series — busy nodes must never exceed the
-// cluster size, and (softly) the measured Lustre throughput should stay
+// cluster size, total throughput must be fully attributable to running
+// jobs' nodes, and (softly) the measured Lustre throughput should stay
 // near R_limit. Throughput above the limit is a warning, not a violation:
 // the policy budgets *estimated* rates, and the measured-throughput guard
 // reacts only at round granularity, so transient overshoot is legitimate.
@@ -243,6 +334,7 @@ func ValidateRun(rec *trace.Recorder, opts ValidateOptions) Result {
 			}
 		}
 	}
+	checkAttribution(rec, &res)
 	if opts.ThroughputLimit > 0 {
 		slack := opts.ThroughputSlack
 		if slack == 0 {

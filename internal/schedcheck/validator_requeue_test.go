@@ -1,0 +1,110 @@
+package schedcheck
+
+import (
+	"strings"
+	"testing"
+
+	"wasched/internal/trace"
+)
+
+// attempt builds one per-attempt trace record of a (possibly requeued)
+// job: eligible is when the attempt entered the pending queue, requeued
+// marks an attempt that was preempted rather than finishing.
+func attempt(id string, n, att int, submit, eligible, start, end float64, requeued bool) trace.JobTrace {
+	j := jt(id, n, submit, start, end)
+	j.Fingerprint = "class"
+	j.Limit = 1000
+	j.Eligible = eligible
+	j.Attempt = att
+	j.Requeued = requeued
+	return j
+}
+
+// A twin that started while the requeued job was RUNNING its first
+// attempt is legitimate: the job was not pending, so nothing jumped it.
+func TestClassOrderLegitimateRequeue(t *testing.T) {
+	jobs := []trace.JobTrace{
+		// job-a: submit 0, runs [10,100), preempted, restarts [200,300).
+		attempt("job-a", 2, 1, 0, 0, 10, 100, true),
+		attempt("job-a", 2, 2, 0, 100, 200, 300, false),
+		// job-b: identical, submitted later, started during a's first run.
+		attempt("job-b", 2, 1, 5, 5, 50, 150, false),
+	}
+	wantClean(t, ValidateJobs(jobs, ValidateOptions{Nodes: 8}))
+}
+
+// A twin that started while the requeued job was PENDING again is a
+// genuine misorder: backfill can never justify passing over an identical
+// job. The old check was skipped entirely on requeue runs, masking this.
+func TestClassOrderRequeuedJobJumped(t *testing.T) {
+	jobs := []trace.JobTrace{
+		// job-a: preempted at 100, pending [100,500) before restarting.
+		attempt("job-a", 2, 1, 0, 0, 10, 100, true),
+		attempt("job-a", 2, 2, 0, 100, 500, 600, false),
+		// job-b: identical, submitted later, started at 200 — inside a's
+		// second pending window.
+		attempt("job-b", 2, 1, 50, 50, 200, 300, false),
+	}
+	res := ValidateJobs(jobs, ValidateOptions{Nodes: 8})
+	wantViolation(t, res, "fifo-class-order")
+	found := false
+	for _, v := range res.Violations {
+		if strings.Contains(v.Detail, "job-b") && strings.Contains(v.Detail, "job-a") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("violation must name both jobs: %v", res.Violations)
+	}
+}
+
+// Without requeues the sweep reduces to the classic check: a
+// later-submitted identical job must not start first, and traces
+// predating the Eligible field (zero value) fall back to Submit.
+func TestClassOrderReducesToClassicWithoutRequeues(t *testing.T) {
+	a := jt("job-a", 2, 0, 90, 120)
+	b := jt("job-b", 2, 10, 30, 60)
+	b.Fingerprint, b.Limit = a.Fingerprint, a.Limit
+	wantViolation(t, ValidateJobs([]trace.JobTrace{a, b}, ValidateOptions{Nodes: 8}), "fifo-class-order")
+
+	// In submit order everything is fine, including exact ties.
+	a2 := jt("job-a", 2, 0, 30, 60)
+	b2 := jt("job-b", 2, 10, 30, 120)
+	b2.Fingerprint, b2.Limit = a2.Fingerprint, a2.Limit
+	wantClean(t, ValidateJobs([]trace.JobTrace{a2, b2}, ValidateOptions{Nodes: 8}))
+}
+
+// Attempts of one job never violate against each other even though the
+// later attempt starts long after twins queued behind it.
+func TestClassOrderSameJobAttemptsDoNotConflict(t *testing.T) {
+	jobs := []trace.JobTrace{
+		attempt("job-a", 1, 1, 0, 0, 0, 100, true),
+		attempt("job-a", 1, 2, 0, 100, 400, 500, false),
+		attempt("job-a", 1, 3, 0, 500, 900, 950, false),
+	}
+	wantClean(t, ValidateJobs(jobs, ValidateOptions{Nodes: 8}))
+}
+
+// A systematically misordered class reports at most the cap plus one
+// summary line instead of one violation per pair.
+func TestClassOrderViolationCap(t *testing.T) {
+	var jobs []trace.JobTrace
+	// job-00 submitted first but starts last; every later twin jumps it.
+	jobs = append(jobs, jt("job-00", 1, 0, 1000, 1100))
+	for i := 1; i <= 20; i++ {
+		j := jt("job-"+string(rune('a'+i)), 1, float64(i), float64(10*i), float64(10*i+5))
+		j.Fingerprint = "job-00"
+		j.Limit = jobs[0].Limit
+		jobs = append(jobs, j)
+	}
+	res := ValidateJobs(jobs, ValidateOptions{Nodes: 25})
+	count := 0
+	for _, v := range res.Violations {
+		if v.Invariant == "fifo-class-order" {
+			count++
+		}
+	}
+	if count != classOrderViolationCap+1 {
+		t.Fatalf("got %d fifo-class-order violations, want cap %d plus summary", count, classOrderViolationCap)
+	}
+}

@@ -166,6 +166,40 @@ func TestValidateJobsNamelessTracesSkipIdentityCheck(t *testing.T) {
 	wantClean(t, ValidateJobs([]trace.JobTrace{jt("a", 4, 0, 0, 100)}, ValidateOptions{Nodes: 8}))
 }
 
+func TestThroughputAttributionLeakFlagged(t *testing.T) {
+	rec := &trace.Recorder{}
+	rec.Throughput.Append(0, 10.0)
+	rec.Attributed.Append(0, 10.0)
+	rec.Throughput.Append(5, 12.0)
+	rec.Attributed.Append(5, 8.0) // 4 GiB/s nobody's job accounts for
+	res := ValidateRun(rec, ValidateOptions{})
+	wantViolation(t, res, "throughput-attribution")
+}
+
+func TestThroughputAttributionToleratesFloatNoise(t *testing.T) {
+	rec := &trace.Recorder{}
+	rec.Throughput.Append(0, 10.0)
+	rec.Attributed.Append(0, 10.0+1e-9) // association-order noise only
+	wantClean(t, ValidateRun(rec, ValidateOptions{}))
+}
+
+func TestThroughputAttributionSkipsLegacyRecorders(t *testing.T) {
+	// A recorder without the attributed series (older trace files rebuilt
+	// into a Recorder) must not fail the check.
+	rec := &trace.Recorder{}
+	rec.Throughput.Append(0, 10.0)
+	wantClean(t, ValidateRun(rec, ValidateOptions{}))
+}
+
+func TestThroughputAttributionLengthMismatch(t *testing.T) {
+	rec := &trace.Recorder{}
+	rec.Throughput.Append(0, 10.0)
+	rec.Throughput.Append(5, 10.0)
+	rec.Attributed.Append(0, 10.0)
+	res := ValidateRun(rec, ValidateOptions{})
+	wantViolation(t, res, "throughput-attribution")
+}
+
 func TestResultErrSummarises(t *testing.T) {
 	var res Result
 	for i := 0; i < 5; i++ {

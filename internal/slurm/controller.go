@@ -108,9 +108,18 @@ type JobRecord struct {
 	Start  des.Time // b_j (zero until started)
 	End    des.Time // c_j (zero until ended)
 	Nodes  []string // allocated nodes (set at start)
+	// EligibleAt is when the job last (re)joined the pending queue: the
+	// submit time, or the most recent requeue. The FIFO-within-class
+	// invariant orders attempts by this, not by Submit — a requeued job
+	// keeps its submit-time queue position but was demonstrably not
+	// waiting between its preemption and its restart.
+	EligibleAt des.Time
+	// Attempts counts how many times the job has started (>1 after
+	// requeue preemption or node-failure requeues).
+	Attempts int
 
 	view    sched.Job // the scheduler's mutable view
-	timeout *des.Event
+	timeout des.Event
 	held    int // unsatisfied dependency count; schedulable at 0
 }
 
@@ -305,10 +314,11 @@ func (c *Controller) Submit(spec JobSpec) (*JobRecord, error) {
 		spec.Fingerprint = fp
 	}
 	r := &JobRecord{
-		ID:     fmt.Sprintf("job-%05d", c.nextID),
-		Spec:   spec,
-		State:  StatePending,
-		Submit: c.eng.Now(),
+		ID:         fmt.Sprintf("job-%05d", c.nextID),
+		Spec:       spec,
+		State:      StatePending,
+		Submit:     c.eng.Now(),
+		EligibleAt: c.eng.Now(),
 	}
 	r.view = sched.Job{
 		ID:          r.ID,
@@ -552,6 +562,7 @@ func (c *Controller) startJob(r *JobRecord) {
 	r.State = StateRunning
 	r.Start = c.eng.Now()
 	r.Nodes = exec.Nodes
+	r.Attempts++
 	r.view.StartedAt = r.Start
 	c.removePending(r)
 	c.runningID[r.ID] = r
@@ -575,19 +586,25 @@ func (c *Controller) removePending(r *JobRecord) {
 // the analytics service so the job's class estimate updates (paper §III).
 func (c *Controller) jobEnded(r *JobRecord, e *cluster.Execution) {
 	c.eng.Cancel(r.timeout)
-	r.timeout = nil
+	r.timeout = des.Event{}
 	if c.requeuing[r.ID] || (e.Exit == cluster.ExitNodeFail && !c.cfg.DisableNodeFailRequeue) {
 		// Preempted: back to the queue, original submit time preserved.
+		// Emit while the attempt's Start/End/EligibleAt are still intact —
+		// listeners (the trace recorder) record the finished attempt, which
+		// is what lets the FIFO-within-class invariant keep running under
+		// requeues instead of being skipped wholesale.
 		delete(c.requeuing, r.ID)
 		delete(c.runningID, r.ID)
 		c.requeues++
 		r.State = StatePending
+		r.End = c.eng.Now()
+		c.emit(EventRequeue, r)
 		r.Start = 0
 		r.End = 0
 		r.Nodes = nil
 		r.view.StartedAt = 0
+		r.EligibleAt = c.eng.Now()
 		c.pending = append(c.pending, r)
-		c.emit(EventRequeue, r)
 		c.kick()
 		return
 	}
@@ -649,6 +666,20 @@ func (c *Controller) QueueLength() int { return len(c.pending) }
 
 // RunningCount returns the number of running jobs.
 func (c *Controller) RunningCount() int { return len(c.runningID) }
+
+// AppendRunningJobs appends the currently running job records to dst and
+// returns it, sorted by ID so that float accumulation over the result is
+// reproducible (the trace recorder sums attributed rates every sample).
+func (c *Controller) AppendRunningJobs(dst []*JobRecord) []*JobRecord {
+	start := len(dst)
+	for _, r := range c.runningID {
+		//waschedlint:allow maporder the appended tail is sorted by ID below before anything observes it
+		dst = append(dst, r)
+	}
+	running := dst[start:]
+	sort.Slice(running, func(a, b int) bool { return running[a].ID < running[b].ID })
+	return dst
+}
 
 // DoneCount returns the number of finished jobs.
 func (c *Controller) DoneCount() int { return len(c.done) }

@@ -98,6 +98,16 @@ type JobTrace struct {
 	// it).
 	Priority int64
 	State    slurm.JobState
+	// Eligible is when this attempt entered the pending queue in seconds:
+	// the submit time, or the preceding requeue. Zero means "same as
+	// Submit" (traces from before requeue-aware recording).
+	Eligible float64
+	// Attempt numbers the job's starts from 1; requeued jobs leave one
+	// record per attempt.
+	Attempt int
+	// Requeued marks a preempted attempt: the job held its nodes over
+	// [Start, End) but was returned to the queue rather than finishing.
+	Requeued bool
 }
 
 // Wait returns the queue wait Q_j in seconds.
@@ -110,6 +120,12 @@ func (j JobTrace) Runtime() float64 { return j.End - j.Start }
 // lifecycle events.
 type Recorder struct {
 	Throughput Series // total Lustre throughput, GiB/s
+	// Attributed is the share of Throughput attributable to running jobs:
+	// per-node stream rates summed over the nodes each running job holds,
+	// GiB/s. In a correct system it tracks Throughput exactly — a gap
+	// means a stream outlived its job or runs on an unallocated node
+	// (schedcheck's throughput-attribution invariant).
+	Attributed Series
 	BusyNodes  Series // allocated node count
 	Running    Series // running job count
 	Queued     Series // pending job count
@@ -121,6 +137,10 @@ type Recorder struct {
 
 	jobs []JobTrace
 	stop func()
+
+	// Sampling scratch, reused every tick.
+	rateScratch map[string]float64
+	jobScratch  []*slurm.JobRecord
 }
 
 // NewRecorder attaches a recorder to the system. Samples are taken every
@@ -130,6 +150,7 @@ type Recorder struct {
 func NewRecorder(eng *des.Engine, fs *pfs.FileSystem, cl *cluster.Cluster, ctl *slurm.Controller, period des.Duration) *Recorder {
 	r := &Recorder{
 		Throughput:        Series{Name: "lustre_throughput", Unit: "GiB/s"},
+		Attributed:        Series{Name: "attributed_throughput", Unit: "GiB/s"},
 		BusyNodes:         Series{Name: "busy_nodes", Unit: "nodes"},
 		Running:           Series{Name: "running_jobs", Unit: "jobs"},
 		Queued:            Series{Name: "queued_jobs", Unit: "jobs"},
@@ -139,6 +160,15 @@ func NewRecorder(eng *des.Engine, fs *pfs.FileSystem, cl *cluster.Cluster, ctl *
 	r.stop = eng.Ticker(period, "trace/sample", func(now des.Time) {
 		t := now.Seconds()
 		r.Throughput.Append(t, fs.CurrentAggregateRate()/pfs.GiB)
+		r.rateScratch = fs.CurrentNodeRates(r.rateScratch)
+		r.jobScratch = ctl.AppendRunningJobs(r.jobScratch[:0])
+		attributed := 0.0
+		for _, rec := range r.jobScratch {
+			for _, n := range rec.Nodes {
+				attributed += r.rateScratch[n]
+			}
+		}
+		r.Attributed.Append(t, attributed/pfs.GiB)
 		r.BusyNodes.Append(t, float64(cl.BusyNodes()))
 		r.Running.Append(t, float64(ctl.RunningCount()))
 		r.Queued.Append(t, float64(ctl.QueueLength()))
@@ -151,7 +181,11 @@ func NewRecorder(eng *des.Engine, fs *pfs.FileSystem, cl *cluster.Cluster, ctl *
 		r.TwoGroupThreshold.Append(t, rStar)
 	})
 	ctl.OnEvent(func(e slurm.Event) {
-		if e.Kind != slurm.EventEnd {
+		// Requeued attempts leave their own record: the job really held
+		// its nodes over [Start, End), so the capacity and double-booking
+		// sweeps must see the attempt, and the FIFO-within-class invariant
+		// orders it by its own eligible time.
+		if e.Kind != slurm.EventEnd && e.Kind != slurm.EventRequeue {
 			return
 		}
 		r.jobs = append(r.jobs, JobTrace{
@@ -166,6 +200,9 @@ func NewRecorder(eng *des.Engine, fs *pfs.FileSystem, cl *cluster.Cluster, ctl *
 			Limit:       e.Job.Spec.Limit.Seconds(),
 			Priority:    e.Job.Spec.Priority,
 			State:       e.Job.State,
+			Eligible:    e.Job.EligibleAt.Seconds(),
+			Attempt:     e.Job.Attempts,
+			Requeued:    e.Kind == slurm.EventRequeue,
 		})
 	})
 	return r
@@ -184,15 +221,16 @@ func (r *Recorder) Jobs() []JobTrace {
 // WriteCSV writes the sampled series as one CSV table:
 // time_s,<series...> rows aligned on the common sampling clock.
 func (r *Recorder) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintf(w, "time_s,%s_%s,%s,%s,%s,%s_gibps,%s_gibps\n",
-		r.Throughput.Name, "gibps", r.BusyNodes.Name, r.Running.Name, r.Queued.Name,
+	if _, err := fmt.Fprintf(w, "time_s,%s_%s,%s_%s,%s,%s,%s,%s_gibps,%s_gibps\n",
+		r.Throughput.Name, "gibps", r.Attributed.Name, "gibps",
+		r.BusyNodes.Name, r.Running.Name, r.Queued.Name,
 		r.Target.Name, r.TwoGroupThreshold.Name); err != nil {
 		return err
 	}
 	n := r.Throughput.Len()
 	for i := 0; i < n; i++ {
-		if _, err := fmt.Fprintf(w, "%.3f,%.6f,%.0f,%.0f,%.0f,%.6f,%.6f\n",
-			r.Throughput.Times[i], r.Throughput.Values[i],
+		if _, err := fmt.Fprintf(w, "%.3f,%.6f,%.6f,%.0f,%.0f,%.0f,%.6f,%.6f\n",
+			r.Throughput.Times[i], r.Throughput.Values[i], r.Attributed.Values[i],
 			r.BusyNodes.Values[i], r.Running.Values[i], r.Queued.Values[i],
 			r.Target.Values[i], r.TwoGroupThreshold.Values[i]); err != nil {
 			return err

@@ -103,8 +103,95 @@ func TestParseSWFValidation(t *testing.T) {
 			t.Errorf("options %d must fail", i)
 		}
 	}
-	if _, err := ParseSWF(strings.NewReader("1 2 3"), DefaultSWFOptions()); err == nil {
-		t.Fatal("short line must fail")
+	// A truncated row is a counted quirk, not a parse failure: archive
+	// traces carry them and one bad row must not lose the other million.
+	res, err := ParseSWF(strings.NewReader("1 2 3"), DefaultSWFOptions())
+	if err != nil {
+		t.Fatalf("short line must be skipped, got error: %v", err)
+	}
+	if res.Quirks.ShortLines != 1 || res.Dropped != 1 || len(res.Jobs) != 0 {
+		t.Fatalf("short line: %+v", res.Quirks)
+	}
+}
+
+// TestParseSWFQuirks exercises every archive-trace quirk the parser
+// tolerates, one table row per quirk.
+func TestParseSWFQuirks(t *testing.T) {
+	// A well-formed row template: job 1, submit 100, runtime 300, 56 procs.
+	good := "1 100 10 300 56 -1 -1 56 600 -1 1 7 1 1 1 -1 -1 -1"
+	cases := []struct {
+		name  string
+		line  string
+		count func(q SWFQuirks) int
+		kept  int // jobs surviving alongside the one good row
+	}{
+		{"short-line", "2 60 10", func(q SWFQuirks) int { return q.ShortLines }, 0},
+		{"negative-submit", "2 -60 10 300 56 -1 -1 56 600 -1 1 7 1 1 1 -1 -1 -1",
+			func(q SWFQuirks) int { return q.BadSubmit }, 0},
+		{"submit-sentinel", "2 -1 10 300 56 -1 -1 56 600 -1 1 7 1 1 1 -1 -1 -1",
+			func(q SWFQuirks) int { return q.BadSubmit }, 0},
+		{"submit-garbage", "2 x 10 300 56 -1 -1 56 600 -1 1 7 1 1 1 -1 -1 -1",
+			func(q SWFQuirks) int { return q.BadSubmit }, 0},
+		{"negative-runtime", "2 60 10 -5 56 -1 -1 56 600 -1 1 7 1 1 1 -1 -1 -1",
+			func(q SWFQuirks) int { return q.BadRuntime }, 0},
+		{"runtime-sentinel", "2 60 10 -1 56 -1 -1 56 600 -1 1 7 1 1 1 -1 -1 -1",
+			func(q SWFQuirks) int { return q.BadRuntime }, 0},
+		{"zero-runtime", "2 60 10 0 56 -1 -1 56 600 -1 1 7 1 1 1 -1 -1 -1",
+			func(q SWFQuirks) int { return q.BadRuntime }, 0},
+		{"no-procs", "2 60 10 300 -1 -1 -1 -1 600 -1 1 7 1 1 1 -1 -1 -1",
+			func(q SWFQuirks) int { return q.BadProcs }, 0},
+		{"too-wide", "2 60 10 300 9999 -1 -1 9999 600 -1 1 7 1 1 1 -1 -1 -1",
+			func(q SWFQuirks) int { return q.TooWide }, 0},
+		// Out-of-order rows are repaired (kept and re-sorted), not dropped.
+		{"out-of-order-submit", "2 0 10 300 56 -1 -1 56 600 -1 1 7 1 1 1 -1 -1 -1",
+			func(q SWFQuirks) int { return q.OutOfOrderSubmits }, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// The good row first, so an out-of-order second row regresses.
+			in := good + "\n" + tc.line + "\n"
+			res, err := ParseSWF(strings.NewReader(in), DefaultSWFOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := tc.count(res.Quirks); got != 1 {
+				t.Fatalf("quirk count = %d, quirks %+v", got, res.Quirks)
+			}
+			if len(res.Jobs) != 1+tc.kept {
+				t.Fatalf("jobs = %d, want %d (%+v)", len(res.Jobs), 1+tc.kept, res.Quirks)
+			}
+			wantDropped := 1 - tc.kept
+			if res.Dropped != wantDropped || res.Quirks.Skipped() != wantDropped {
+				t.Fatalf("dropped = %d/%d, want %d", res.Dropped, res.Quirks.Skipped(), wantDropped)
+			}
+		})
+	}
+}
+
+// TestParseSWFOutOfOrderSorted proves a trace with regressing submit
+// times comes back sorted and replayable.
+func TestParseSWFOutOfOrderSorted(t *testing.T) {
+	in := `3 120 -1 300 56 -1 -1 56 600 -1 1 7 1 1 1 -1 -1 -1
+1 0 -1 300 56 -1 -1 56 600 -1 1 7 1 1 1 -1 -1 -1
+2 60 -1 300 56 -1 -1 56 600 -1 1 8 1 1 1 -1 -1 -1
+`
+	res, err := ParseSWF(strings.NewReader(in), DefaultSWFOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Quirks.OutOfOrderSubmits != 2 {
+		t.Fatalf("quirks: %+v", res.Quirks)
+	}
+	if len(res.Jobs) != 3 {
+		t.Fatalf("jobs: %d", len(res.Jobs))
+	}
+	for i := 1; i < len(res.Jobs); i++ {
+		if res.Jobs[i].At < res.Jobs[i-1].At {
+			t.Fatalf("jobs not sorted by submit: %v then %v", res.Jobs[i-1].At, res.Jobs[i].At)
+		}
+	}
+	if res.Quirks.String() == "clean" || !res.Quirks.Any() {
+		t.Fatalf("quirk summary: %q", res.Quirks.String())
 	}
 }
 

@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+
+	"wasched/internal/des"
+)
+
+// SWFGenConfig shapes a synthetic Standard Workload Format trace. The
+// generator exists because the Parallel Workloads Archive traces cannot be
+// redistributed in this repository: it emits the same field layout with a
+// job mix calibrated to the paper's cluster, so the archive-scale replay
+// path (`wasched replay`, BenchmarkReplaySWF) runs on a bundled,
+// deterministic stand-in.
+type SWFGenConfig struct {
+	// Jobs is the number of data rows to emit.
+	Jobs int
+	// Seed drives every stochastic choice; the same config always writes
+	// byte-identical output.
+	Seed uint64
+	// Nodes is the cluster size the arrival rate is matched to.
+	Nodes int
+	// CoresPerNode scales node counts to SWF processor counts.
+	CoresPerNode int
+	// Utilization is the offered load as a fraction of cluster capacity.
+	// Keeping it below 1 bounds the backlog, so a trace of any length
+	// replays in simulated time proportional to its length rather than
+	// quadratically growing queues. Zero defaults to 0.7.
+	Utilization float64
+	// QuirkEvery injects one malformed row (cycling through the archive
+	// quirks: -1 runtime sentinel, truncated line, negative submit,
+	// regressing submit time) every this many jobs; 0 disables. The
+	// bundled traces use this so the quirk counters are exercised by real
+	// replays, not only by unit tests.
+	QuirkEvery int
+}
+
+// WriteSyntheticSWF writes a synthetic SWF trace. Runtimes are log-normal
+// around ~10 minutes clamped to [30 s, 4 h]; widths favour narrow jobs
+// with an occasional near-cluster-wide one; requested times over-estimate
+// runtime by a uniform factor, with a slice of rows carrying the archive's
+// -1 "not requested" sentinel. Inter-arrival gaps are drawn per job
+// proportional to the job's own node-seconds demand, which keeps offered
+// load at cfg.Utilization regardless of trace length.
+func WriteSyntheticSWF(w io.Writer, cfg SWFGenConfig) error {
+	if cfg.Jobs <= 0 {
+		return fmt.Errorf("workload: SWFGenConfig.Jobs must be positive, got %d", cfg.Jobs)
+	}
+	if cfg.Nodes <= 0 || cfg.CoresPerNode <= 0 {
+		return fmt.Errorf("workload: SWFGenConfig needs positive Nodes and CoresPerNode, got %d/%d",
+			cfg.Nodes, cfg.CoresPerNode)
+	}
+	util := cfg.Utilization
+	if util == 0 {
+		util = 0.7
+	}
+	if util <= 0 || util >= 1 {
+		return fmt.Errorf("workload: SWFGenConfig.Utilization must be in (0,1), got %g", util)
+	}
+	rng := des.NewRNG(cfg.Seed, "workload/swfgen")
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "; synthetic SWF trace (wagen -gen-swf): %d jobs, seed %d, %d nodes x %d cores, utilization %.2f\n",
+		cfg.Jobs, cfg.Seed, cfg.Nodes, cfg.CoresPerNode, util)
+	fmt.Fprintf(bw, "; MaxNodes: %d\n; MaxProcs: %d\n;\n", cfg.Nodes, cfg.Nodes*cfg.CoresPerNode)
+
+	capacity := float64(cfg.Nodes) // node-seconds per second
+	submit := 0.0
+	quirk := 0
+	for i := 1; i <= cfg.Jobs; i++ {
+		// Runtime: log-normal, median 600 s, clamped to [30 s, 4 h].
+		runtime := math.Round(600 * rng.LogNormal(0, 1.1))
+		if runtime < 30 {
+			runtime = 30
+		}
+		if runtime > 4*3600 {
+			runtime = 4 * 3600
+		}
+		// Width: mostly 1–2 nodes, a tail up to the whole cluster.
+		nodes := 1
+		switch v := rng.Float64(); {
+		case v < 0.45:
+			nodes = 1
+		case v < 0.75:
+			nodes = 2
+		case v < 0.92:
+			nodes = 3 + rng.IntN(cfg.Nodes/3+1)
+		default:
+			nodes = cfg.Nodes/2 + rng.IntN(cfg.Nodes/2+1)
+		}
+		if nodes > cfg.Nodes {
+			nodes = cfg.Nodes
+		}
+		procs := nodes * cfg.CoresPerNode
+		// Requested time over-estimates runtime; ~15% of rows carry the
+		// archive's -1 sentinel instead.
+		reqTime := math.Round(runtime * (1.2 + 1.5*rng.Float64()))
+		if rng.Float64() < 0.15 {
+			reqTime = -1
+		}
+		user := 1 + rng.IntN(40)
+
+		// Advance the clock by this job's share of capacity at the target
+		// utilization, with mean-1 jitter: E[gap] = demand/(capacity·util).
+		demand := float64(nodes) * runtime
+		submit += demand / (capacity * util) * (0.5 + rng.Float64())
+		sub := math.Round(submit)
+
+		if cfg.QuirkEvery > 0 && i%cfg.QuirkEvery == 0 {
+			switch quirk = (quirk + 1) % 4; quirk {
+			case 0: // -1 runtime sentinel
+				fmt.Fprintf(bw, "%d %.0f -1 -1 %d -1 -1 %d %.0f -1 1 %d 1 1 1 -1 -1 -1\n",
+					i, sub, procs, procs, reqTime, user)
+			case 1: // truncated row
+				fmt.Fprintf(bw, "%d %.0f -1\n", i, sub)
+			case 2: // negative submit
+				fmt.Fprintf(bw, "%d -1 -1 %.0f %d -1 -1 %d %.0f -1 1 %d 1 1 1 -1 -1 -1\n",
+					i, runtime, procs, procs, reqTime, user)
+			case 3: // submit-time regression (kept, counted, re-sorted)
+				back := sub - 120
+				if back < 0 {
+					back = 0
+				}
+				fmt.Fprintf(bw, "%d %.0f -1 %.0f %d -1 -1 %d %.0f -1 1 %d 1 1 1 -1 -1 -1\n",
+					i, back, runtime, procs, procs, reqTime, user)
+			}
+			continue
+		}
+		fmt.Fprintf(bw, "%d %.0f -1 %.0f %d -1 -1 %d %.0f -1 1 %d 1 1 1 -1 -1 -1\n",
+			i, sub, runtime, procs, procs, reqTime, user)
+	}
+	return bw.Flush()
+}
