@@ -1,6 +1,7 @@
 # Development targets. `make check` is the pre-merge gate: static vetting,
 # the waschedlint analyzer suite, the full test suite under the race
-# detector, the sweep checkpoint/resume smoke test, the distributed
+# detector, the burst-buffer replay smoke test (all invariant checks on),
+# the sweep checkpoint/resume smoke test, the distributed
 # (coordinator + loopback workers) smoke test, the chaos crash-recovery
 # smoke test (seeded faults + coordinator kill/restart), and a
 # short-budget run of every fuzz target (seed corpus + a few seconds of
@@ -17,7 +18,7 @@ CHAOSADDR := 127.0.0.1:39141
 # duplicates, injected 500s and delays, all on the seeded schedule.
 CHAOSWIRE := drop=0.05,droprsp=0.05,dup=0.1,err=0.1,delay=0.2:5ms
 
-.PHONY: build vet lint test race fuzz sweep-smoke gridsweep-smoke gridchaos-smoke bench-replay bench-replay-check check
+.PHONY: build vet lint test race fuzz bbcheck sweep-smoke gridsweep-smoke gridchaos-smoke bench-replay bench-replay-check check
 
 build:
 	$(GO) build ./...
@@ -106,6 +107,15 @@ gridchaos-smoke:
 	diff -r $(CHAOSDIR)/baseline/cache $(CHAOSDIR)/chaos/cache
 	@rm -rf $(CHAOSDIR)
 
+# Burst-buffer end-to-end smoke: replay the bundled 10k-job trace with a
+# synthetic BB assignment through both BB-aware policies, with every
+# invariant check on (per-round checks plus the BB capacity, stage-in
+# ordering and drain-attribution validators). Seconds of wall clock, so it
+# rides in `make check` alongside the race run.
+bbcheck:
+	$(GO) run ./cmd/wasched replay testdata/swf/synthetic-10k.swf -policy plan -bb-capacity-gib 64 -bb-fraction 0.3 -checks -quiet
+	$(GO) run ./cmd/wasched replay testdata/swf/synthetic-10k.swf -policy bb-io-aware -bb-capacity-gib 64 -bb-fraction 0.3 -checks -quiet
+
 # Archive-trace replay benchmark: replay the bundled 10k-job SWF trace
 # through all four policies, append the measured jobs/s to the
 # BENCH_replay.json trajectory, and fail on a >20% regression against the
@@ -124,4 +134,4 @@ fuzz:
 	$(GO) test ./internal/sched -run='^$$' -fuzz=FuzzRunRound -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/sched -run='^$$' -fuzz=FuzzTwoGroupSplit -fuzztime=$(FUZZTIME)
 
-check: vet lint race sweep-smoke gridsweep-smoke gridchaos-smoke fuzz
+check: vet lint race bbcheck sweep-smoke gridsweep-smoke gridchaos-smoke fuzz

@@ -15,6 +15,11 @@
 // the archive traces cannot be redistributed, so `wasched replay` and the
 // replay benchmark run on traces produced here (see testdata/swf). An
 // -out name ending in ".gz" is written gzip-compressed.
+//
+// -bb-fraction (default 0: off) gives that fraction of job classes a
+// synthetic burst-buffer reservation of nodes × -bb-gib-per-node GiB, so
+// generated traces can exercise the burst-buffer tier (`wasim
+// -bb-capacity-gib`, `wasched replay -bb-capacity-gib`).
 package main
 
 import (
@@ -68,7 +73,13 @@ func run() error {
 	genCores := flag.Int("cores-per-node", 56, "cores per node for synthetic SWF processor counts")
 	genUtil := flag.Float64("utilization", 0.7, "offered load of the synthetic trace as a fraction of capacity")
 	quirkEvery := flag.Int("quirk-every", 0, "inject one malformed SWF row every N jobs (0 = clean trace)")
+	bbFraction := flag.Float64("bb-fraction", 0, "fraction of jobs given a synthetic burst-buffer reservation (0 = BB off)")
+	bbPerNode := flag.Float64("bb-gib-per-node", 4, "burst-buffer reservation per node for assigned jobs, GiB")
 	flag.Parse()
+
+	if *bbFraction < 0 || *bbFraction > 1 {
+		return fmt.Errorf("-bb-fraction must be in [0,1], got %g", *bbFraction)
+	}
 
 	if *genSWF > 0 {
 		cfg := workload.SWFGenConfig{
@@ -102,6 +113,10 @@ func run() error {
 		opts.IOFraction = *ioFraction
 		opts.MaxJobs = *maxJobs
 		opts.Seed = *seed
+		if *bbFraction > 0 {
+			opts.BBFraction = *bbFraction
+			opts.BBGiBPerNode = *bbPerNode
+		}
 		res, err := workload.ParseSWF(f, opts)
 		if err != nil {
 			return err
@@ -139,6 +154,7 @@ func run() error {
 	} else {
 		jobs = workload.Timed(specs, 0)
 	}
+	workload.AssignBBDemand(jobs, *bbFraction, *bbPerNode, *seed)
 
 	return encodeTo(*out, func(w io.Writer) error { return workload.Encode(w, jobs) })
 }

@@ -343,6 +343,7 @@ func sweepStatus(args []string) error {
 	fmt.Printf("sweep %s: %d cells, %d done (%d cache hits, %d computed), %d failed, %d remaining (%d run(s), last event %s)\n",
 		st.Name, st.Cells, st.Done, st.CacheHits, st.Computed, st.Failed, st.Remaining, st.Runs,
 		st.LastEvent.Format("2006-01-02 15:04:05 MST"))
+	fmt.Printf("  progress: %s\n", sweepProgress(st))
 	if st.Leased > 0 {
 		fmt.Printf("  %d cell(s) currently under lease (distributed run in progress or crashed)\n", st.Leased)
 	}
@@ -359,6 +360,16 @@ func sweepStatus(args []string) error {
 		fmt.Printf("resume with: wasched sweep resume %s -state-dir %s\n", st.Name, *stateDir)
 	}
 	return nil
+}
+
+// sweepProgress renders a status's completion fraction. A zero-cell sweep
+// (a journal whose begin record counted no cells) has no meaningful
+// fraction, so it renders n/a instead of dividing by zero.
+func sweepProgress(st *farm.SweepStatus) string {
+	if st.Cells <= 0 {
+		return "n/a (no cells in the latest run)"
+	}
+	return fmt.Sprintf("%.1f%% complete", 100*float64(st.Done)/float64(st.Cells))
 }
 
 // sweepStatusRemote polls a live coordinator and prints its cell states
@@ -409,8 +420,12 @@ commands:
   run <name> [-seed N] [-csv DIR] [-parallel N]
                        run one experiment and print its report
   replay <trace.swf[.gz]> [-policy P] [-nodes N] [-limit-gib G] [-checks]
+         [-bb-capacity-gib G] [-bb-fraction F] [-bb-gib-per-node G]
                        stream an SWF archive trace through the lightweight
-                       replayer and report scheduling throughput per policy
+                       replayer and report scheduling throughput per policy;
+                       the -bb-* flags emulate a shared burst-buffer pool
+                       (assigning synthetic reservations to -bb-fraction of
+                       jobs) for the plan and bb-io-aware policies
   sweep list           list the registered cell sweeps
   sweep run <name> [-seed N] [-repeats N] [-workers N] [-state-dir DIR] [-quiet]
                        run a sweep through the farm orchestrator; with a

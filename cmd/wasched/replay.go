@@ -19,8 +19,9 @@ import (
 	"wasched/internal/workload"
 )
 
-// replayPolicies builds the named policy set for a replay.
-func replayPolicies(name string, nodes int, limit float64) ([]sched.Policy, []float64, error) {
+// replayPolicies builds the named policy set for a replay. bbCap is the
+// burst-buffer pool the BB-aware policies plan against (0 with BB off).
+func replayPolicies(name string, nodes int, limit, bbCap float64) ([]sched.Policy, []float64, error) {
 	mk := func(label string) (sched.Policy, float64, error) {
 		switch label {
 		case "default":
@@ -31,8 +32,15 @@ func replayPolicies(name string, nodes int, limit float64) ([]sched.Policy, []fl
 			return sched.AdaptivePolicy{TotalNodes: nodes, ThroughputLimit: limit, TwoGroup: true}, limit, nil
 		case "adaptive-naive":
 			return sched.AdaptivePolicy{TotalNodes: nodes, ThroughputLimit: limit, TwoGroup: false}, limit, nil
+		case "plan":
+			return sched.PlanPolicy{TotalNodes: nodes, BBCapacity: bbCap, ThroughputLimit: limit}, limit, nil
+		case "bb-io-aware":
+			return sched.BBAwarePolicy{
+				Inner:    sched.IOAwarePolicy{TotalNodes: nodes, ThroughputLimit: limit},
+				Capacity: bbCap,
+			}, limit, nil
 		default:
-			return nil, 0, fmt.Errorf("unknown policy %q (want default, io-aware, adaptive, adaptive-naive or all)", label)
+			return nil, 0, fmt.Errorf("unknown policy %q (want default, io-aware, adaptive, adaptive-naive, plan, bb-io-aware or all)", label)
 		}
 	}
 	labels := []string{name}
@@ -55,7 +63,7 @@ func replayPolicies(name string, nodes int, limit float64) ([]sched.Policy, []fl
 // runReplay implements `wasched replay <trace.swf[.gz]> [flags]`.
 func runReplay(args []string) error {
 	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
-	policy := fs.String("policy", "all", "policy: default, io-aware, adaptive, adaptive-naive or all")
+	policy := fs.String("policy", "all", "policy: default, io-aware, adaptive, adaptive-naive, plan, bb-io-aware or all")
 	nodes := fs.Int("nodes", 15, "cluster size (the paper's Stria partition)")
 	coresPerNode := fs.Int("cores-per-node", 56, "cores per node for SWF processor→node conversion")
 	limitGiB := fs.Float64("limit-gib", 20, "policy throughput limit R_limit, GiB/s")
@@ -63,6 +71,11 @@ func runReplay(args []string) error {
 	maxJobs := fs.Int("max-jobs", 0, "truncate the trace (0 = all jobs)")
 	ioFraction := fs.Float64("io-fraction", 0.4, "fraction of jobs given synthetic I/O")
 	seed := fs.Uint64("seed", 1, "seed for the deterministic I/O assignment")
+	bbCapGiB := fs.Float64("bb-capacity-gib", 0, "shared burst-buffer pool, GiB (0 = BB off)")
+	bbFraction := fs.Float64("bb-fraction", 0, "fraction of jobs given a synthetic BB reservation")
+	bbPerNode := fs.Float64("bb-gib-per-node", 4, "BB reservation per node for assigned jobs, GiB")
+	bbStage := fs.Float64("bb-stage-gibps", 2, "BB stage-in rate, GiB/s (0 = instant)")
+	bbDrain := fs.Float64("bb-drain-gibps", 1, "BB stage-out drain rate, GiB/s (0 = instant)")
 	maxRounds := fs.Int("max-rounds", 0, "round budget (0 = sized from the trace span)")
 	checks := fs.Bool("checks", false, "run the per-round invariant checks (slower)")
 	quiet := fs.Bool("quiet", false, "suppress live progress on stderr")
@@ -82,13 +95,21 @@ func runReplay(args []string) error {
 		return fmt.Errorf("usage: wasched replay <trace.swf[.gz]> [-policy P] [-nodes N] [-limit-gib G] ...")
 	}
 
+	if *bbFraction > 0 && *bbCapGiB <= 0 {
+		return fmt.Errorf("-bb-fraction needs -bb-capacity-gib: jobs with BB demand can never start against an absent pool")
+	}
 	opts := workload.DefaultSWFOptions()
 	opts.CoresPerNode = *coresPerNode
 	opts.MaxNodes = *nodes
 	opts.IOFraction = *ioFraction
 	opts.MaxJobs = *maxJobs
 	opts.Seed = *seed
+	if *bbFraction > 0 {
+		opts.BBFraction = *bbFraction
+		opts.BBGiBPerNode = *bbPerNode
+	}
 	limit := *limitGiB * pfs.GiB
+	bbCap := *bbCapGiB * pfs.GiB
 
 	f, err := workload.OpenSWF(path)
 	if err != nil {
@@ -107,7 +128,7 @@ func runReplay(args []string) error {
 	fmt.Printf("loaded %s: %d jobs in %.2fs (quirks: %s)\n",
 		path, len(jobs), time.Since(loadStart).Seconds(), quirks)
 
-	policies, limits, err := replayPolicies(*policy, *nodes, limit)
+	policies, limits, err := replayPolicies(*policy, *nodes, limit, bbCap)
 	if err != nil {
 		return err
 	}
@@ -120,6 +141,11 @@ func runReplay(args []string) error {
 			Limit:           limits[i],
 			MaxRounds:       *maxRounds,
 			SkipRoundChecks: !*checks,
+		}
+		if bbCap > 0 {
+			cfg.BBCapacity = bbCap
+			cfg.BBStageRate = *bbStage * pfs.GiB
+			cfg.BBDrainRate = *bbDrain * pfs.GiB
 		}
 		if cfg.MaxRounds == 0 {
 			cfg.MaxRounds = replayRoundBudget(jobs, cfg.Interval)

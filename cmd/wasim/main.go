@@ -3,9 +3,17 @@
 // Usage:
 //
 //	wasim -file workload.txt [-conf slurm.conf]
-//	      [-policy default|easy|io-aware|adaptive|adaptive-naive]
+//	      [-policy default|easy|io-aware|adaptive|adaptive-naive|plan]
 //	      [-limit GIBPS] [-nodes N] [-seed N] [-pretrain]
+//	      [-bb-capacity-gib G] [-bb-aware]
 //	      [-csv series.csv] [-jobs-csv jobs.csv] [-plot]
+//
+// With -bb-capacity-gib, a shared burst-buffer tier of that size is
+// attached: jobs declaring a reservation (the workload format's `bb <gib>`
+// token) stage in before compute and drain dirty data through the shared
+// PFS after. `-policy plan` co-schedules compute nodes and BB space;
+// -bb-aware instead keeps the chosen policy and adds BB admission
+// awareness to its backfill.
 //
 // With -conf, the slurm.conf-style file (see internal/slurmconf) provides
 // the base configuration; explicit flags override it.
@@ -42,9 +50,11 @@ func main() {
 func run() error {
 	file := flag.String("file", "", "workload trace file (required)")
 	confPath := flag.String("conf", "", "slurm.conf-style configuration file")
-	policyName := flag.String("policy", "default", "default, easy, io-aware, adaptive or adaptive-naive")
+	policyName := flag.String("policy", "default", "default, easy, io-aware, adaptive, adaptive-naive or plan")
 	limit := flag.Float64("limit", 20, "throughput limit in GiB/s for io-aware/adaptive")
 	nodes := flag.Int("nodes", 15, "compute node count")
+	bbCapGiB := flag.Float64("bb-capacity-gib", 0, "shared burst-buffer pool, GiB (0 = no BB tier)")
+	bbAware := flag.Bool("bb-aware", false, "wrap the policy with BB admission awareness (needs -bb-capacity-gib)")
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	pretrain := flag.Bool("pretrain", false, "pre-train the estimator on isolated runs")
 	csvOut := flag.String("csv", "", "write sampled series CSV to this file")
@@ -109,12 +119,20 @@ func run() error {
 			cfg.Scheduler.Policy = core.Adaptive
 		case "adaptive-naive":
 			cfg.Scheduler.Policy = core.AdaptiveNaive
+		case "plan":
+			cfg.Scheduler.Policy = core.Plan
 		default:
 			return fmt.Errorf("unknown policy %q", *policyName)
 		}
 	}
 	if explicit["limit"] || cfg.Scheduler.ThroughputLimit == 0 {
 		cfg.Scheduler.ThroughputLimit = *limit * pfs.GiB
+	}
+	if *bbCapGiB > 0 {
+		cfg.BB.CapacityBytes = *bbCapGiB * pfs.GiB
+	}
+	if *bbAware {
+		cfg.Scheduler.BBAware = true
 	}
 	sys, err := core.NewSystem(cfg)
 	if err != nil {

@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"wasched/internal/analytics"
+	"wasched/internal/bb"
 	"wasched/internal/cluster"
 	"wasched/internal/des"
 	"wasched/internal/ldms"
@@ -53,6 +54,9 @@ const (
 	// AdaptiveNaive is the workload-adaptive scheduler without the
 	// two-group approximation.
 	AdaptiveNaive
+	// Plan is the plan-based burst-buffer co-scheduler (requires
+	// Config.BB.CapacityBytes > 0; ThroughputLimit optional).
+	Plan
 )
 
 // String names the policy kind.
@@ -68,6 +72,8 @@ func (k PolicyKind) String() string {
 		return "adaptive"
 	case AdaptiveNaive:
 		return "adaptive-naive"
+	case Plan:
+		return "plan"
 	default:
 		return fmt.Sprintf("PolicyKind(%d)", int(k))
 	}
@@ -83,6 +89,11 @@ type SchedulerConfig struct {
 	QoSFraction float64
 	// IgnoreMeasured disables the R_now guard (ablations only).
 	IgnoreMeasured bool
+	// BBAware wraps the selected policy in sched.BBAwarePolicy so its
+	// backfill reservations also respect the burst-buffer pool (requires
+	// Config.BB.CapacityBytes > 0). Ignored for Plan, which co-schedules
+	// the pool natively.
+	BBAware bool
 	// Custom overrides everything above with a caller-supplied policy.
 	Custom sched.Policy
 }
@@ -99,6 +110,9 @@ type Config struct {
 	Monitor   ldms.Config
 	Analytics analytics.Config
 	Control   slurm.Config
+	// BB configures the burst-buffer tier; CapacityBytes = 0 (the
+	// default) builds no tier and rejects BB-requesting jobs.
+	BB bb.Config
 	// TracePeriod is the run recorder's sampling period (0 = 5 s).
 	TracePeriod des.Duration
 }
@@ -125,6 +139,20 @@ func (c Config) policy() (sched.Policy, int, error) {
 	if c.Scheduler.Custom != nil {
 		return c.Scheduler.Custom, c.Control.Options.BackfillMax, nil
 	}
+	p, backfillMax, err := c.basePolicy()
+	if err != nil {
+		return nil, 0, err
+	}
+	if c.Scheduler.BBAware && c.Scheduler.Policy != Plan {
+		if c.BB.CapacityBytes <= 0 {
+			return nil, 0, fmt.Errorf("core: BBAware needs a positive BB.CapacityBytes")
+		}
+		p = sched.BBAwarePolicy{Inner: p, Capacity: c.BB.CapacityBytes}
+	}
+	return p, backfillMax, nil
+}
+
+func (c Config) basePolicy() (sched.Policy, int, error) {
 	backfillMax := c.Control.Options.BackfillMax
 	switch c.Scheduler.Policy {
 	case Default:
@@ -150,6 +178,16 @@ func (c Config) policy() (sched.Policy, int, error) {
 			TwoGroup:        c.Scheduler.Policy == Adaptive,
 			QoSFraction:     c.Scheduler.QoSFraction,
 		}, backfillMax, nil
+	case Plan:
+		if c.BB.CapacityBytes <= 0 {
+			return nil, 0, fmt.Errorf("core: plan policy needs a positive BB.CapacityBytes")
+		}
+		return sched.PlanPolicy{
+			TotalNodes:      c.Nodes,
+			BBCapacity:      c.BB.CapacityBytes,
+			ThroughputLimit: c.Scheduler.ThroughputLimit,
+			IgnoreMeasured:  c.Scheduler.IgnoreMeasured,
+		}, backfillMax, nil
 	default:
 		return nil, 0, fmt.Errorf("core: unknown policy kind %v", c.Scheduler.Policy)
 	}
@@ -165,6 +203,8 @@ type System struct {
 	Analytics  *analytics.Service
 	Controller *slurm.Controller
 	Recorder   *trace.Recorder
+	// BB is the burst-buffer tier; nil when Config.BB.CapacityBytes = 0.
+	BB *bb.Tier
 
 	cfg       Config
 	submitted int
@@ -202,11 +242,22 @@ func NewSystem(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	var tier *bb.Tier
+	if cfg.BB.CapacityBytes > 0 {
+		tier, err = bb.New(eng, fs, cfg.BB)
+		if err != nil {
+			return nil, err
+		}
+		ctl.AttachBB(tier)
+	}
 	period := cfg.TracePeriod
 	if period <= 0 {
 		period = 5 * des.Second
 	}
 	rec := trace.NewRecorder(eng, fs, cl, ctl, period)
+	if tier != nil {
+		rec.SetBB(tier)
+	}
 	return &System{
 		Eng:        eng,
 		FS:         fs,
@@ -216,6 +267,7 @@ func NewSystem(cfg Config) (*System, error) {
 		Analytics:  svc,
 		Controller: ctl,
 		Recorder:   rec,
+		BB:         tier,
 		cfg:        cfg,
 	}, nil
 }
@@ -327,6 +379,7 @@ func (s *System) measureIsolated(spec slurm.JobSpec) (analytics.Estimate, error)
 	cfg := DefaultConfig()
 	cfg.Nodes = s.cfg.Nodes
 	cfg.FS = s.cfg.FS
+	cfg.BB = s.cfg.BB // BB-requesting specs need a tier on the scratch system too
 	cfg.Seed = s.cfg.Seed ^ 0x9E3779B97F4A7C15 // independent timeline per system seed
 	cfg.TracePeriod = des.Second
 	scratch, err := NewSystem(cfg)

@@ -35,6 +35,7 @@ func AblationGrids() []AblationGrid {
 		{"sweep-limit", "fixed-limit U-curve vs the self-tuning adaptive scheduler (W1)", SweepLimit},
 		{"ablation-plateau", "two-group benefit in the plateau regime (W2, shallow queue)", AblationPlateau},
 		{"ablation-checkpoint", "checkpoint/restart read+write workload: default vs io-aware vs adaptive", AblationCheckpoint},
+		{"ablation-burstbuffer", "BB-bottlenecked workload: BB-blind policies vs plan co-reservation (replayer)", AblationBurstBuffer},
 	}
 }
 

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"testing"
+
+	"wasched/internal/bb"
+	"wasched/internal/pfs"
+	"wasched/internal/sched"
+	"wasched/internal/slurm"
+	"wasched/internal/workload"
+)
+
+// TestBurstBufferAblationPlanWins pins the headline claim of the BB tier:
+// on the BB-bottlenecked grid, the plan policy's node+BB co-reservation
+// beats every BB-blind policy on mean wait, across the corpus seeds.
+func TestBurstBufferAblationPlanWins(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		rows, err := AblationBurstBuffer(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		var plan float64
+		bestBlind := -1.0
+		for _, r := range rows {
+			switch r.Result.Policy {
+			case "plan":
+				plan = r.Result.Sched.MeanWait
+			case "default", "io-aware":
+				if bestBlind < 0 || r.Result.Sched.MeanWait < bestBlind {
+					bestBlind = r.Result.Sched.MeanWait
+				}
+			}
+		}
+		if bestBlind < 0 {
+			t.Fatalf("seed %d: no BB-blind rows in %d-row grid", seed, len(rows))
+		}
+		if plan >= bestBlind {
+			t.Errorf("seed %d: plan mean wait %.1fs did not beat best BB-blind %.1fs", seed, plan, bestBlind)
+		}
+	}
+}
+
+// TestFullSimBurstBufferEndToEnd drives the whole stack — plan policy,
+// controller admission, bb.Tier stage-in/drain through the shared PFS,
+// recorder BB series — and requires the run to pass every invariant,
+// including the ledger-level BB checks summarize now merges in.
+func TestFullSimBurstBufferEndToEnd(t *testing.T) {
+	policy := sched.PlanPolicy{TotalNodes: Nodes, BBCapacity: 40 * pfs.GiB, ThroughputLimit: Limit20}
+	opts := DefaultOptions(policy, 1)
+	opts.BB = bb.Config{CapacityBytes: 40 * pfs.GiB}
+
+	var specs []slurm.JobSpec
+	for i := 0; i < 8; i++ {
+		s := workload.WriteJob(4)
+		s.BBBytes = 15 * pfs.GiB
+		s.Fingerprint += "-bb15"
+		specs = append(specs, s)
+	}
+	for i := 0; i < 10; i++ {
+		specs = append(specs, workload.SleepJob())
+	}
+
+	res, err := RunWorkload(opts, specs, false, "bb-e2e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs != len(specs) {
+		t.Fatalf("completed %d of %d jobs", res.Jobs, len(specs))
+	}
+	if res.Recorder.BBOccupancy.Max() <= 0 {
+		t.Fatal("BB occupancy series never rose above zero")
+	}
+	if res.Recorder.BBDrainRate.Max() <= 0 {
+		t.Fatal("BB drain never moved bytes through the PFS")
+	}
+}
+
+// TestFullSimBBAdmissionDefers squeezes three concurrent demands through a
+// pool that holds two, under a BB-blind policy: the controller must defer
+// (not fail) the third start, and the run still validates.
+func TestFullSimBBAdmissionDefers(t *testing.T) {
+	opts := DefaultOptions(sched.NodePolicy{TotalNodes: Nodes}, 1)
+	opts.BB = bb.Config{CapacityBytes: 30 * pfs.GiB}
+
+	var specs []slurm.JobSpec
+	for i := 0; i < 6; i++ {
+		s := workload.WriteJob(2)
+		s.BBBytes = 12 * pfs.GiB
+		s.Fingerprint += "-bb12"
+		specs = append(specs, s)
+	}
+	res, err := RunWorkload(opts, specs, false, "bb-defer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs != len(specs) {
+		t.Fatalf("completed %d of %d jobs", res.Jobs, len(specs))
+	}
+}

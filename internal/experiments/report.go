@@ -101,8 +101,8 @@ func figRunner(run func(string, uint64) (*RunResult, error), key string) Runner 
 // exportCSV writes a run's sampled series and per-job records when a CSV
 // directory was requested.
 func exportCSV(dir string, res *RunResult) error {
-	if dir == "" {
-		return nil
+	if dir == "" || res.Recorder == nil {
+		return nil // replay-backed rows carry no sampled series
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err

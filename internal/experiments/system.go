@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"wasched/internal/analytics"
+	"wasched/internal/bb"
 	"wasched/internal/core"
 	"wasched/internal/des"
 	"wasched/internal/ldms"
@@ -43,6 +44,10 @@ type Options struct {
 	Analytics    analytics.Config
 	Slurm        slurm.Config
 	SamplePeriod des.Duration // trace recorder period
+	// BB, when CapacityBytes is set, attaches a burst-buffer tier to the
+	// controller (stage-in before start, drain after end, both through
+	// the shared PFS).
+	BB bb.Config
 }
 
 // DefaultOptions returns the shared experimental setup: 15 nodes, the
@@ -80,6 +85,7 @@ func Build(opts Options) (*System, error) {
 		Analytics:   opts.Analytics,
 		Control:     opts.Slurm,
 		TracePeriod: opts.SamplePeriod,
+		BB:          opts.BB,
 	}
 	return core.NewSystem(cfg)
 }
@@ -188,6 +194,10 @@ func policyLimit(p sched.Policy) float64 {
 		return q.ThroughputLimit
 	case sched.TetrisPolicy:
 		return policyLimit(q.Inner)
+	case sched.PlanPolicy:
+		return q.ThroughputLimit
+	case sched.BBAwarePolicy:
+		return policyLimit(q.Inner)
 	default:
 		return 0
 	}
@@ -221,9 +231,18 @@ func summarize(sys *System, label string) *RunResult {
 	// FIFO-within-class sweep is requeue-aware (per-attempt trace records
 	// carry their own eligible times), so preemption runs are validated
 	// rather than skipped.
-	res.Invariants = schedcheck.ValidateRun(sys.Recorder, schedcheck.ValidateOptions{
+	vopts := schedcheck.ValidateOptions{
 		Nodes:           sys.Cluster.Size(),
 		ThroughputLimit: policyLimit(sys.Controller.Policy()),
-	})
+	}
+	if sys.BB != nil {
+		vopts.BBCapacity = sys.BB.Capacity()
+	}
+	res.Invariants = schedcheck.ValidateRun(sys.Recorder, vopts)
+	if sys.BB != nil {
+		// The tier's ledger is the ground truth for stage/drain timing; the
+		// trace-level sweep sees only what the recorder attributed to jobs.
+		res.Invariants.Merge(schedcheck.ValidateBB(sys.BB.Ledger(), sys.BB.Capacity()))
+	}
 	return res
 }

@@ -79,7 +79,9 @@ func (p *progress) line() string {
 	if elapsed > 0 {
 		rate = float64(done+failed) / elapsed
 	}
-	eta := "-"
+	// Unknown ETA (no throughput yet, or a zero-cell sweep) renders n/a
+	// rather than an empty duration.
+	eta := "n/a"
 	if remaining := int64(p.total) - finished; remaining > 0 && rate > 0 {
 		eta = (time.Duration(float64(remaining)/rate) * time.Second).Round(time.Second).String()
 	}

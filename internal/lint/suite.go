@@ -91,6 +91,7 @@ func Suite() []ScopedAnalyzer {
 				"wasched/internal/sched",
 				"wasched/internal/restrack",
 				"wasched/internal/pfs",
+				"wasched/internal/bb",
 			},
 		},
 	}

@@ -100,3 +100,26 @@ func annotated(j job) float64 {
 	//waschedlint:allow floatguard rate validated at workload load time
 	return j.Rate * 2
 }
+
+// Burst-buffer occupancy/drain arithmetic (internal/bb is in the
+// analyzer's scope): drain-time division must be guarded or clamped like
+// any other rate math.
+
+type tier struct {
+	occupied, capacity float64
+}
+
+func bbDrainSeconds(bytes, drainRate float64) float64 {
+	return bytes / drainRate // want `float division by drainRate may produce NaN/Inf`
+}
+
+func bbOccupancyFraction(t tier) float64 {
+	if t.capacity > 0 {
+		return t.occupied / t.capacity
+	}
+	return 0
+}
+
+func bbClampedDrain(bytes, drainRate float64) float64 {
+	return clampNonNeg(bytes / drainRate)
+}

@@ -44,6 +44,12 @@ type Job struct {
 	// EstRuntime is the estimated runtime d_j. Zero means no estimate;
 	// policies fall back to Limit.
 	EstRuntime des.Duration
+
+	// BBBytes is the job's burst-buffer reservation request in bytes
+	// (Kopanski/Rzadca's shared burst-buffer model). Zero for jobs that
+	// use no burst buffer; only BB-aware policies (PlanPolicy,
+	// BBAwarePolicy) read it.
+	BBBytes float64
 }
 
 // estRuntime returns d_j, falling back to the requested limit when the

@@ -59,6 +59,28 @@ func NewSession(p Policy) Session {
 			panic("sched: TetrisPolicy needs an inner policy")
 		}
 		return NewSession(pol.Inner)
+	case PlanPolicy:
+		pol.validate()
+		s := &planSession{
+			p:  pol,
+			nt: restrack.NewNodeTracker(pol.TotalNodes),
+			bt: restrack.NewBandwidthTracker(pol.BBCapacity),
+		}
+		if pol.ThroughputLimit > 0 {
+			s.lt = restrack.NewBandwidthTracker(pol.ThroughputLimit)
+		}
+		return s
+	case BBAwarePolicy:
+		pol.validate()
+		inner := NewSession(pol.Inner)
+		if inner == nil {
+			return nil
+		}
+		return &bbSession{
+			p:     pol,
+			inner: inner,
+			bt:    restrack.NewBandwidthTracker(pol.Capacity),
+		}
 	default:
 		return nil
 	}
@@ -230,3 +252,105 @@ func (s *adaptiveSession) BeginRound(in RoundInput) Round {
 
 func (s *adaptiveSession) JobStarted(j *Job)                { s.inner.JobStarted(j) }
 func (s *adaptiveSession) JobFinished(j *Job, end des.Time) { s.inner.JobFinished(j, end) }
+
+// planSession is the incremental form of PlanPolicy: node, burst-buffer
+// and (optionally) bandwidth base profiles carry the running set; the
+// measured-throughput guard is recomputed per round like ioSession's.
+type planSession struct {
+	p        PlanPolicy
+	baseNode restrack.Profile
+	baseBB   restrack.Profile
+	baseRate restrack.Profile
+	nt       *restrack.NodeTracker
+	bt       *restrack.BandwidthTracker
+	lt       *restrack.BandwidthTracker // nil without a ThroughputLimit
+	round    planRound
+	rounds   int
+}
+
+func (s *planSession) BeginRound(in RoundInput) Round {
+	if s.rounds++; s.rounds%trimEvery == 0 {
+		s.baseNode.TrimBefore(in.Now)
+		s.baseBB.TrimBefore(in.Now)
+		s.baseRate.TrimBefore(in.Now)
+	}
+	s.nt.LoadFrom(&s.baseNode)
+	s.bt.LoadFrom(&s.baseBB)
+	if in.UnavailableNodes > 0 {
+		s.nt.Reserve(in.Now, des.MaxTime, in.UnavailableNodes)
+	}
+	if s.lt != nil {
+		s.lt.LoadFrom(&s.baseRate)
+		sumRunning := 0.0
+		maxEnd := in.Now
+		for _, j := range in.Running {
+			sumRunning += s.p.clampRate(j.Rate)
+			if end := j.StartedAt.Add(j.Limit); end > maxEnd {
+				maxEnd = end
+			}
+		}
+		if !s.p.IgnoreMeasured && in.MeasuredThroughput > sumRunning {
+			end := maxEnd
+			if len(in.Running) == 0 {
+				end = in.Now.Add(MeasuredResidualHorizon)
+			}
+			s.lt.Reserve(in.Now, end, in.MeasuredThroughput-sumRunning)
+		}
+	}
+	s.round = planRound{p: s.p, nt: s.nt, bt: s.bt, lt: s.lt, horizon: planHorizon(s.p.Horizon, in.Now)}
+	return &s.round
+}
+
+func (s *planSession) JobStarted(j *Job) {
+	end := j.StartedAt.Add(j.Limit)
+	s.baseNode.Add(j.StartedAt, end, float64(j.Nodes))
+	s.baseBB.Add(j.StartedAt, end, clampNonNeg(j.BBBytes))
+	if s.lt != nil {
+		s.baseRate.Add(j.StartedAt, end, s.p.clampRate(j.Rate))
+	}
+}
+
+func (s *planSession) JobFinished(j *Job, end des.Time) {
+	limEnd := j.StartedAt.Add(j.Limit)
+	if end >= limEnd {
+		return
+	}
+	s.baseNode.Add(end, limEnd, -float64(j.Nodes))
+	s.baseBB.Add(end, limEnd, -clampNonNeg(j.BBBytes))
+	if s.lt != nil {
+		s.baseRate.Add(end, limEnd, -s.p.clampRate(j.Rate))
+	}
+}
+
+// bbSession is the incremental form of BBAwarePolicy: the inner policy's
+// session plus a burst-buffer base profile layered on its rounds.
+type bbSession struct {
+	p      BBAwarePolicy
+	inner  Session
+	baseBB restrack.Profile
+	bt     *restrack.BandwidthTracker
+	round  bbAwareRound
+	rounds int
+}
+
+func (s *bbSession) BeginRound(in RoundInput) Round {
+	if s.rounds++; s.rounds%trimEvery == 0 {
+		s.baseBB.TrimBefore(in.Now)
+	}
+	innerRound := s.inner.BeginRound(in)
+	s.bt.LoadFrom(&s.baseBB)
+	s.round = bbAwareRound{inner: innerRound, bt: s.bt}
+	return &s.round
+}
+
+func (s *bbSession) JobStarted(j *Job) {
+	s.inner.JobStarted(j)
+	s.baseBB.Add(j.StartedAt, j.StartedAt.Add(j.Limit), clampNonNeg(j.BBBytes))
+}
+
+func (s *bbSession) JobFinished(j *Job, end des.Time) {
+	s.inner.JobFinished(j, end)
+	if limEnd := j.StartedAt.Add(j.Limit); end < limEnd {
+		s.baseBB.Add(end, limEnd, -clampNonNeg(j.BBBytes))
+	}
+}

@@ -1,0 +1,84 @@
+package schedcheck
+
+import (
+	"sort"
+
+	"wasched/internal/bb"
+)
+
+// ValidateBB enforces the burst-buffer invariants over a tier's ledger —
+// the ground truth the full simulator records, unlike the trace-level sweep
+// of ValidateJobs which sees only what the recorder attributed to jobs:
+//
+//   - bb-capacity: the reservation sweep over [Admitted, DrainEnd) never
+//     exceeds the pool capacity at any instant;
+//   - bb-stage-in: staged entries complete stage-in between admission and
+//     compute start, and compute starts before the attempt's end — a job
+//     must never compute before its input is resident;
+//   - bb-drain-attribution: every drained byte belongs to an ended attempt
+//     that had staged dirty data, and no entry drains more than it
+//     reserved. Attempts killed mid-stage-in must drain nothing.
+func ValidateBB(ledger []bb.LedgerEntry, capacity float64) Result {
+	var res Result
+	type interval struct {
+		t     float64
+		bytes float64
+	}
+	var events []interval
+	for _, e := range ledger {
+		res.JobsChecked++
+		if e.Bytes > capacity+bbBytesEps {
+			res.violatef("bb-capacity", "job %s reserved %.3g bytes on a %.3g-byte pool", e.JobID, e.Bytes, capacity)
+			continue
+		}
+		if e.Staged {
+			if e.StageInDone < e.Admitted || e.StageInDone > e.ComputeStart {
+				res.violatef("bb-stage-in", "job %s: stage-in done at %v outside [admit %v, compute %v]",
+					e.JobID, e.StageInDone, e.Admitted, e.ComputeStart)
+			}
+			if e.ComputeStart > e.Ended {
+				res.violatef("bb-stage-in", "job %s: compute start %v after end %v", e.JobID, e.ComputeStart, e.Ended)
+			}
+		}
+		if e.Drained > e.Bytes+bbBytesEps {
+			res.violatef("bb-drain-attribution", "job %s drained %.3g bytes of a %.3g-byte reservation",
+				e.JobID, e.Drained, e.Bytes)
+		}
+		if e.Drained > 0 {
+			if !e.Staged {
+				res.violatef("bb-drain-attribution", "job %s drained %.3g bytes without completing stage-in",
+					e.JobID, e.Drained)
+			}
+			if e.DrainEnd < e.Ended {
+				res.violatef("bb-drain-attribution", "job %s: drain ended at %v before the attempt's end %v",
+					e.JobID, e.DrainEnd, e.Ended)
+			}
+		}
+		release := e.DrainEnd
+		if e.Ended > release {
+			release = e.Ended
+		}
+		if release > e.Admitted {
+			events = append(events,
+				interval{t: e.Admitted.Seconds(), bytes: e.Bytes},
+				interval{t: release.Seconds(), bytes: -e.Bytes})
+		}
+	}
+	sort.Slice(events, func(a, b int) bool {
+		if events[a].t != events[b].t {
+			return events[a].t < events[b].t
+		}
+		return events[a].bytes < events[b].bytes
+	})
+	held, worst, worstAt := 0.0, 0.0, 0.0
+	for _, e := range events {
+		held += e.bytes
+		if held > worst {
+			worst, worstAt = held, e.t
+		}
+	}
+	if worst > capacity+bbBytesEps {
+		res.violatef("bb-capacity", "%.6g bytes reserved at t=%.3fs on a %.6g-byte pool", worst, worstAt, capacity)
+	}
+	return res
+}

@@ -1,0 +1,128 @@
+package schedcheck
+
+import (
+	"testing"
+
+	"wasched/internal/bb"
+	"wasched/internal/des"
+	"wasched/internal/trace"
+)
+
+// bbjt is jt plus a staged burst-buffer reservation whose drain finishes
+// drainDur seconds after the job's end.
+func bbjt(id string, submit, start, end, bytes, drainDur float64) trace.JobTrace {
+	j := jt(id, 1, submit, start, end)
+	j.BBBytes = bytes
+	j.BBStageInDone = start
+	j.BBComputeStart = start
+	j.BBDrainEnd = end + drainDur
+	j.BBDrained = bytes
+	return j
+}
+
+func TestBBTracesClean(t *testing.T) {
+	jobs := []trace.JobTrace{
+		bbjt("a", 0, 0, 100, 60, 30),
+		bbjt("b", 0, 0, 100, 40, 30),
+		bbjt("c", 0, 130, 200, 80, 10), // starts the instant a's and b's drains free the pool
+		jt("plain", 1, 0, 0, 50),       // no BB demand rides along untouched
+	}
+	wantClean(t, ValidateJobs(jobs, ValidateOptions{Nodes: 8, BBCapacity: 100}))
+}
+
+func TestBBCapacityOversubscribed(t *testing.T) {
+	// b starts while a's drain still holds 60 of the 100-byte pool.
+	jobs := []trace.JobTrace{
+		bbjt("a", 0, 0, 100, 60, 30),
+		bbjt("b", 0, 110, 200, 60, 30),
+	}
+	wantViolation(t, ValidateJobs(jobs, ValidateOptions{Nodes: 8, BBCapacity: 100}), "bb-capacity")
+}
+
+func TestBBCapacitySingleJobOverPool(t *testing.T) {
+	jobs := []trace.JobTrace{bbjt("a", 0, 0, 100, 150, 0)}
+	wantViolation(t, ValidateJobs(jobs, ValidateOptions{Nodes: 8, BBCapacity: 100}), "bb-capacity")
+}
+
+func TestBBStageInAfterComputeStart(t *testing.T) {
+	j := bbjt("a", 0, 10, 100, 60, 0)
+	j.BBStageInDone = 50
+	j.BBComputeStart = 20 // computing before the input is resident
+	wantViolation(t, ValidateJobs([]trace.JobTrace{j}, ValidateOptions{Nodes: 8, BBCapacity: 100}), "bb-stage-in")
+}
+
+func TestBBStageInBeforeJobStart(t *testing.T) {
+	j := bbjt("a", 0, 10, 100, 60, 0)
+	j.BBStageInDone = 5 // staged before the job held any nodes
+	j.BBComputeStart = 10
+	wantViolation(t, ValidateJobs([]trace.JobTrace{j}, ValidateOptions{Nodes: 8, BBCapacity: 100}), "bb-stage-in")
+}
+
+func TestBBDrainExceedsReservation(t *testing.T) {
+	j := bbjt("a", 0, 0, 100, 60, 30)
+	j.BBDrained = 90 // more dirty data than the job ever reserved
+	wantViolation(t, ValidateJobs([]trace.JobTrace{j}, ValidateOptions{Nodes: 8, BBCapacity: 100}), "bb-drain-attribution")
+}
+
+func TestBBDrainBeforeJobEnd(t *testing.T) {
+	j := bbjt("a", 0, 0, 100, 60, 0)
+	j.BBDrainEnd = 50 // drained dirty data of a still-running job
+	wantViolation(t, ValidateJobs([]trace.JobTrace{j}, ValidateOptions{Nodes: 8, BBCapacity: 100}), "bb-drain-attribution")
+}
+
+func TestBBChecksOffWithoutCapacity(t *testing.T) {
+	// Without a configured pool the BB fields are inert.
+	jobs := []trace.JobTrace{bbjt("a", 0, 0, 100, 1e18, 0)}
+	wantClean(t, ValidateJobs(jobs, ValidateOptions{Nodes: 8}))
+}
+
+// led builds a clean staged-and-drained ledger entry.
+func led(id string, admitted, bytes float64) bb.LedgerEntry {
+	at := des.TimeFromSeconds(admitted)
+	return bb.LedgerEntry{
+		JobID:        id,
+		Bytes:        bytes,
+		Admitted:     at,
+		StageInDone:  at.Add(30 * des.Second),
+		ComputeStart: at.Add(30 * des.Second),
+		Ended:        at.Add(100 * des.Second),
+		DrainEnd:     at.Add(160 * des.Second),
+		Drained:      bytes,
+		Staged:       true,
+	}
+}
+
+func TestValidateBBClean(t *testing.T) {
+	ledger := []bb.LedgerEntry{led("a", 0, 60), led("b", 0, 40), led("c", 170, 80)}
+	wantClean(t, ValidateBB(ledger, 100))
+}
+
+func TestValidateBBCapacitySweep(t *testing.T) {
+	// b admitted while a's reservation is still draining.
+	ledger := []bb.LedgerEntry{led("a", 0, 60), led("b", 120, 60)}
+	wantViolation(t, ValidateBB(ledger, 100), "bb-capacity")
+}
+
+func TestValidateBBStageInOrder(t *testing.T) {
+	e := led("a", 0, 60)
+	e.StageInDone = e.ComputeStart.Add(10 * des.Second)
+	wantViolation(t, ValidateBB([]bb.LedgerEntry{e}, 100), "bb-stage-in")
+}
+
+func TestValidateBBUnstagedDrain(t *testing.T) {
+	e := led("a", 0, 60)
+	e.Staged = false // killed mid-stage-in must drain nothing
+	wantViolation(t, ValidateBB([]bb.LedgerEntry{e}, 100), "bb-drain-attribution")
+}
+
+func TestValidateBBOverDrain(t *testing.T) {
+	e := led("a", 0, 60)
+	e.Drained = 90
+	wantViolation(t, ValidateBB([]bb.LedgerEntry{e}, 100), "bb-drain-attribution")
+}
+
+func TestValidateBBDrainBeforeEnd(t *testing.T) {
+	e := led("a", 0, 60)
+	e.DrainEnd = e.Ended.Add(-10 * des.Second)
+	wantViolation(t, ValidateBB([]bb.LedgerEntry{e}, 100), "bb-drain-attribution")
+}

@@ -50,7 +50,15 @@ func CorpusExec(nodes int, limit float64) farm.Exec {
 		if len(w) == 0 {
 			return nil, fmt.Errorf("schedcheck: empty workload for kind %s", kind)
 		}
-		res := RunDifferential(w, DiffConfig{Nodes: nodes, Limit: limit})
+		diff := DiffConfig{Nodes: nodes, Limit: limit}
+		labels := PolicyLabels()
+		if kind.HasBB() {
+			diff.BBCapacity = CorpusBBCapacity
+			diff.BBStageRate = CorpusBBStageRate
+			diff.BBDrainRate = CorpusBBDrainRate
+			labels = append(labels, BBPolicyLabels()...)
+		}
+		res := RunDifferential(w, diff)
 		if err := res.Check.Err(); err != nil {
 			return nil, err
 		}
@@ -60,9 +68,9 @@ func CorpusExec(nodes int, limit float64) farm.Exec {
 			Jobs:        len(w),
 			JobsChecked: res.Check.JobsChecked,
 			Warnings:    len(res.Check.Warnings),
-			Makespans:   make(map[string]float64, len(PolicyLabels())),
+			Makespans:   make(map[string]float64, len(labels)),
 		}
-		for _, label := range PolicyLabels() {
+		for _, label := range labels {
 			r := res.Results[label]
 			if r == nil {
 				return nil, fmt.Errorf("schedcheck: policy %s missing from results", label)

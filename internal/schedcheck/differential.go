@@ -25,6 +25,16 @@ type DiffConfig struct {
 	Options sched.Options
 	// Interval is the scheduling round period (0 = 30 s).
 	Interval des.Duration
+	// BBCapacity, when positive, gives every replay the same emulated
+	// burst-buffer pool (the pool is a property of the cluster, not the
+	// policy — BB-blind policies suffer the admission deferrals the
+	// BB-aware ones plan around) and adds the BB-aware policies (plan,
+	// bb-io-aware) plus property M5 to the differential.
+	BBCapacity float64
+	// BBStageRate and BBDrainRate are the emulation's stage-in/stage-out
+	// throughputs in bytes/s (0 = instantaneous).
+	BBStageRate float64
+	BBDrainRate float64
 }
 
 // DiffResult is one workload replayed through every policy, plus the
@@ -46,11 +56,20 @@ const (
 	labelAdaptive = "adaptive"
 	labelNaive    = "adaptive-naive"
 	labelInf      = "io-aware-inf"
+	labelPlan     = "plan"
+	labelBBIO     = "bb-io-aware"
+	labelPlanInf  = "plan-inf"
 )
 
 // PolicyLabels lists the four paper policies replayed by RunDifferential.
 func PolicyLabels() []string {
 	return []string{labelDefault, labelIOAware, labelAdaptive, labelNaive}
+}
+
+// BBPolicyLabels lists the burst-buffer-aware policies that join the
+// differential when DiffConfig.BBCapacity is set.
+func BBPolicyLabels() []string {
+	return []string{labelPlan, labelBBIO}
 }
 
 // RunDifferential replays one workload through all four paper policies (plus
@@ -71,9 +90,17 @@ func PolicyLabels() []string {
 //	    R̃ = Σr·d·N/Σn·d equals that intensity times the cluster size, so
 //	    regulation never binds: adaptive, naive adaptive and plain I/O-aware
 //	    must schedule identically.
+//	M5 (BB elision): the plan policy with an unbounded burst-buffer pool
+//	    makes the same start decisions as the node-only policy — like M2's
+//	    bandwidth tracker, the BB tracker can only delay jobs, so with no
+//	    effective capacity it must be inert. Checked only when
+//	    DiffConfig.BBCapacity is set (both replays still run under the
+//	    same finite-pool admission emulation, which identical decisions
+//	    traverse identically).
 //
-// M3 and M4 are conditional on workload shape and checked only when the
-// workload qualifies; M1 and M2 always apply.
+// M3, M4 and M5 are conditional — on workload shape, or on a configured
+// burst buffer — and checked only when their precondition holds; M1 and M2
+// always apply.
 func RunDifferential(workload []SimJob, cfg DiffConfig) *DiffResult {
 	nodes := cfg.Nodes
 	if nodes <= 0 {
@@ -96,15 +123,25 @@ func RunDifferential(workload []SimJob, cfg DiffConfig) *DiffResult {
 		{labelNaive, sched.AdaptivePolicy{TotalNodes: nodes, ThroughputLimit: limit, TwoGroup: false}, limit},
 		{labelInf, sched.IOAwarePolicy{TotalNodes: nodes, ThroughputLimit: InfLimit}, 0},
 	}
+	if cfg.BBCapacity > 0 {
+		variants = append(variants,
+			variant{labelPlan, sched.PlanPolicy{TotalNodes: nodes, BBCapacity: cfg.BBCapacity, ThroughputLimit: limit}, limit},
+			variant{labelBBIO, sched.BBAwarePolicy{Inner: sched.IOAwarePolicy{TotalNodes: nodes, ThroughputLimit: limit}, Capacity: cfg.BBCapacity}, limit},
+			variant{labelPlanInf, sched.PlanPolicy{TotalNodes: nodes, BBCapacity: InfLimit}, 0},
+		)
+	}
 
 	res := &DiffResult{Results: make(map[string]*ReplayResult, len(variants))}
 	for _, v := range variants {
 		r := Replay(workload, ReplayConfig{
-			Policy:   v.policy,
-			Options:  cfg.Options,
-			Interval: cfg.Interval,
-			Nodes:    nodes,
-			Limit:    v.limit,
+			Policy:      v.policy,
+			Options:     cfg.Options,
+			Interval:    cfg.Interval,
+			Nodes:       nodes,
+			Limit:       v.limit,
+			BBCapacity:  cfg.BBCapacity,
+			BBStageRate: cfg.BBStageRate,
+			BBDrainRate: cfg.BBDrainRate,
 		})
 		res.Results[v.label] = r
 		for _, viol := range r.Check.Violations {
@@ -134,6 +171,11 @@ func RunDifferential(workload []SimJob, cfg DiffConfig) *DiffResult {
 		// regulation must not bind.
 		compareStarts(res, labelAdaptive, labelIOAware, "m4-homogeneous")
 		compareStarts(res, labelNaive, labelIOAware, "m4-homogeneous")
+	}
+
+	if cfg.BBCapacity > 0 {
+		// M5: unbounded-pool plan ≡ node-only.
+		compareStarts(res, labelPlanInf, labelDefault, "m5-bb-elision")
 	}
 	return res
 }

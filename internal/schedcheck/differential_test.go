@@ -40,7 +40,11 @@ func TestDifferentialCorpus(t *testing.T) {
 		if err := o.Decode(&p); err != nil {
 			t.Fatal(err)
 		}
-		if p.Jobs == 0 || len(p.Makespans) != len(PolicyLabels()) {
+		want := len(PolicyLabels())
+		if WorkloadKind(p.Kind).HasBB() {
+			want += len(BBPolicyLabels())
+		}
+		if p.Jobs == 0 || len(p.Makespans) != want {
 			t.Fatalf("%s: degenerate payload %+v", o.Cell, p)
 		}
 	}

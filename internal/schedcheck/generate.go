@@ -39,12 +39,34 @@ const (
 	// guard), rates above the limit, and equal-ratio ties for the
 	// two-group split.
 	KindAdversarial WorkloadKind = "adversarial"
+	// KindBBMixed mixes burst-buffer classes among ordinary ones: about
+	// half the classes stage data through the shared pool, so admission
+	// deferrals interleave with plain backfill.
+	KindBBMixed WorkloadKind = "bb-mixed"
+	// KindBBTight makes the burst buffer the bottleneck: every job wants
+	// a large slice of the pool, so with drains holding reservations past
+	// job end only two or three jobs fit at once and co-reservation is
+	// the difference between a clean pipeline and deferral churn.
+	KindBBTight WorkloadKind = "bb-tight"
 )
 
 // Kinds lists the full corpus in a stable order.
 func Kinds() []WorkloadKind {
-	return []WorkloadKind{KindPaperish, KindMixed, KindRandom, KindHomogeneous, KindZeroRate, KindAdversarial}
+	return []WorkloadKind{KindPaperish, KindMixed, KindRandom, KindHomogeneous, KindZeroRate, KindAdversarial, KindBBMixed, KindBBTight}
 }
+
+// HasBB reports whether the kind's workloads carry burst-buffer demand;
+// corpus runs give those kinds the Corpus BB pool.
+func (k WorkloadKind) HasBB() bool { return k == KindBBMixed || k == KindBBTight }
+
+// The burst-buffer pool shared by the BB corpus kinds: the pool size and
+// the emulated stage-in/stage-out throughputs. The pool is sized so that
+// two or three KindBBTight reservations saturate it.
+const (
+	CorpusBBCapacity  = 32 * pfs.GiB
+	CorpusBBStageRate = 2 * pfs.GiB
+	CorpusBBDrainRate = 1 * pfs.GiB
+)
 
 // perThreadRate approximates the calibrated per-thread write rate used to
 // attach synthetic truth to workload package specs.
@@ -180,6 +202,88 @@ func Generate(kind WorkloadKind, seed uint64, nodes int, limit float64) []SimJob
 				Limit: 1800 * des.Second, Actual: des.Second,
 				Submit: des.Time(i) * des.Time(des.Minute),
 			})
+		}
+		return jobs
+	case KindBBMixed:
+		// Class-consistent demand: BBBytes, like rates and limits, is drawn
+		// once per class so identical-looking jobs stay indistinguishable
+		// (the fifo-class-order invariant depends on it).
+		type class struct {
+			nodes  int
+			limit  des.Duration
+			actual des.Duration
+			rate   float64
+			bb     float64
+		}
+		classes := make([]class, 6)
+		for i := range classes {
+			limitD := des.Duration(180+rng.IntN(900)) * des.Second
+			c := class{
+				nodes:  1 + rng.IntN(4),
+				limit:  limitD,
+				actual: des.Duration(60+rng.IntN(int(limitD/des.Second)-60)) * des.Second,
+			}
+			if rng.IntN(2) == 0 {
+				c.rate = rng.Float64() * limit / 2
+			}
+			if i%2 == 0 {
+				// 4–12 GiB on the 32 GiB corpus pool: enough concurrent
+				// demand to contend once drains pile up.
+				c.bb = (4 + 8*rng.Float64()) * pfs.GiB
+			}
+			classes[i] = c
+		}
+		n := 30 + rng.IntN(20)
+		jobs := make([]SimJob, 0, n)
+		at := des.Time(0)
+		for i := 0; i < n; i++ {
+			ci := rng.IntN(len(classes))
+			c := classes[ci]
+			jobs = append(jobs, SimJob{
+				ID:          fmt.Sprintf("bbm-%03d", i),
+				Fingerprint: fmt.Sprintf("bbm-class-%d", ci),
+				Nodes:       c.nodes,
+				Limit:       c.limit,
+				Actual:      c.actual,
+				Rate:        c.rate,
+				EstRate:     c.rate,
+				EstRuntime:  c.actual,
+				Submit:      at,
+				BBBytes:     c.bb,
+			})
+			if rng.IntN(2) == 0 {
+				at = at.Add(des.Duration(rng.IntN(90)) * des.Second)
+			}
+		}
+		return jobs
+	case KindBBTight:
+		// Three classes, each wanting a quarter to nearly half the pool.
+		type class struct {
+			nodes  int
+			actual des.Duration
+			bb     float64
+		}
+		classes := []class{
+			{1, 180 * des.Second, CorpusBBCapacity * 0.35},
+			{2, 300 * des.Second, CorpusBBCapacity * 0.45},
+			{1, 120 * des.Second, CorpusBBCapacity * 0.25},
+		}
+		jobs := make([]SimJob, 0, 24)
+		at := des.Time(0)
+		for i := 0; i < 24; i++ {
+			ci := rng.IntN(len(classes))
+			c := classes[ci]
+			jobs = append(jobs, SimJob{
+				ID:          fmt.Sprintf("bbt-%03d", i),
+				Fingerprint: fmt.Sprintf("bbt-class-%d", ci),
+				Nodes:       c.nodes,
+				Limit:       c.actual + 120*des.Second,
+				Actual:      c.actual,
+				EstRuntime:  c.actual,
+				Submit:      at,
+				BBBytes:     c.bb,
+			})
+			at = at.Add(des.Duration(rng.IntN(60)) * des.Second)
 		}
 		return jobs
 	default:

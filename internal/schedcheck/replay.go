@@ -32,6 +32,9 @@ type SimJob struct {
 	EstRuntime des.Duration
 	Submit     des.Time
 	Priority   int64
+	// BBBytes is the job's burst-buffer demand in bytes; only meaningful
+	// when the replay's BBCapacity is set.
+	BBBytes float64
 }
 
 // ReplayConfig configures one replay.
@@ -48,6 +51,18 @@ type ReplayConfig struct {
 	// Limit is the policy's R_limit for bandwidth invariant checking;
 	// 0 skips the bandwidth check (node-only policies).
 	Limit float64
+	// BBCapacity, when positive, turns on the burst-buffer emulation:
+	// each job's BBBytes is admitted against this shared pool when the
+	// job starts (start-now decisions that do not fit are deferred to a
+	// later round, mirroring the controller's admission path) and the
+	// reservation is held until the job's stage-out drain completes.
+	BBCapacity float64
+	// BBStageRate and BBDrainRate are the emulated stage-in/stage-out
+	// throughputs in bytes/s; 0 means instantaneous. Stage-in is folded
+	// into the job's runtime window, the drain extends the reservation
+	// past the job's end.
+	BBStageRate float64
+	BBDrainRate float64
 	// MaxRounds bounds the replay (0 = 50000); exceeding it is reported
 	// as a starvation violation. Archive-scale traces need an explicit
 	// budget: a day of simulated time is 2880 rounds.
@@ -136,6 +151,7 @@ func Replay(workload []SimJob, cfg ReplayConfig) *ReplayResult {
 			Priority:    j.Priority,
 			Rate:        j.EstRate,
 			EstRuntime:  j.EstRuntime,
+			BBBytes:     j.BBBytes,
 		}
 		simOf[v] = j
 		viewOf[j] = v
@@ -143,6 +159,7 @@ func Replay(workload []SimJob, cfg ReplayConfig) *ReplayResult {
 	sort.SliceStable(pending, func(a, b int) bool { return pending[a].Submit < pending[b].Submit })
 
 	res := &ReplayResult{Policy: cfg.Policy.Name(), Starts: make(map[string]des.Time, len(workload))}
+	bbState := newBBReplay(cfg)
 	var (
 		running      []*runJob
 		waiting      []*SimJob    // arrival order, as the controller holds it
@@ -166,7 +183,7 @@ func Replay(workload []SimJob, cfg ReplayConfig) *ReplayResult {
 		kept := running[:0]
 		for _, r := range running {
 			if r.end <= now {
-				res.Jobs = append(res.Jobs, trace.JobTrace{
+				jt := trace.JobTrace{
 					ID:          r.sim.ID,
 					Name:        r.sim.Fingerprint,
 					Fingerprint: r.sim.Fingerprint,
@@ -176,7 +193,9 @@ func Replay(workload []SimJob, cfg ReplayConfig) *ReplayResult {
 					End:         r.end.Seconds(),
 					Limit:       r.sim.Limit.Seconds(),
 					Priority:    r.sim.Priority,
-				})
+				}
+				bbState.complete(r.sim, &jt, r.view.StartedAt, r.end)
+				res.Jobs = append(res.Jobs, jt)
 				if r.end > res.Makespan {
 					res.Makespan = r.end
 				}
@@ -187,6 +206,7 @@ func Replay(workload []SimJob, cfg ReplayConfig) *ReplayResult {
 			kept = append(kept, r)
 		}
 		running = kept
+		bbState.release(now)
 		if completed && cfg.Progress != nil {
 			cfg.Progress(len(res.Jobs), now)
 		}
@@ -239,6 +259,13 @@ func Replay(workload []SimJob, cfg ReplayConfig) *ReplayResult {
 				keptWaiting = append(keptWaiting, j)
 				continue
 			}
+			if !bbState.admit(j) {
+				// Burst-buffer pool full: defer the start, exactly as the
+				// controller's admission path keeps the job pending.
+				started[v] = false
+				keptWaiting = append(keptWaiting, j)
+				continue
+			}
 			v.StartedAt = now
 			session.JobStarted(v)
 			running = append(running, &runJob{sim: j, view: v, end: now.Add(j.Actual)})
@@ -255,7 +282,7 @@ func Replay(workload []SimJob, cfg ReplayConfig) *ReplayResult {
 		clear(started)
 	}
 	if !cfg.SkipRoundChecks {
-		res.Check.Merge(ValidateJobs(res.Jobs, ValidateOptions{Nodes: cfg.Nodes}))
+		res.Check.Merge(ValidateJobs(res.Jobs, ValidateOptions{Nodes: cfg.Nodes, BBCapacity: cfg.BBCapacity}))
 	}
 	return res
 }
@@ -316,11 +343,13 @@ func replayReference(workload []SimJob, cfg ReplayConfig) *ReplayResult {
 			Priority:    j.Priority,
 			Rate:        j.EstRate,
 			EstRuntime:  j.EstRuntime,
+			BBBytes:     j.BBBytes,
 		}
 	}
 	sort.SliceStable(pending, func(a, b int) bool { return pending[a].Submit < pending[b].Submit })
 
 	res := &ReplayResult{Policy: cfg.Policy.Name(), Starts: make(map[string]des.Time, len(workload))}
+	bbState := newBBReplay(cfg)
 	var running []*runJob
 	var waiting []*SimJob
 	next := 0 // index into pending of the next arrival
@@ -337,7 +366,7 @@ func replayReference(workload []SimJob, cfg ReplayConfig) *ReplayResult {
 		kept := running[:0]
 		for _, r := range running {
 			if r.end <= now {
-				res.Jobs = append(res.Jobs, trace.JobTrace{
+				jt := trace.JobTrace{
 					ID:          r.sim.ID,
 					Name:        r.sim.Fingerprint,
 					Fingerprint: r.sim.Fingerprint,
@@ -347,7 +376,9 @@ func replayReference(workload []SimJob, cfg ReplayConfig) *ReplayResult {
 					End:         r.end.Seconds(),
 					Limit:       r.sim.Limit.Seconds(),
 					Priority:    r.sim.Priority,
-				})
+				}
+				bbState.complete(r.sim, &jt, r.view.StartedAt, r.end)
+				res.Jobs = append(res.Jobs, jt)
 				if r.end > res.Makespan {
 					res.Makespan = r.end
 				}
@@ -356,6 +387,7 @@ func replayReference(workload []SimJob, cfg ReplayConfig) *ReplayResult {
 			kept = append(kept, r)
 		}
 		running = kept
+		bbState.release(now)
 		for next < len(pending) && pending[next].Submit <= now {
 			waiting = append(waiting, pending[next])
 			next++
@@ -402,6 +434,12 @@ func replayReference(workload []SimJob, cfg ReplayConfig) *ReplayResult {
 				keptWaiting = append(keptWaiting, j)
 				continue
 			}
+			if !bbState.admit(j) {
+				// Burst-buffer pool full: defer the start, exactly as the
+				// controller's admission path keeps the job pending.
+				keptWaiting = append(keptWaiting, j)
+				continue
+			}
 			v := views[j.ID]
 			v.StartedAt = now
 			running = append(running, &runJob{sim: j, view: v, end: now.Add(j.Actual)})
@@ -410,9 +448,101 @@ func replayReference(workload []SimJob, cfg ReplayConfig) *ReplayResult {
 		waiting = keptWaiting
 	}
 	if !cfg.SkipRoundChecks {
-		res.Check.Merge(ValidateJobs(res.Jobs, ValidateOptions{Nodes: cfg.Nodes}))
+		res.Check.Merge(ValidateJobs(res.Jobs, ValidateOptions{Nodes: cfg.Nodes, BBCapacity: cfg.BBCapacity}))
 	}
 	return res
+}
+
+// bbReplay emulates the shared burst-buffer pool during a replay: start-now
+// decisions whose demand does not fit the free pool are deferred (the job
+// stays waiting, exactly as the controller's admission path keeps it
+// pending), and each admitted reservation is held until the job's stage-out
+// drain completes. All methods are nil-safe, so a replay without BBCapacity
+// pays only a pointer check per call — the replay benchmark's allocation
+// profile is untouched. Replay and replayReference share this state machine
+// so the incremental path stays byte-identical to the oracle.
+type bbReplay struct {
+	capacity  float64
+	stageRate float64 // bytes/s, 0 = instant
+	drainRate float64 // bytes/s, 0 = instant
+	occupied  float64
+	drains    []bbDrain
+}
+
+// bbDrain is one completed job's outstanding reservation, released once the
+// replay clock passes its drain-end time.
+type bbDrain struct {
+	at    des.Time
+	bytes float64
+}
+
+func newBBReplay(cfg ReplayConfig) *bbReplay {
+	if cfg.BBCapacity <= 0 {
+		return nil
+	}
+	return &bbReplay{capacity: cfg.BBCapacity, stageRate: cfg.BBStageRate, drainRate: cfg.BBDrainRate}
+}
+
+// admit reserves j's demand if it fits the free pool; a false return defers
+// the start to a later round. Jobs without demand always pass.
+func (b *bbReplay) admit(j *SimJob) bool {
+	if b == nil || !(j.BBBytes > 0) {
+		return true
+	}
+	if b.occupied+j.BBBytes > b.capacity {
+		return false
+	}
+	b.occupied += j.BBBytes
+	return true
+}
+
+// release frees the reservation of every drain that finished by now.
+// Reservations release on the round boundary at or after their drain-end —
+// never early — so round-based admission is conservative with respect to
+// the continuous-time occupancy the validator sweeps.
+func (b *bbReplay) release(now des.Time) {
+	if b == nil || len(b.drains) == 0 {
+		return
+	}
+	kept := b.drains[:0]
+	for _, d := range b.drains {
+		if d.at <= now {
+			b.occupied -= d.bytes
+			if b.occupied < 0 {
+				b.occupied = 0
+			}
+			continue
+		}
+		kept = append(kept, d)
+	}
+	b.drains = kept
+}
+
+// complete fills jt's burst-buffer fields for a finished job and queues the
+// reservation release at the drain's end. The replay folds stage-in into the
+// job's runtime window (done at start + bytes/stage-rate, capped at the
+// job's end) and drains the full reservation after the job ends.
+func (b *bbReplay) complete(sim *SimJob, jt *trace.JobTrace, start, end des.Time) {
+	if b == nil || !(sim.BBBytes > 0) {
+		return
+	}
+	staged := start
+	if b.stageRate > 0 {
+		staged = start.Add(des.FromSeconds(sim.BBBytes / b.stageRate))
+		if staged > end {
+			staged = end
+		}
+	}
+	drainEnd := end
+	if b.drainRate > 0 {
+		drainEnd = end.Add(des.FromSeconds(sim.BBBytes / b.drainRate))
+	}
+	b.drains = append(b.drains, bbDrain{at: drainEnd, bytes: sim.BBBytes})
+	jt.BBBytes = sim.BBBytes
+	jt.BBStageInDone = staged.Seconds()
+	jt.BBComputeStart = staged.Seconds()
+	jt.BBDrainEnd = drainEnd.Seconds()
+	jt.BBDrained = sim.BBBytes
 }
 
 // checkRound enforces the single-round safety invariants on one backfill

@@ -29,6 +29,23 @@ func replayVariants(nodes int, limit float64) []struct {
 	}
 }
 
+// bbReplayVariants are the burst-buffer-aware policies that join the
+// determinism check on the BB corpus kinds.
+func bbReplayVariants(nodes int, limit, capacity float64) []struct {
+	label  string
+	policy sched.Policy
+	limit  float64
+} {
+	return []struct {
+		label  string
+		policy sched.Policy
+		limit  float64
+	}{
+		{labelPlan, sched.PlanPolicy{TotalNodes: nodes, BBCapacity: capacity, ThroughputLimit: limit}, limit},
+		{labelBBIO, sched.BBAwarePolicy{Inner: sched.IOAwarePolicy{TotalNodes: nodes, ThroughputLimit: limit}, Capacity: capacity}, limit},
+	}
+}
+
 // scheduleDigest renders everything observable about a replay — the
 // realised schedule in completion order, the round count, the makespan and
 // every invariant finding — into one canonical string, so two replays are
@@ -39,6 +56,10 @@ func scheduleDigest(r *ReplayResult) string {
 	for _, j := range r.Jobs {
 		fmt.Fprintf(&b, "job %s submit=%.9g start=%.9g end=%.9g nodes=%d\n",
 			j.ID, j.Submit, j.Start, j.End, j.Nodes)
+		if j.BBBytes > 0 {
+			fmt.Fprintf(&b, "  bb bytes=%.9g staged=%.9g compute=%.9g drainend=%.9g drained=%.9g\n",
+				j.BBBytes, j.BBStageInDone, j.BBComputeStart, j.BBDrainEnd, j.BBDrained)
+		}
 	}
 	for _, v := range r.Check.Violations {
 		fmt.Fprintf(&b, "violation %s: %s\n", v.Invariant, v.Detail)
@@ -64,12 +85,21 @@ func TestReplayMatchesReferenceOnCorpus(t *testing.T) {
 			t.Run(fmt.Sprintf("%s-seed%d", kind, seed), func(t *testing.T) {
 				t.Parallel()
 				workload := Generate(kind, seed, nodes, limit)
-				for _, v := range replayVariants(nodes, limit) {
+				variants := replayVariants(nodes, limit)
+				if kind.HasBB() {
+					variants = append(variants, bbReplayVariants(nodes, limit, CorpusBBCapacity)...)
+				}
+				for _, v := range variants {
 					cfg := ReplayConfig{
 						Policy:  v.policy,
 						Options: sched.Options{MaxJobTest: sched.SlurmDefaultTestLimit},
 						Nodes:   nodes,
 						Limit:   v.limit,
+					}
+					if kind.HasBB() {
+						cfg.BBCapacity = CorpusBBCapacity
+						cfg.BBStageRate = CorpusBBStageRate
+						cfg.BBDrainRate = CorpusBBDrainRate
 					}
 					fast := Replay(workload, cfg)
 					ref := replayReference(workload, cfg)

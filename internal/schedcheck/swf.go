@@ -20,6 +20,7 @@ func SimJobsFromSWF(records []workload.SWFRecord, opts workload.SWFOptions) ([]S
 		return nil, workload.SWFQuirks{}, err
 	}
 	rng := des.NewRNG(opts.Seed, "workload/swf")
+	bbRng := des.NewRNG(opts.Seed, workload.SWFBBStream)
 	var quirks workload.SWFQuirks
 	jobs := make([]SimJob, 0, len(records))
 	seen := make(map[string]int, len(records))
@@ -46,11 +47,15 @@ func SimJobsFromSWF(records []workload.SWFRecord, opts workload.SWFOptions) ([]S
 			Actual:      des.FromSeconds(sh.Runtime),
 			Submit:      des.TimeFromSeconds(rec.Submit),
 			Fingerprint: fmt.Sprintf("swf-cpu-n%d", sh.Nodes),
+			BBBytes:     workload.SWFBBBytes(sh.Nodes, opts, bbRng.Float64()),
 		}
 		if sh.DoesIO {
 			j.Fingerprint = fmt.Sprintf("swf-io-n%d", sh.Nodes)
 			j.Rate = sh.Bytes / sh.Runtime
 			j.EstRate = j.Rate
+		}
+		if j.BBBytes > 0 {
+			j.Fingerprint += "-bb"
 		}
 		jobs = append(jobs, j)
 		if opts.MaxJobs > 0 && len(jobs) >= opts.MaxJobs {

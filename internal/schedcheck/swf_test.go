@@ -22,6 +22,8 @@ const sampleSWF = `; header
 func TestSimJobsFromSWFMirrorsParseSWF(t *testing.T) {
 	opts := workload.DefaultSWFOptions()
 	opts.IOFraction = 0.5
+	opts.BBFraction = 0.5
+	opts.BBGiBPerNode = 4
 	full, err := workload.ParseSWF(strings.NewReader(sampleSWF), opts)
 	if err != nil {
 		t.Fatal(err)
@@ -47,6 +49,13 @@ func TestSimJobsFromSWFMirrorsParseSWF(t *testing.T) {
 		}
 		if isIO := strings.HasPrefix(sj.Fingerprint, "swf-io-"); isIO != (sj.Rate > 0) {
 			t.Fatalf("job %d rate %g inconsistent with fingerprint %s", i, sj.Rate, sj.Fingerprint)
+		}
+		// And so does the burst-buffer assignment, from its own stream.
+		if sj.BBBytes != fj.Spec.BBBytes {
+			t.Fatalf("job %d BB assignment diverged: %g vs %g", i, sj.BBBytes, fj.Spec.BBBytes)
+		}
+		if hasBB := strings.HasSuffix(sj.Fingerprint, "-bb"); hasBB != (sj.BBBytes > 0) {
+			t.Fatalf("job %d BB bytes %g inconsistent with fingerprint %s", i, sj.BBBytes, sj.Fingerprint)
 		}
 	}
 }

@@ -31,6 +31,10 @@ type ValidateOptions struct {
 	// preemption does not need this), but dynamic priorities — where queue
 	// position changes without leaving a trace — still do.
 	SkipOrderCheck bool
+	// BBCapacity is the shared burst-buffer pool size in bytes; when
+	// positive, the burst-buffer invariants (bb-capacity, bb-stage-in,
+	// bb-drain-attribution) are enforced over traces carrying BBBytes.
+	BBCapacity float64
 }
 
 // ValidateJobs enforces the schedule-level invariants over completed job
@@ -117,7 +121,84 @@ func ValidateJobs(jobs []trace.JobTrace, opts ValidateOptions) Result {
 	if !opts.SkipOrderCheck {
 		checkClassOrder(started, &res)
 	}
+	if opts.BBCapacity > 0 {
+		checkBBTraces(started, opts.BBCapacity, &res)
+	}
 	return res
+}
+
+// bbBytesEps absorbs float association noise in byte-valued sweeps; real
+// burst-buffer demands are megabytes and up.
+const bbBytesEps = 1e-3
+
+// checkBBTraces enforces the burst-buffer invariants over completed job
+// traces:
+//
+//   - bb-capacity: at no instant do held reservations — each spanning
+//     [Start, max(End, BBDrainEnd)) — exceed the pool capacity;
+//   - bb-stage-in: a staged attempt's stage-in completes inside
+//     [Start, BBComputeStart], and compute starts within the runtime
+//     window — jobs must not compute before their input is resident;
+//   - bb-drain-attribution: an attempt drains at most its reservation,
+//     and only after its end — every drained byte is attributable to a
+//     completed (or preempted) attempt's dirty data.
+func checkBBTraces(jobs []trace.JobTrace, capacity float64, res *Result) {
+	type interval struct {
+		t     float64
+		bytes float64 // +bytes at start, -bytes at release
+	}
+	var events []interval
+	for _, j := range jobs {
+		if j.BBBytes <= 0 {
+			continue
+		}
+		if j.BBBytes > capacity+bbBytesEps {
+			res.violatef("bb-capacity", "job %s reserves %.3g bytes on a %.3g-byte pool", j.ID, j.BBBytes, capacity)
+			continue
+		}
+		if j.BBComputeStart > 0 {
+			if j.BBStageInDone < j.Start-timeEps || j.BBStageInDone > j.BBComputeStart+timeEps {
+				res.violatef("bb-stage-in", "job %s: stage-in done at %.3f outside [start %.3f, compute %.3f]",
+					j.ID, j.BBStageInDone, j.Start, j.BBComputeStart)
+			}
+			if j.BBComputeStart > j.End+timeEps {
+				res.violatef("bb-stage-in", "job %s: compute start %.3f after end %.3f", j.ID, j.BBComputeStart, j.End)
+			}
+		}
+		if j.BBDrained > j.BBBytes+bbBytesEps {
+			res.violatef("bb-drain-attribution", "job %s drained %.3g bytes of a %.3g-byte reservation",
+				j.ID, j.BBDrained, j.BBBytes)
+		}
+		if j.BBDrained > 0 && j.BBDrainEnd < j.End-timeEps {
+			res.violatef("bb-drain-attribution", "job %s: drain ended at %.3f before the job's end %.3f",
+				j.ID, j.BBDrainEnd, j.End)
+		}
+		release := j.End
+		if j.BBDrainEnd > release {
+			release = j.BBDrainEnd
+		}
+		if release > j.Start {
+			events = append(events, interval{t: j.Start, bytes: j.BBBytes}, interval{t: release, bytes: -j.BBBytes})
+		}
+	}
+	// Sweep: releases before acquisitions at the same instant (a drain may
+	// free the pool the moment another job's stage-in claims it).
+	sort.Slice(events, func(a, b int) bool {
+		if events[a].t != events[b].t {
+			return events[a].t < events[b].t
+		}
+		return events[a].bytes < events[b].bytes
+	})
+	held, worst, worstAt := 0.0, 0.0, 0.0
+	for _, e := range events {
+		held += e.bytes
+		if held > worst {
+			worst, worstAt = held, e.t
+		}
+	}
+	if worst > capacity+bbBytesEps {
+		res.violatef("bb-capacity", "%.6g bytes reserved at t=%.3fs on a %.6g-byte pool", worst, worstAt, capacity)
+	}
 }
 
 // checkNodeIdentity validates traces that carry allocated node names:
@@ -335,6 +416,16 @@ func ValidateRun(rec *trace.Recorder, opts ValidateOptions) Result {
 		}
 	}
 	checkAttribution(rec, &res)
+	if opts.BBCapacity > 0 {
+		capGiB := opts.BBCapacity / pfs.GiB
+		for i, v := range rec.BBOccupancy.Values {
+			if v > capGiB+bbBytesEps {
+				res.violatef("bb-capacity", "occupancy sample %d: %.3f GiB on a %.3f GiB pool at t=%.0fs",
+					i, v, capGiB, rec.BBOccupancy.Times[i])
+				break
+			}
+		}
+	}
 	if opts.ThroughputLimit > 0 {
 		slack := opts.ThroughputSlack
 		if slack == 0 {

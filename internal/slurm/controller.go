@@ -13,6 +13,7 @@ package slurm
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"wasched/internal/analytics"
@@ -20,6 +21,18 @@ import (
 	"wasched/internal/des"
 	"wasched/internal/sched"
 )
+
+// BurstBuffer is the controller's view of a burst-buffer tier
+// (internal/bb.Tier implements it). Admit reserves capacity for a start
+// (an error defers the start to a later round), Wrap prefixes the job's
+// program with its stage-in, and JobEnded triggers the dirty-data drain
+// and eventual capacity release.
+type BurstBuffer interface {
+	Feasible(bytes float64, nodes int) error
+	Admit(jobID string, bytes float64, nodes int) error
+	Wrap(jobID string, inner cluster.Program) cluster.Program
+	JobEnded(jobID string, requeued bool)
+}
 
 // JobState is the lifecycle state of a job record.
 type JobState int
@@ -80,6 +93,12 @@ type JobSpec struct {
 	// User is the submitting user for fair-share accounting (empty = the
 	// anonymous user).
 	User string
+	// BBBytes is the job's burst-buffer reservation request in bytes
+	// (Slurm's #DW capacity). Zero requests no burst buffer; positive
+	// requests require an attached tier (AttachBB) and gate the start on
+	// admission: a start decision whose demand does not fit the free pool
+	// is deferred to a later round.
+	BBBytes float64
 }
 
 // validate checks a spec against the cluster.
@@ -95,6 +114,9 @@ func (s JobSpec) validate(clusterSize int) error {
 	}
 	if s.Program == nil {
 		return fmt.Errorf("slurm: job %q has no program", s.Name)
+	}
+	if s.BBBytes < 0 || math.IsNaN(s.BBBytes) {
+		return fmt.Errorf("slurm: job %q requests %g burst-buffer bytes", s.Name, s.BBBytes)
 	}
 	return nil
 }
@@ -244,6 +266,9 @@ type Controller struct {
 	lastDiag    map[string]float64
 	requeuing   map[string]bool
 	requeues    uint64
+
+	bb         BurstBuffer
+	bbDeferred uint64
 }
 
 // New creates a controller. svc may be nil when the policy ignores
@@ -269,6 +294,19 @@ func New(eng *des.Engine, cl *cluster.Cluster, policy sched.Policy, svc *analyti
 		requeuing:  make(map[string]bool),
 	}, nil
 }
+
+// AttachBB wires a burst-buffer tier into the start/end path. Call once
+// during system assembly, before any BB-requesting job is submitted.
+func (c *Controller) AttachBB(b BurstBuffer) {
+	if c.bb != nil {
+		panic("slurm: burst buffer already attached")
+	}
+	c.bb = b
+}
+
+// BBDeferred returns how many start decisions were deferred because the
+// burst-buffer pool could not admit them that round.
+func (c *Controller) BBDeferred() uint64 { return c.bbDeferred }
 
 // OnEvent registers a lifecycle listener (used by the trace recorder).
 func (c *Controller) OnEvent(fn func(Event)) { c.listeners = append(c.listeners, fn) }
@@ -307,6 +345,16 @@ func (c *Controller) Submit(spec JobSpec) (*JobRecord, error) {
 	if err := spec.validate(c.cl.Size()); err != nil {
 		return nil, err
 	}
+	if spec.BBBytes > 0 {
+		// Reject demands that could never be admitted (no tier, or more
+		// than the whole pool) up front — deferral would pend them forever.
+		if c.bb == nil {
+			return nil, fmt.Errorf("slurm: job %q requests burst buffer but none is attached", spec.Name)
+		}
+		if err := c.bb.Feasible(spec.BBBytes, spec.Nodes); err != nil {
+			return nil, fmt.Errorf("slurm: job %q: %w", spec.Name, err)
+		}
+	}
 	c.nextID++
 	fp := spec.Fingerprint
 	if fp == "" {
@@ -327,6 +375,7 @@ func (c *Controller) Submit(spec JobSpec) (*JobRecord, error) {
 		Limit:       spec.Limit,
 		Submit:      r.Submit,
 		Priority:    spec.Priority,
+		BBBytes:     spec.BBBytes,
 	}
 	for _, depID := range spec.DependsOn {
 		dep, ok := c.byID[depID]
@@ -470,7 +519,19 @@ func (c *Controller) scheduleRound() {
 		c.lastDiag = diag.Diagnostics()
 	}
 	for _, j := range sched.StartNowJobs(decisions) {
-		c.startJob(c.byID[j.ID])
+		r := c.byID[j.ID]
+		if c.bb != nil && r.Spec.BBBytes > 0 {
+			// Burst-buffer admission gates the start: BB-blind policies
+			// hand out start-now decisions the pool cannot hold (drains
+			// of finished jobs still occupy it), and those jobs simply
+			// stay pending and are retried next round. Plan-based
+			// policies rarely hit this — they co-reserved the pool.
+			if err := c.bb.Admit(r.ID, r.Spec.BBBytes, r.Spec.Nodes); err != nil {
+				c.bbDeferred++
+				continue
+			}
+		}
+		c.startJob(r)
 	}
 	if c.cfg.Preemption.Enabled {
 		c.maybePreempt(decisions)
@@ -551,7 +612,11 @@ func (c *Controller) startJob(r *JobRecord) {
 	if r.State != StatePending {
 		panic(fmt.Sprintf("slurm: starting job %s in state %v", r.ID, r.State))
 	}
-	exec, err := c.cl.Start(r.ID, r.Spec.Nodes, r.Spec.Program, func(e *cluster.Execution) {
+	prog := r.Spec.Program
+	if c.bb != nil && r.Spec.BBBytes > 0 {
+		prog = c.bb.Wrap(r.ID, prog)
+	}
+	exec, err := c.cl.Start(r.ID, r.Spec.Nodes, prog, func(e *cluster.Execution) {
 		c.jobEnded(r, e)
 	})
 	if err != nil {
@@ -598,6 +663,9 @@ func (c *Controller) jobEnded(r *JobRecord, e *cluster.Execution) {
 		c.requeues++
 		r.State = StatePending
 		r.End = c.eng.Now()
+		if c.bb != nil && r.Spec.BBBytes > 0 {
+			c.bb.JobEnded(r.ID, true)
+		}
 		c.emit(EventRequeue, r)
 		r.Start = 0
 		r.End = 0
@@ -619,6 +687,9 @@ func (c *Controller) jobEnded(r *JobRecord, e *cluster.Execution) {
 	r.End = c.eng.Now()
 	delete(c.runningID, r.ID)
 	c.done = append(c.done, r)
+	if c.bb != nil && r.Spec.BBBytes > 0 {
+		c.bb.JobEnded(r.ID, false)
+	}
 	if c.svc != nil {
 		c.svc.JobCompleted(r.view.Fingerprint, r.Nodes, r.Start, r.End)
 	}

@@ -108,6 +108,22 @@ type JobTrace struct {
 	// Requeued marks a preempted attempt: the job held its nodes over
 	// [Start, End) but was returned to the queue rather than finishing.
 	Requeued bool
+
+	// BBBytes is the job's burst-buffer reservation in bytes (zero when
+	// the job used none); the remaining BB fields are meaningful only
+	// when it is positive.
+	BBBytes float64
+	// BBStageInDone and BBComputeStart are when the stage-in finished and
+	// the program began, seconds. Zero when the attempt died mid-stage or
+	// the recording path cannot observe them.
+	BBStageInDone  float64
+	BBComputeStart float64
+	// BBDrainEnd is when the attempt's dirty data finished draining and
+	// the reservation was released, seconds; BBDrained is how many bytes
+	// drained. Zero when the drain outcome is recorded elsewhere (the
+	// live tier's ledger) or nothing drained.
+	BBDrainEnd float64
+	BBDrained  float64
 }
 
 // Wait returns the queue wait Q_j in seconds.
@@ -134,14 +150,37 @@ type Recorder struct {
 	Target Series
 	// TwoGroupThreshold samples r* in GiB/s.
 	TwoGroupThreshold Series
+	// BBOccupancy samples the burst-buffer pool occupancy in GiB;
+	// BBStageRate/BBDrainRate sample the appliance's stage-in and drain
+	// throughput in GiB/s. All-zero without an attached tier (SetBB).
+	BBOccupancy Series
+	BBStageRate Series
+	BBDrainRate Series
 
 	jobs []JobTrace
 	stop func()
+	bb   BBStats
 
 	// Sampling scratch, reused every tick.
 	rateScratch map[string]float64
 	jobScratch  []*slurm.JobRecord
 }
+
+// BBStats is the recorder's view of a burst-buffer tier
+// (internal/bb.Tier implements it): sampled occupancy and stage/drain
+// rates, the appliance node names (their PFS traffic is attributed to the
+// tier in the Attributed series), and per-job stage milestones for the
+// job traces.
+type BBStats interface {
+	Occupied() float64
+	Rates() (stage, drain float64)
+	ApplianceNodes() []string
+	JobInfo(jobID string) (bytes, stageInDone, computeStart float64, ok bool)
+}
+
+// SetBB attaches a burst-buffer tier to the recorder. Call during system
+// assembly, before the first sample tick.
+func (r *Recorder) SetBB(b BBStats) { r.bb = b }
 
 // NewRecorder attaches a recorder to the system. Samples are taken every
 // period until Stop (or forever; recording is cheap). Throughput is the
@@ -156,6 +195,9 @@ func NewRecorder(eng *des.Engine, fs *pfs.FileSystem, cl *cluster.Cluster, ctl *
 		Queued:            Series{Name: "queued_jobs", Unit: "jobs"},
 		Target:            Series{Name: "adaptive_target", Unit: "GiB/s"},
 		TwoGroupThreshold: Series{Name: "two_group_threshold", Unit: "GiB/s"},
+		BBOccupancy:       Series{Name: "bb_occupancy", Unit: "GiB"},
+		BBStageRate:       Series{Name: "bb_stage_rate", Unit: "GiB/s"},
+		BBDrainRate:       Series{Name: "bb_drain_rate", Unit: "GiB/s"},
 	}
 	r.stop = eng.Ticker(period, "trace/sample", func(now des.Time) {
 		t := now.Seconds()
@@ -168,7 +210,18 @@ func NewRecorder(eng *des.Engine, fs *pfs.FileSystem, cl *cluster.Cluster, ctl *
 				attributed += r.rateScratch[n]
 			}
 		}
+		occ, stage, drain := 0.0, 0.0, 0.0
+		if r.bb != nil {
+			occ = r.bb.Occupied()
+			stage, drain = r.bb.Rates()
+			// Stage/drain streams run on the appliance's node names, which
+			// no job holds: they are the tier's own attributable traffic.
+			attributed += stage + drain
+		}
 		r.Attributed.Append(t, attributed/pfs.GiB)
+		r.BBOccupancy.Append(t, occ/pfs.GiB)
+		r.BBStageRate.Append(t, stage/pfs.GiB)
+		r.BBDrainRate.Append(t, drain/pfs.GiB)
 		r.BusyNodes.Append(t, float64(cl.BusyNodes()))
 		r.Running.Append(t, float64(ctl.RunningCount()))
 		r.Queued.Append(t, float64(ctl.QueueLength()))
@@ -188,6 +241,12 @@ func NewRecorder(eng *des.Engine, fs *pfs.FileSystem, cl *cluster.Cluster, ctl *
 		if e.Kind != slurm.EventEnd && e.Kind != slurm.EventRequeue {
 			return
 		}
+		var bbBytes, bbStaged, bbCompute float64
+		if r.bb != nil && e.Job.Spec.BBBytes > 0 {
+			// Drain milestones are not known yet (the drain starts at this
+			// very event); the tier's ledger carries them for validation.
+			bbBytes, bbStaged, bbCompute, _ = r.bb.JobInfo(e.Job.ID)
+		}
 		r.jobs = append(r.jobs, JobTrace{
 			ID:          e.Job.ID,
 			Name:        e.Job.Spec.Name,
@@ -203,6 +262,10 @@ func NewRecorder(eng *des.Engine, fs *pfs.FileSystem, cl *cluster.Cluster, ctl *
 			Eligible:    e.Job.EligibleAt.Seconds(),
 			Attempt:     e.Job.Attempts,
 			Requeued:    e.Kind == slurm.EventRequeue,
+
+			BBBytes:        bbBytes,
+			BBStageInDone:  bbStaged,
+			BBComputeStart: bbCompute,
 		})
 	})
 	return r
@@ -221,18 +284,20 @@ func (r *Recorder) Jobs() []JobTrace {
 // WriteCSV writes the sampled series as one CSV table:
 // time_s,<series...> rows aligned on the common sampling clock.
 func (r *Recorder) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintf(w, "time_s,%s_%s,%s_%s,%s,%s,%s,%s_gibps,%s_gibps\n",
+	if _, err := fmt.Fprintf(w, "time_s,%s_%s,%s_%s,%s,%s,%s,%s_gibps,%s_gibps,%s_gib,%s_gibps,%s_gibps\n",
 		r.Throughput.Name, "gibps", r.Attributed.Name, "gibps",
 		r.BusyNodes.Name, r.Running.Name, r.Queued.Name,
-		r.Target.Name, r.TwoGroupThreshold.Name); err != nil {
+		r.Target.Name, r.TwoGroupThreshold.Name,
+		r.BBOccupancy.Name, r.BBStageRate.Name, r.BBDrainRate.Name); err != nil {
 		return err
 	}
 	n := r.Throughput.Len()
 	for i := 0; i < n; i++ {
-		if _, err := fmt.Fprintf(w, "%.3f,%.6f,%.6f,%.0f,%.0f,%.0f,%.6f,%.6f\n",
+		if _, err := fmt.Fprintf(w, "%.3f,%.6f,%.6f,%.0f,%.0f,%.0f,%.6f,%.6f,%.6f,%.6f,%.6f\n",
 			r.Throughput.Times[i], r.Throughput.Values[i], r.Attributed.Values[i],
 			r.BusyNodes.Values[i], r.Running.Values[i], r.Queued.Values[i],
-			r.Target.Values[i], r.TwoGroupThreshold.Values[i]); err != nil {
+			r.Target.Values[i], r.TwoGroupThreshold.Values[i],
+			r.BBOccupancy.Values[i], r.BBStageRate.Values[i], r.BBDrainRate.Values[i]); err != nil {
 			return err
 		}
 	}

@@ -26,6 +26,11 @@ import (
 // A phased program nests n sub-programs back to back (each sub-program has
 // a fixed arity, so the encoding is unambiguous). The fingerprint defaults
 // to the name. Fields are whitespace-separated.
+//
+// An optional `bb <gib>` token between the priority and the program
+// declares the job's burst-buffer reservation; jobs without it use no
+// burst buffer, and decoders predating the token never see it (it is only
+// emitted when the demand is non-zero).
 
 // TimedSpec is a job spec with its submission time.
 type TimedSpec struct {
@@ -42,6 +47,9 @@ func Encode(w io.Writer, jobs []TimedSpec) error {
 		prog, err := encodeProgram(tj.Spec.Program)
 		if err != nil {
 			return fmt.Errorf("workload: job %d (%s): %w", i, tj.Spec.Name, err)
+		}
+		if tj.Spec.BBBytes > 0 {
+			prog = fmt.Sprintf("bb %g %s", tj.Spec.BBBytes/pfs.GiB, prog)
 		}
 		fmt.Fprintf(bw, "%g %s %d %g %d %s\n",
 			tj.At.Seconds(), tj.Spec.Name, tj.Spec.Nodes,
@@ -121,7 +129,20 @@ func decodeLine(line string) (TimedSpec, error) {
 	if err != nil {
 		return TimedSpec{}, fmt.Errorf("bad priority %q", f[4])
 	}
-	prog, rest, err := decodeProgram(f[5], f[6:])
+	rest := f[5:]
+	bbBytes := 0.0
+	if rest[0] == "bb" {
+		if len(rest) < 3 {
+			return TimedSpec{}, fmt.Errorf("bb token needs GiB and a program")
+		}
+		gib, err := strconv.ParseFloat(rest[1], 64)
+		if err != nil || gib <= 0 {
+			return TimedSpec{}, fmt.Errorf("bad bb GiB %q", rest[1])
+		}
+		bbBytes = gib * pfs.GiB
+		rest = rest[2:]
+	}
+	prog, rest, err := decodeProgram(rest[0], rest[1:])
 	if err != nil {
 		return TimedSpec{}, err
 	}
@@ -137,6 +158,7 @@ func decodeLine(line string) (TimedSpec, error) {
 			Limit:       des.FromSeconds(limit),
 			Priority:    prio,
 			Program:     prog,
+			BBBytes:     bbBytes,
 		},
 	}, nil
 }

@@ -41,6 +41,13 @@ type SWFOptions struct {
 	MaxJobs int
 	// Seed drives the deterministic I/O assignment.
 	Seed uint64
+	// BBFraction of jobs carry a synthetic burst-buffer reservation
+	// (default 0: burst buffers off). The assignment draws from its own
+	// deterministic stream, so enabling it never reshuffles which jobs
+	// do I/O.
+	BBFraction float64
+	// BBGiBPerNode sizes a BB job's reservation: nodes × BBGiBPerNode GiB.
+	BBGiBPerNode float64
 }
 
 // DefaultSWFOptions matches the paper's environment: 56 cores/node,
@@ -72,8 +79,28 @@ func (o SWFOptions) Validate() error {
 		return fmt.Errorf("workload: IORate must be positive, got %g", o.IORate)
 	case o.MaxJobs < 0:
 		return fmt.Errorf("workload: MaxJobs must be non-negative, got %d", o.MaxJobs)
+	case o.BBFraction < 0 || o.BBFraction > 1:
+		return fmt.Errorf("workload: BBFraction must be in [0,1], got %g", o.BBFraction)
+	case o.BBFraction > 0 && o.BBGiBPerNode <= 0:
+		return fmt.Errorf("workload: BBGiBPerNode must be positive, got %g", o.BBGiBPerNode)
 	}
 	return nil
+}
+
+// SWFBBStream is the RNG stream of the burst-buffer assignment draw. It is
+// distinct from the I/O stream ("workload/swf") on purpose: every converter
+// draws from it exactly once per surviving record, and turning BB on or off
+// leaves the I/O assignment untouched.
+const SWFBBStream = "workload/swf-bb"
+
+// SWFBBBytes is a record's synthetic burst-buffer demand under opts: zero
+// when the draw misses BBFraction, nodes × BBGiBPerNode GiB otherwise.
+// rand is this record's draw from the SWFBBStream stream.
+func SWFBBBytes(nodes int, opts SWFOptions, rand float64) float64 {
+	if rand >= opts.BBFraction {
+		return 0
+	}
+	return float64(nodes) * opts.BBGiBPerNode * pfs.GiB
 }
 
 // SWFRecord is one usable data row of an SWF trace, in the raw units of
@@ -282,6 +309,7 @@ func ConvertSWF(records []SWFRecord, opts SWFOptions) (SWFResult, error) {
 		return SWFResult{}, err
 	}
 	rng := des.NewRNG(opts.Seed, "workload/swf")
+	bbRng := des.NewRNG(opts.Seed, SWFBBStream)
 	var res SWFResult
 	for _, rec := range records {
 		if SWFNodes(rec, opts) > opts.MaxNodes {
@@ -290,10 +318,11 @@ func ConvertSWF(records []SWFRecord, opts SWFOptions) (SWFResult, error) {
 		}
 		sh := ShapeSWF(rec, opts, rng.Float64())
 		spec := slurm.JobSpec{
-			Name:  fmt.Sprintf("swf-%d", rec.JobNo),
-			Nodes: sh.Nodes,
-			Limit: des.FromSeconds(sh.Limit),
-			User:  fmt.Sprintf("user%d", rec.UserID),
+			Name:    fmt.Sprintf("swf-%d", rec.JobNo),
+			Nodes:   sh.Nodes,
+			Limit:   des.FromSeconds(sh.Limit),
+			User:    fmt.Sprintf("user%d", rec.UserID),
+			BBBytes: SWFBBBytes(sh.Nodes, opts, bbRng.Float64()),
 		}
 		if sh.DoesIO {
 			spec.Fingerprint = fmt.Sprintf("swf-io-n%d", sh.Nodes)
@@ -306,6 +335,9 @@ func ConvertSWF(records []SWFRecord, opts SWFOptions) (SWFResult, error) {
 		} else {
 			spec.Fingerprint = fmt.Sprintf("swf-cpu-n%d", sh.Nodes)
 			spec.Program = cluster.SleepProgram{D: des.FromSeconds(sh.Runtime)}
+		}
+		if spec.BBBytes > 0 {
+			spec.Fingerprint += "-bb"
 		}
 		res.Jobs = append(res.Jobs, TimedSpec{At: des.TimeFromSeconds(rec.Submit), Spec: spec})
 		if opts.MaxJobs > 0 && len(res.Jobs) >= opts.MaxJobs {

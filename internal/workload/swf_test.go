@@ -6,6 +6,7 @@ import (
 
 	"wasched/internal/cluster"
 	"wasched/internal/des"
+	"wasched/internal/pfs"
 )
 
 const sampleSWF = `; SWF header
@@ -76,6 +77,56 @@ func TestParseSWFSyntheticIO(t *testing.T) {
 	for i := range res.Jobs {
 		if res.Jobs[i].Spec.Fingerprint != res2.Jobs[i].Spec.Fingerprint {
 			t.Fatal("assignment must be deterministic")
+		}
+	}
+}
+
+// TestParseSWFBurstBuffer checks the flag-gated BB assignment: off by
+// default, sized per node when on, and drawn from its own stream so
+// enabling it leaves the I/O assignment untouched.
+func TestParseSWFBurstBuffer(t *testing.T) {
+	off, err := ParseSWF(strings.NewReader(sampleSWF), DefaultSWFOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tj := range off.Jobs {
+		if tj.Spec.BBBytes != 0 {
+			t.Fatalf("BB must default off, got %g for %s", tj.Spec.BBBytes, tj.Spec.Name)
+		}
+	}
+
+	opts := DefaultSWFOptions()
+	opts.BBFraction = 1
+	opts.BBGiBPerNode = 4
+	on, err := ParseSWF(strings.NewReader(sampleSWF), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tj := range on.Jobs {
+		want := float64(tj.Spec.Nodes) * 4 * pfs.GiB
+		if tj.Spec.BBBytes != want {
+			t.Fatalf("job %d BB bytes %g, want %g", i, tj.Spec.BBBytes, want)
+		}
+		if !strings.HasSuffix(tj.Spec.Fingerprint, "-bb") {
+			t.Fatalf("job %d fingerprint %s lacks -bb suffix", i, tj.Spec.Fingerprint)
+		}
+		// The I/O assignment must be byte-identical to the BB-off run:
+		// the BB draw uses a separate stream.
+		offFP := strings.TrimSuffix(tj.Spec.Fingerprint, "-bb")
+		if offFP != off.Jobs[i].Spec.Fingerprint {
+			t.Fatalf("job %d I/O assignment moved when BB was enabled: %s vs %s",
+				i, offFP, off.Jobs[i].Spec.Fingerprint)
+		}
+	}
+
+	bad := []SWFOptions{
+		{CoresPerNode: 1, MaxNodes: 1, BBFraction: -0.1},
+		{CoresPerNode: 1, MaxNodes: 1, BBFraction: 2},
+		{CoresPerNode: 1, MaxNodes: 1, BBFraction: 0.5, BBGiBPerNode: 0},
+	}
+	for i, o := range bad {
+		if _, err := ParseSWF(strings.NewReader(""), o); err == nil {
+			t.Errorf("BB options %d must fail", i)
 		}
 	}
 }

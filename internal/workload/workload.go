@@ -270,3 +270,37 @@ func Checkpointing() []slurm.JobSpec {
 	}
 	return specs
 }
+
+// AssignBBDemand gives a fraction of job classes a synthetic burst-buffer
+// reservation of nodes × gibPerNode GiB, deterministically by seed. The
+// draw is per fingerprint class, not per job — every job of a class either
+// carries a reservation or none, so class-consistency invariants (FIFO
+// order within a class, per-class estimates) keep holding — and classes
+// that get one are renamed with a "-bb" suffix so they stay distinct from
+// their no-BB originals. Jobs that already declare a demand are left
+// untouched, as are their classes.
+func AssignBBDemand(jobs []TimedSpec, fraction, gibPerNode float64, seed uint64) {
+	if fraction <= 0 || gibPerNode <= 0 {
+		return
+	}
+	rng := des.NewRNG(seed, "workload/bb-demand")
+	// First-seen order is the jobs' order, so the draw sequence is
+	// deterministic for a given trace.
+	classBB := make(map[string]bool)
+	for i := range jobs {
+		s := &jobs[i].Spec
+		if s.BBBytes > 0 {
+			classBB[s.Fingerprint] = false
+			continue
+		}
+		hasBB, seen := classBB[s.Fingerprint]
+		if !seen {
+			hasBB = rng.Float64() < fraction
+			classBB[s.Fingerprint] = hasBB
+		}
+		if hasBB {
+			s.BBBytes = float64(s.Nodes) * gibPerNode * pfs.GiB
+			s.Fingerprint += "-bb"
+		}
+	}
+}

@@ -124,6 +124,10 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 			Name: "burst", Nodes: 1, Limit: 3000 * des.Second, Priority: 5,
 			Program: cluster.BurstyProgram{Cycles: 3, Compute: 60 * des.Second, Threads: 2, BytesPerThread: pfs.GiB},
 		}},
+		{At: des.TimeFromSeconds(40), Spec: slurm.JobSpec{
+			Name: "staged", Nodes: 2, Limit: 600 * des.Second, BBBytes: 12.5 * pfs.GiB,
+			Program: cluster.WriteProgram{Threads: 4, BytesPerThread: 2 * pfs.GiB},
+		}},
 	}
 	var buf bytes.Buffer
 	if err := Encode(&buf, jobs); err != nil {
@@ -139,12 +143,72 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	for i := range jobs {
 		a, b := jobs[i], got[i]
 		if a.At != b.At || a.Spec.Name != b.Spec.Name || a.Spec.Nodes != b.Spec.Nodes ||
-			a.Spec.Limit != b.Spec.Limit || a.Spec.Priority != b.Spec.Priority {
+			a.Spec.Limit != b.Spec.Limit || a.Spec.Priority != b.Spec.Priority ||
+			a.Spec.BBBytes != b.Spec.BBBytes {
 			t.Fatalf("job %d: %+v vs %+v", i, a, b)
 		}
 	}
 	if p, ok := got[3].Spec.Program.(cluster.BurstyProgram); !ok || p.Cycles != 3 || p.Compute != 60*des.Second {
 		t.Fatalf("bursty program: %+v", got[3].Spec.Program)
+	}
+}
+
+// TestAssignBBDemand checks the seeded helper: per-class consistency (a
+// class either all-BB or all-not), per-node sizing, the -bb rename, and
+// that pre-declared demands are left alone.
+func TestAssignBBDemand(t *testing.T) {
+	var jobs []TimedSpec
+	for i := 0; i < 30; i++ {
+		s := WriteJob(8)
+		s.Nodes = 1 + i%3
+		jobs = append(jobs, TimedSpec{Spec: s})
+	}
+	for i := 0; i < 30; i++ {
+		jobs = append(jobs, TimedSpec{Spec: SleepJob()})
+	}
+	pre := WriteJob(4)
+	pre.BBBytes = 7 * pfs.GiB
+	jobs = append(jobs, TimedSpec{Spec: pre})
+
+	AssignBBDemand(jobs, 0.5, 4, 1)
+
+	classBB := map[string]bool{}
+	sawBB := false
+	for i, tj := range jobs[:60] {
+		s := tj.Spec
+		base := strings.TrimSuffix(s.Fingerprint, "-bb")
+		hasBB := s.BBBytes > 0
+		if prev, seen := classBB[base]; seen && prev != hasBB {
+			t.Fatalf("job %d: class %s is inconsistently assigned", i, base)
+		}
+		classBB[base] = hasBB
+		if hasBB {
+			sawBB = true
+			if want := float64(s.Nodes) * 4 * pfs.GiB; s.BBBytes != want {
+				t.Fatalf("job %d: BB bytes %g, want %g", i, s.BBBytes, want)
+			}
+			if !strings.HasSuffix(s.Fingerprint, "-bb") {
+				t.Fatalf("job %d: BB class %s lacks -bb suffix", i, s.Fingerprint)
+			}
+		}
+	}
+	if !sawBB {
+		t.Fatal("fraction 0.5 over several classes assigned nothing")
+	}
+	if last := jobs[60].Spec; last.BBBytes != 7*pfs.GiB || strings.HasSuffix(last.Fingerprint, "-bb") {
+		t.Fatalf("pre-declared demand was rewritten: %+v", last)
+	}
+
+	// Fraction 0 is a no-op.
+	again := make([]TimedSpec, len(jobs))
+	for i := range jobs {
+		again[i].Spec = jobs[i].Spec
+	}
+	AssignBBDemand(again, 0, 4, 1)
+	for i := range jobs {
+		if again[i].Spec.BBBytes != jobs[i].Spec.BBBytes {
+			t.Fatalf("fraction 0 must not touch job %d", i)
+		}
 	}
 }
 
@@ -165,6 +229,9 @@ func TestDecodeErrors(t *testing.T) {
 		"0 j 1 10 0 bursty 1 1 0 1",    // zero threads
 		"0 j 1 10 0 bursty 1 1 1 -1",   // bad size
 		"0 j 0x1 10 0 sleep 5 garbage", // bad nodes (hex)
+		"0 j 1 10 0 bb 5",              // bb without a program
+		"0 j 1 10 0 bb -2 sleep 5",     // negative bb GiB
+		"0 j 1 10 0 bb frog sleep 5",   // bad bb GiB
 	}
 	for _, line := range bad {
 		if _, err := Decode(strings.NewReader(line)); err == nil {
