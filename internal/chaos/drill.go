@@ -157,6 +157,7 @@ func startGen(cfg DrillConfig, plan Plan, ln net.Listener, killC chan<- struct{}
 		return nil, err
 	}
 	srv := &http.Server{Handler: coord.Handler()}
+	//waschedlint:allow goroleak the drill owns srv and joins via srv.Close in stop(); Serve unblocks on close
 	go func() {
 		//waschedlint:allow checkederr Serve always returns ErrServerClosed (or the kill's error) after stop(); the drill owns shutdown
 		srv.Serve(ln)

@@ -96,6 +96,8 @@ func (e *Engine) PoolSize() int { return len(e.slots) }
 // At schedules fn to run at absolute time at. Scheduling in the past
 // (before Now) panics: it would mean the model produced a causality
 // violation, which is always a bug.
+//
+//waschedlint:hotpath
 func (e *Engine) At(at Time, name string, fn func()) Event {
 	if at < e.now {
 		panic(fmt.Sprintf("des: event %q scheduled at %v before now %v", name, at, e.now))
@@ -115,6 +117,8 @@ func (e *Engine) At(at Time, name string, fn func()) Event {
 }
 
 // After schedules fn to run d after the current time. Negative d panics.
+//
+//waschedlint:hotpath
 func (e *Engine) After(d Duration, name string, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("des: event %q scheduled %v in the past", name, d))
@@ -125,6 +129,8 @@ func (e *Engine) After(d Duration, name string, fn func()) Event {
 // Cancel removes a pending event from the queue. Cancelling a zero, fired,
 // already-cancelled, or stale (slot since recycled) event is a no-op and
 // returns false.
+//
+//waschedlint:hotpath
 func (e *Engine) Cancel(ev Event) bool {
 	if ev.eng != e || !ev.live() {
 		return false
@@ -136,6 +142,8 @@ func (e *Engine) Cancel(ev Event) bool {
 
 // Reschedule moves a pending event to a new time, preserving its callback.
 // If the event already fired or was cancelled it returns false.
+//
+//waschedlint:hotpath
 func (e *Engine) Reschedule(ev Event, at Time) bool {
 	if ev.eng != e || !ev.live() {
 		return false
@@ -153,6 +161,8 @@ func (e *Engine) Reschedule(ev Event, at Time) bool {
 
 // Step executes the earliest pending event, advancing the clock to its
 // timestamp. It returns false when the queue is empty.
+//
+//waschedlint:hotpath
 func (e *Engine) Step() bool {
 	if len(e.heap) == 0 {
 		return false
@@ -174,6 +184,8 @@ func (e *Engine) Step() bool {
 // after the deadline. The clock is left at the later of its current value
 // and the deadline when the deadline is the binding constraint; otherwise
 // at the time of the last executed event.
+//
+//waschedlint:hotpath
 func (e *Engine) Run(until Time) {
 	for len(e.heap) > 0 && e.slots[e.heap[0]].at <= until {
 		e.Step()

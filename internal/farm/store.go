@@ -79,6 +79,7 @@ func (s *Store) Event(event string, c Cell, worker string) error {
 	s.st.mu.Lock()
 	defer s.st.mu.Unlock()
 	cell := c
+	//waschedlint:allow lockdiscipline append is the serialized journal write the state mutex protects
 	return s.st.append(journalRecord{Event: event, Key: c.Key(), Cell: &cell, Worker: worker})
 }
 

@@ -22,6 +22,9 @@ type Allow struct {
 	Reason   string
 	File     string
 	Line     int
+	// Pos is the directive comment's position, so suite-level validation
+	// (unknown analyzer names) can report on the directive itself.
+	Pos token.Pos
 }
 
 // ParseAllows scans the files' comments for allow directives. Malformed
@@ -40,6 +43,11 @@ func ParseAllows(fset *token.FileSet, files []*ast.File) ([]Allow, []Diagnostic)
 					continue
 				}
 				rest := strings.TrimPrefix(text, AllowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					// A longer word sharing the prefix (or a typo like
+					// allowmaporder) is not this directive.
+					continue
+				}
 				fields := strings.Fields(rest)
 				if len(fields) < 2 {
 					malformed = append(malformed, Diagnostic{
@@ -55,6 +63,7 @@ func ParseAllows(fset *token.FileSet, files []*ast.File) ([]Allow, []Diagnostic)
 					Reason:   strings.Join(fields[1:], " "),
 					File:     pos.Filename,
 					Line:     pos.Line,
+					Pos:      c.Pos(),
 				})
 			}
 		}

@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseOne(t testing.TB, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, []*ast.File{f}
+}
+
+// TestParseAllows pins the directive grammar: analyzer and reason are both
+// mandatory, the reason keeps its internal spacing, trailing comments
+// attach to their own line, and near-miss spellings are not directives.
+func TestParseAllows(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		// wantAllows is (analyzer, reason) pairs in order.
+		wantAllows [][2]string
+		// wantMalformed counts diagnostics; every one must carry the
+		// pseudo-analyzer and the grammar hint.
+		wantMalformed int
+	}{
+		{
+			name: "well-formed standalone",
+			src: `package p
+//waschedlint:allow maporder iteration feeds a histogram, order-free
+var x int
+`,
+			wantAllows: [][2]string{{"maporder", "iteration feeds a histogram, order-free"}},
+		},
+		{
+			name: "trailing comment",
+			src: `package p
+var x = f() //waschedlint:allow checkederr best-effort close
+func f() int { return 0 }
+`,
+			wantAllows: [][2]string{{"checkederr", "best-effort close"}},
+		},
+		{
+			name: "missing reason",
+			src: `package p
+//waschedlint:allow maporder
+var x int
+`,
+			wantMalformed: 1,
+		},
+		{
+			name: "missing analyzer and reason",
+			src: `package p
+//waschedlint:allow
+var x int
+`,
+			wantMalformed: 1,
+		},
+		{
+			name: "leading space after slashes",
+			src: `package p
+// waschedlint:allow maporder spaced form still parses
+var x int
+`,
+			wantAllows: [][2]string{{"maporder", "spaced form still parses"}},
+		},
+		{
+			name: "near-miss prefix is not a directive",
+			src: `package p
+//waschedlint:allowmaporder smashed together
+//waschedlint:hotpath
+var x int
+`,
+		},
+		{
+			name: "multiple directives keep file order",
+			src: `package p
+//waschedlint:allow a first
+var x int
+//waschedlint:allow b second one
+var y int
+`,
+			wantAllows: [][2]string{{"a", "first"}, {"b", "second one"}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fset, files := parseOne(t, tc.src)
+			allows, malformed := ParseAllows(fset, files)
+			if len(allows) != len(tc.wantAllows) {
+				t.Fatalf("allows = %+v, want %d", allows, len(tc.wantAllows))
+			}
+			for i, want := range tc.wantAllows {
+				if allows[i].Analyzer != want[0] || allows[i].Reason != want[1] {
+					t.Errorf("allow[%d] = %q %q, want %q %q", i, allows[i].Analyzer, allows[i].Reason, want[0], want[1])
+				}
+				if allows[i].Line <= 0 || allows[i].File == "" || !allows[i].Pos.IsValid() {
+					t.Errorf("allow[%d] has no usable position: %+v", i, allows[i])
+				}
+			}
+			if len(malformed) != tc.wantMalformed {
+				t.Fatalf("malformed = %+v, want %d", malformed, tc.wantMalformed)
+			}
+			for _, d := range malformed {
+				if d.Analyzer != "allowdirective" {
+					t.Errorf("malformed finding attributed to %q, want allowdirective", d.Analyzer)
+				}
+				if !strings.Contains(d.Message, "<analyzer> <reason>") {
+					t.Errorf("malformed finding does not explain the grammar: %q", d.Message)
+				}
+			}
+		})
+	}
+}
+
+// TestParseAllowsDirectiveLine pins that a trailing directive suppresses
+// on its own source line: Filter covers the directive's line and the one
+// below, so the parsed Line must be the comment's physical line.
+func TestParseAllowsDirectiveLine(t *testing.T) {
+	src := `package p
+
+var x = 1 //waschedlint:allow check on line three
+`
+	fset, files := parseOne(t, src)
+	allows, malformed := ParseAllows(fset, files)
+	if len(malformed) != 0 || len(allows) != 1 {
+		t.Fatalf("allows=%v malformed=%v", allows, malformed)
+	}
+	if allows[0].Line != 3 {
+		t.Fatalf("directive line = %d, want 3", allows[0].Line)
+	}
+}
+
+// FuzzParseAllows feeds arbitrary Go sources through the directive parser
+// and checks its invariants: parsed directives always carry a non-empty
+// analyzer, a non-empty reason and a positive line; malformed ones are
+// always attributed to the allowdirective pseudo-analyzer; and a
+// directive never lands in both buckets.
+func FuzzParseAllows(f *testing.F) {
+	f.Add("package p\n//waschedlint:allow maporder reason text\nvar x int\n")
+	f.Add("package p\n//waschedlint:allow maporder\nvar x int\n")
+	f.Add("package p\nvar x = 1 //waschedlint:allow a b c d\n")
+	f.Add("package p\n//waschedlint:allow\n//waschedlint:allow  \t two  spaced\n")
+	f.Add("package p\n/*waschedlint:allow block comment form*/\nvar x int\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, parser.ParseComments)
+		if err != nil {
+			t.Skip() // not a parsable Go file; the parser never sees it
+		}
+		allows, malformed := ParseAllows(fset, []*ast.File{file})
+		directives := 0
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest := strings.TrimPrefix(text, AllowPrefix)
+				if len(rest) < len(text) && (rest == "" || rest[0] == ' ' || rest[0] == '\t') {
+					directives++
+				}
+			}
+		}
+		if got := len(allows) + len(malformed); got > directives {
+			t.Fatalf("%d findings from %d directive comments", got, directives)
+		}
+		for _, a := range allows {
+			if a.Analyzer == "" {
+				t.Fatalf("allow with empty analyzer: %+v", a)
+			}
+			if strings.TrimSpace(a.Reason) == "" {
+				t.Fatalf("allow with blank reason: %+v", a)
+			}
+			if a.Line <= 0 || a.File == "" {
+				t.Fatalf("allow with no position: %+v", a)
+			}
+		}
+		for _, d := range malformed {
+			if d.Analyzer != "allowdirective" {
+				t.Fatalf("malformed finding attributed to %q: %+v", d.Analyzer, d)
+			}
+			if !d.Pos.IsValid() {
+				t.Fatalf("malformed finding with no position: %+v", d)
+			}
+		}
+	})
+}

@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CallGraph is the static, same-package call graph of one package: the
+// function declarations and, for each, the statically resolvable calls in
+// its body. It powers the cross-function summaries the dataflow analyzers
+// use — a call to a package-local helper inherits the helper's effects
+// (blocking I/O, join evidence, hot-path membership) without any
+// interprocedural fact propagation.
+type CallGraph struct {
+	// Order holds the package's function declarations in source order, so
+	// every propagation over the graph is deterministic.
+	Order []*FuncNode
+	nodes map[*types.Func]*FuncNode
+}
+
+// FuncNode is one declared function or method.
+type FuncNode struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	// Sites lists the body's statically resolvable calls in source order.
+	// Calls inside nested function literals are excluded: a closure built
+	// in a body does not necessarily run there.
+	Sites []CallSite
+}
+
+// CallSite is one statically resolved call.
+type CallSite struct {
+	Call   *ast.CallExpr
+	Callee *types.Func
+}
+
+// Effect is a transitive property a function reaches through the call
+// graph: Cause names the root primitive, Pos locates it (or the call
+// leading toward it), and Chain lists the package functions crossed,
+// outermost first.
+type Effect struct {
+	Cause string
+	Pos   token.Pos
+	Chain []string
+}
+
+// NewCallGraph builds the call graph of the pass's package.
+func NewCallGraph(pass *Pass) *CallGraph {
+	g := &CallGraph{nodes: map[*types.Func]*FuncNode{}}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			node := &FuncNode{Fn: fn, Decl: fd}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					if callee := CalleeFunc(pass.TypesInfo, call); callee != nil {
+						node.Sites = append(node.Sites, CallSite{Call: call, Callee: callee})
+					}
+				}
+				return true
+			})
+			g.Order = append(g.Order, node)
+			g.nodes[fn] = node
+		}
+	}
+	return g
+}
+
+// Node returns the declaration node for fn, or nil for functions not
+// declared in this package (imported, interface methods, builtins).
+func (g *CallGraph) Node(fn *types.Func) *FuncNode {
+	return g.nodes[fn]
+}
+
+// Propagate computes, for every package function, the first effect it can
+// reach: its own direct effect if any, else the effect of the first call
+// site (in source order) whose package-local callee has one. Iterates to
+// a fixpoint, so chains of helpers resolve regardless of declaration
+// order; recursion converges because an effect, once assigned, is final.
+func (g *CallGraph) Propagate(direct func(*FuncNode) *Effect) map[*types.Func]*Effect {
+	effects := make(map[*types.Func]*Effect, len(g.Order))
+	for _, node := range g.Order {
+		if e := direct(node); e != nil {
+			effects[node.Fn] = e
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, node := range g.Order {
+			if _, done := effects[node.Fn]; done {
+				continue
+			}
+			for _, site := range node.Sites {
+				ce, ok := effects[site.Callee]
+				if !ok {
+					continue
+				}
+				effects[node.Fn] = &Effect{
+					Cause: ce.Cause,
+					Pos:   site.Call.Pos(),
+					Chain: append([]string{site.Callee.Name()}, ce.Chain...),
+				}
+				changed = true
+				break
+			}
+		}
+	}
+	return effects
+}
+
+// Reachable returns every package function reachable from the roots via
+// static same-package calls (roots included), mapped to one witness call
+// chain from a root (empty for the roots themselves). Traversal is
+// breadth-first in deterministic order.
+func (g *CallGraph) Reachable(roots []*types.Func) map[*types.Func][]string {
+	out := make(map[*types.Func][]string)
+	var queue []*types.Func
+	for _, r := range roots {
+		if _, ok := out[r]; ok {
+			continue
+		}
+		out[r] = nil
+		queue = append(queue, r)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		node := g.nodes[fn]
+		if node == nil {
+			continue
+		}
+		for _, site := range node.Sites {
+			if _, ok := out[site.Callee]; ok {
+				continue
+			}
+			if g.nodes[site.Callee] == nil {
+				continue
+			}
+			out[site.Callee] = append(append([]string{}, out[fn]...), fn.Name())
+			queue = append(queue, site.Callee)
+		}
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package analysis
+
+import "go/ast"
+
+// Forward runs a forward dataflow analysis over g to a fixpoint and
+// returns the fact at the entry of every block (indexed like g.Blocks;
+// unreachable blocks keep the zero fact and are marked false in the
+// second result).
+//
+// transfer must be pure: it returns a new fact rather than mutating its
+// input (copy-on-write for map-valued facts). merge combines the facts of
+// two predecessors; it must be commutative and associative so the
+// fixpoint is unique regardless of worklist order. equal decides
+// convergence.
+//
+// Analyzers typically re-apply transfer over each reachable block's
+// nodes afterwards, reporting findings against the per-node facts.
+func Forward[F any](g *CFG, entry F, transfer func(F, ast.Node) F, merge func(F, F) F, equal func(F, F) bool) ([]F, []bool) {
+	n := len(g.Blocks)
+	in := make([]F, n)
+	seen := make([]bool, n)
+	if n == 0 {
+		return in, seen
+	}
+	in[0], seen[0] = entry, true
+
+	work := []int{0}
+	queued := make([]bool, n)
+	queued[0] = true
+	// The lattices used here are finite (locks / locals mentioned in one
+	// function), so fixpoints come fast; the cap is a belt-and-braces
+	// guard against a non-monotone transfer looping forever.
+	maxSteps := 64 * (n + 1)
+	for steps := 0; len(work) > 0 && steps < maxSteps; steps++ {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+
+		out := in[b]
+		for _, node := range g.Blocks[b].Nodes {
+			out = transfer(out, node)
+		}
+		for _, s := range g.Blocks[b].Succs {
+			var next F
+			if !seen[s] {
+				next = out
+			} else {
+				next = merge(in[s], out)
+				if equal(next, in[s]) {
+					continue
+				}
+			}
+			in[s], seen[s] = next, true
+			if !queued[s] {
+				work = append(work, s)
+				queued[s] = true
+			}
+		}
+	}
+	return in, seen
+}

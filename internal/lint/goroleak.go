@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"wasched/internal/lint/analysis"
+)
+
+// Goroleak flags goroutines with no reachable join, cancel or ownership
+// hand-off — the same contract tickerstop enforces for tickers, applied
+// to goroutines. A background goroutine must show one of:
+//
+//   - a sync.WaitGroup Done (its owner Waits),
+//   - a close(ch) (its owner receives the closure),
+//   - a channel send, receive or select (it participates in a shutdown
+//     or result protocol — ctx.Done() and quit channels land here),
+//   - a range over a channel (it drains until the producer closes).
+//
+// The evidence may live in a package-local function the goroutine body
+// calls; the call-graph summaries carry it. `go` on an imported function
+// or method is flagged — the analyzer cannot see a hand-off, so the
+// launch site must either wrap it in a literal that signals completion
+// or carry an allow with the ownership rationale.
+var Goroleak = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc:  "every goroutine needs a reachable join, cancel or ownership hand-off",
+	Run:  runGoroleak,
+}
+
+func runGoroleak(pass *analysis.Pass) error {
+	cg := analysis.NewCallGraph(pass)
+	// evidence maps package functions to the join/cancel signal their
+	// synchronous body exhibits, so `go s.loop()` is fine when loop
+	// selects on the quit channel.
+	evidence := cg.Propagate(func(node *analysis.FuncNode) *analysis.Effect {
+		if desc, pos := joinEvidence(pass.TypesInfo, node.Decl.Body); desc != "" {
+			return &analysis.Effect{Cause: desc, Pos: pos}
+		}
+		return nil
+	})
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGoroutine(pass, cg, evidence, g)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkGoroutine(pass *analysis.Pass, cg *analysis.CallGraph, evidence map[*types.Func]*analysis.Effect, g *ast.GoStmt) {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		if desc, _ := joinEvidence(pass.TypesInfo, lit.Body); desc != "" {
+			return
+		}
+		// No primitive evidence in the literal itself: accept a call to a
+		// package-local function whose summary shows some.
+		found := false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := analysis.CalleeFunc(pass.TypesInfo, call); fn != nil {
+				if _, ok := evidence[fn]; ok {
+					found = true
+				}
+			}
+			return true
+		})
+		if !found {
+			pass.Reportf(g.Pos(), "goroutine has no join, cancel or ownership hand-off (no WaitGroup.Done, close, channel op or select)")
+		}
+		return
+	}
+
+	fn := analysis.CalleeFunc(pass.TypesInfo, g.Call)
+	if fn == nil {
+		pass.Reportf(g.Pos(), "goroutine launches a dynamic call with no visible join, cancel or ownership hand-off")
+		return
+	}
+	if _, ok := evidence[fn]; ok {
+		return
+	}
+	if cg.Node(fn) != nil {
+		pass.Reportf(g.Pos(), "goroutine runs %s, which has no join, cancel or ownership hand-off (no WaitGroup.Done, close, channel op or select)", fn.Name())
+		return
+	}
+	pass.Reportf(g.Pos(), "goroutine runs %s.%s outside this package: no visible join, cancel or ownership hand-off (wrap it in a literal that signals completion, or allow with the ownership rationale)",
+		pkgName(fn), fn.Name())
+}
+
+func pkgName(fn *types.Func) string {
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name()
+	}
+	return "?"
+}
+
+// joinEvidence scans a function body (nested literals included — a
+// deferred closure calling wg.Done counts) for the first join/cancel
+// primitive.
+func joinEvidence(info *types.Info, body *ast.BlockStmt) (string, token.Pos) {
+	var desc string
+	var pos token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if desc != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					desc, pos = "close", n.Pos()
+					return false
+				}
+			}
+			if fn := analysis.CalleeFunc(info, n); fn != nil && fn.Name() == "Done" {
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && isWaitGroup(sig.Recv().Type()) {
+					desc, pos = "WaitGroup.Done", n.Pos()
+					return false
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				desc, pos = "channel receive", n.Pos()
+				return false
+			}
+		case *ast.SendStmt:
+			desc, pos = "channel send", n.Pos()
+			return false
+		case *ast.SelectStmt:
+			desc, pos = "select", n.Pos()
+			return false
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					desc, pos = "range over channel", n.Pos()
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return desc, pos
+}
+
+func isWaitGroup(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}

@@ -1,9 +1,11 @@
 package lint_test
 
 import (
+	"fmt"
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"strings"
 	"testing"
 
@@ -37,6 +39,22 @@ func TestFloatguard(t *testing.T) {
 	linttest.Run(t, "testdata/src/floatguard", lint.Floatguard)
 }
 
+func TestLockdiscipline(t *testing.T) {
+	linttest.Run(t, "testdata/src/lockdiscipline", lint.Lockdiscipline)
+}
+
+func TestGoroleak(t *testing.T) {
+	linttest.Run(t, "testdata/src/goroleak", lint.Goroleak)
+}
+
+func TestUnitsafe(t *testing.T) {
+	linttest.Run(t, "testdata/src/unitsafe", lint.Unitsafe)
+}
+
+func TestHotalloc(t *testing.T) {
+	linttest.Run(t, "testdata/src/hotalloc", lint.Hotalloc)
+}
+
 // TestRepoIsClean is the self-application gate: the shipped tree must lint
 // clean under the production suite and scoping — the same invocation as
 // `make lint`.
@@ -58,6 +76,71 @@ func TestRepoIsClean(t *testing.T) {
 	}
 	for _, d := range diags {
 		t.Errorf("%s: %s: %s", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+}
+
+// TestCheckDeterministic pins the parallel Check's ordering contract:
+// two runs over the same load must format to byte-identical findings, so
+// CI artifacts and problem-matcher annotations never churn with
+// goroutine scheduling.
+func TestCheckDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repository")
+	}
+	fset := token.NewFileSet()
+	pkgs, err := load.Packages(fset, "../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() string {
+		diags, err := lint.Check(pkgs, lint.Suite())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, d := range diags {
+			fmt.Fprintf(&b, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+		return b.String()
+	}
+	first := run()
+	for i := 0; i < 3; i++ {
+		if got := run(); got != first {
+			t.Fatalf("run %d diverged:\n--- first ---\n%s--- run %d ---\n%s", i+2, first, i+2, got)
+		}
+	}
+}
+
+// TestUnknownAnalyzerAllow: an allow naming an analyzer the suite does
+// not know suppresses nothing it could ever match, so it is reported —
+// the typo would otherwise silently disarm the suppression.
+func TestUnknownAnalyzerAllow(t *testing.T) {
+	src := `package p
+
+//waschedlint:allow nosuchanalyzer the analyzer name is a typo
+var x int
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := load.NewInfo()
+	tpkg, err := (&types.Config{}).Check("wasched/internal/p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &load.Package{ImportPath: "wasched/internal/p", Fset: fset, Files: []*ast.File{f}, Pkg: tpkg, Info: info}
+	diags, err := lint.Check([]*load.Package{pkg}, lint.Suite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("want exactly the unknown-analyzer finding, got %+v", diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "allowdirective" || !strings.Contains(d.Message, `"nosuchanalyzer"`) {
+		t.Fatalf("unexpected finding: %s: %s", d.Analyzer, d.Message)
 	}
 }
 

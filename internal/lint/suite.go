@@ -1,7 +1,10 @@
 package lint
 
 import (
+	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 
 	"wasched/internal/lint/analysis"
 	"wasched/internal/lint/load"
@@ -59,6 +62,17 @@ func hasPathPrefix(path, prefix string) bool {
 //     without a deadline hangs a worker forever on a half-open socket.
 //   - floatguard runs where rate/throughput arithmetic lives: the
 //     scheduler policies and the resource/file-system models.
+//   - lockdiscipline and goroleak run on the concurrent fabric — the
+//     farm pool, the gridfarm coordinator/worker, the chaos harness and
+//     (goroleak) the CLIs that launch servers: one blocking call under a
+//     coordinator mutex stalls every worker, and one detached goroutine
+//     outlives the drill that owns it.
+//   - unitsafe runs where bytes/GiB/rate/time arithmetic mixes: the
+//     scheduler, the resource trackers, the pfs and bb models and the
+//     validators that check them.
+//   - hotalloc runs on the replay hot path's packages (des, sched, pfs,
+//     schedcheck, bb); it only fires inside //waschedlint:hotpath
+//     functions and their package-local callees.
 func Suite() []ScopedAnalyzer {
 	return []ScopedAnalyzer{
 		{
@@ -70,10 +84,13 @@ func Suite() []ScopedAnalyzer {
 		{Analyzer: Tickerstop},
 		{
 			Analyzer: Checkederr,
+			// internal/bb landed after PR 4's scoping; its ledger and
+			// series writers acknowledge state like the farm's do.
 			Include: []string{
 				"wasched/internal/farm",
 				"wasched/internal/gridfarm",
 				"wasched/internal/chaos",
+				"wasched/internal/bb",
 				"wasched/cmd",
 			},
 		},
@@ -94,6 +111,43 @@ func Suite() []ScopedAnalyzer {
 				"wasched/internal/bb",
 			},
 		},
+		{
+			Analyzer: Lockdiscipline,
+			Include: []string{
+				"wasched/internal/farm",
+				"wasched/internal/gridfarm",
+				"wasched/internal/chaos",
+			},
+		},
+		{
+			Analyzer: Goroleak,
+			Include: []string{
+				"wasched/internal/farm",
+				"wasched/internal/gridfarm",
+				"wasched/internal/chaos",
+				"wasched/cmd",
+			},
+		},
+		{
+			Analyzer: Unitsafe,
+			Include: []string{
+				"wasched/internal/sched",
+				"wasched/internal/restrack",
+				"wasched/internal/pfs",
+				"wasched/internal/bb",
+				"wasched/internal/schedcheck",
+			},
+		},
+		{
+			Analyzer: Hotalloc,
+			Include: []string{
+				"wasched/internal/des",
+				"wasched/internal/sched",
+				"wasched/internal/pfs",
+				"wasched/internal/schedcheck",
+				"wasched/internal/bb",
+			},
+		},
 	}
 }
 
@@ -108,26 +162,64 @@ func Analyzers() []*analysis.Analyzer {
 
 // Check runs the suite over the loaded packages: each in-scope analyzer
 // runs per package, allow directives filter the findings, and malformed
-// allow directives are findings themselves. The returned diagnostics are
-// sorted by position.
+// allow directives — or directives naming an analyzer the suite does not
+// know — are findings themselves. Packages are analyzed concurrently
+// (they share an immutable FileSet and type information, which analyzers
+// only read); results are concatenated in package order and sorted by
+// position, so repeated runs produce byte-identical output.
 func Check(pkgs []*load.Package, suite []ScopedAnalyzer) ([]analysis.Diagnostic, error) {
+	known := map[string]bool{"allowdirective": true}
+	for _, sa := range suite {
+		known[sa.Analyzer.Name] = true
+	}
+	results := make([][]analysis.Diagnostic, len(pkgs))
+	errs := make([]error, len(pkgs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(i int, pkg *load.Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = checkPackage(pkg, suite, known)
+		}(i, pkg)
+	}
+	wg.Wait()
 	var out []analysis.Diagnostic
-	for _, pkg := range pkgs {
-		allows, malformed := analysis.ParseAllows(pkg.Fset, pkg.Files)
-		out = append(out, malformed...)
-		for _, sa := range suite {
-			if !sa.applies(pkg.ImportPath) {
-				continue
-			}
-			diags, err := analysis.Run(sa.Analyzer, pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, analysis.Filter(pkg.Fset, diags, allows)...)
+	for i := range pkgs {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
+		out = append(out, results[i]...)
 	}
 	if len(pkgs) > 0 {
 		analysis.Sort(pkgs[0].Fset, out)
+	}
+	return out, nil
+}
+
+func checkPackage(pkg *load.Package, suite []ScopedAnalyzer, known map[string]bool) ([]analysis.Diagnostic, error) {
+	allows, malformed := analysis.ParseAllows(pkg.Fset, pkg.Files)
+	out := malformed
+	for _, a := range allows {
+		if !known[a.Analyzer] {
+			out = append(out, analysis.Diagnostic{
+				Pos:      a.Pos,
+				Analyzer: "allowdirective",
+				Message:  fmt.Sprintf("allow directive names unknown analyzer %q", a.Analyzer),
+			})
+		}
+	}
+	for _, sa := range suite {
+		if !sa.applies(pkg.ImportPath) {
+			continue
+		}
+		diags, err := analysis.Run(sa.Analyzer, pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, analysis.Filter(pkg.Fset, diags, allows)...)
 	}
 	return out, nil
 }

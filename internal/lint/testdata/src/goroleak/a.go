@@ -1,0 +1,122 @@
+// The goroleak corpus: goroutines must show a join, cancel or ownership
+// hand-off — a WaitGroup.Done, a close, a channel operation, a select or
+// a range over a channel, directly or through a package-local callee.
+package corpus
+
+import (
+	"os"
+	"sync"
+)
+
+type pool struct {
+	wg   sync.WaitGroup
+	work chan int
+	quit chan struct{}
+	done chan struct{}
+}
+
+// Fire-and-forget loop: nothing can ever stop or observe it.
+func (p *pool) leak() {
+	go func() { // want `goroutine has no join, cancel or ownership hand-off`
+		for i := 0; ; i++ {
+			_ = i
+		}
+	}()
+}
+
+// The four blessed shapes.
+func (p *pool) joined() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		compute()
+	}()
+	p.wg.Wait()
+}
+
+func (p *pool) closes() {
+	go func() {
+		defer close(p.done)
+		compute()
+	}()
+}
+
+func (p *pool) selects() {
+	go func() {
+		for {
+			select {
+			case <-p.quit:
+				return
+			case v := <-p.work:
+				_ = v
+			}
+		}
+	}()
+}
+
+func (p *pool) drains() {
+	go func() {
+		for v := range p.work {
+			_ = v
+		}
+	}()
+}
+
+func (p *pool) sends(errs chan error) {
+	go func() {
+		errs <- compute()
+	}()
+}
+
+// Evidence through a package-local callee: loop selects on quit.
+func (p *pool) viaHelper() {
+	go p.loop()
+	go func() {
+		p.loop()
+	}()
+}
+
+func (p *pool) loop() {
+	for {
+		select {
+		case <-p.quit:
+			return
+		case v := <-p.work:
+			_ = v
+		}
+	}
+}
+
+// A package-local callee with no evidence is still a leak.
+func (p *pool) viaLeakyHelper() {
+	go p.spin() // want `goroutine runs spin, which has no join, cancel or ownership hand-off`
+}
+
+func (p *pool) spin() {
+	for {
+		compute()
+	}
+}
+
+// An imported callee's body is invisible: the launch site must signal.
+func watchSignals(c chan os.Signal) {
+	go os.Getpid() // want `goroutine runs os.Getpid outside this package: no visible join, cancel or ownership hand-off`
+	_ = c
+}
+
+// Deliberate detachment documents its ownership story.
+func detach() {
+	//waschedlint:allow goroleak the process owns this daemon for its whole lifetime
+	go os.Getpid()
+}
+
+// Ranging over a non-channel inside the body is not evidence.
+func iterate(xs []int) {
+	go func() { // want `goroutine has no join, cancel or ownership hand-off`
+		for _, x := range xs {
+			_ = x
+		}
+	}()
+}
+
+func compute() error { return nil }

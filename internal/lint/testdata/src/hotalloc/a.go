@@ -1,0 +1,104 @@
+// The hotalloc corpus: functions marked //waschedlint:hotpath (and
+// everything they reach through package-local calls) must not introduce
+// allocations — the static twin of the replay bench's allocs/op gate.
+package corpus
+
+import "fmt"
+
+type engine struct {
+	slots []int
+	heap  []int
+	buf   []byte
+	names map[int]string
+}
+
+// step is the marked hot loop.
+//
+//waschedlint:hotpath
+func (e *engine) step(n int) {
+	// Appends rooted in retained fields reuse their backing arrays.
+	e.slots = append(e.slots, n)
+	e.heap = append(e.heap[:0], e.slots...)
+
+	ids := make([]int, 0, n) // want `make allocates in hot path: step`
+	_ = ids
+
+	m := map[int]bool{} // want `map literal allocates in hot path: step`
+	_ = m
+
+	s := []int{1, 2, 3} // want `slice literal allocates in hot path: step`
+	_ = s
+
+	p := &engine{} // want `&composite literal allocates in hot path: step`
+	_ = p
+
+	e.grow(n)
+
+	if n < 0 {
+		// Assertion paths may format their last words: no findings here.
+		panic(fmt.Sprintf("negative step %d", n))
+	}
+}
+
+// grow is hot by reachability from step.
+func (e *engine) grow(n int) {
+	var fresh []int
+	for i := 0; i < n; i++ {
+		fresh = append(fresh, i) // want `append to a fresh local slice grows in hot path \(reuse a retained buffer\): grow \(hot via step\)`
+	}
+	_ = fresh
+}
+
+// Locals derived from retained storage stay retained.
+//
+//waschedlint:hotpath
+func (e *engine) reuse(src []byte) {
+	buf := e.buf[:0]
+	buf = append(buf, src...)
+	e.buf = buf
+
+	dst := src[:0]
+	dst = append(dst, e.buf...)
+}
+
+// Closures, conversions, boxing, string concat and go statements.
+//
+//waschedlint:hotpath
+func (e *engine) churn(k int, name string) {
+	f := func() int { return k } // want `function literal allocates \(closure\) in hot path: churn`
+	_ = f
+
+	b := []byte(name) // want `\[\]byte\(string\) conversion allocates in hot path: churn`
+	_ = b
+
+	s := string(e.buf) // want `string\(\[\]byte\) conversion allocates in hot path: churn`
+	_ = s
+
+	t := name + "!" // want `string concatenation allocates in hot path: churn`
+	_ = t
+
+	go e.grow(k) // want `go statement allocates in hot path: churn`
+
+	sink(k) // want `argument boxed into interface allocates in hot path: churn`
+
+	// Pointer-shaped values fit the iface data word: no allocation.
+	sink(e)
+	sink(e.names)
+}
+
+func sink(v any) { _ = v }
+
+// Unmarked functions not reached from a hot root may allocate freely.
+func (e *engine) coldSetup(n int) {
+	e.slots = make([]int, 0, n)
+	e.names = map[int]string{}
+}
+
+// A deliberate hot-path allocation carries its rationale.
+//
+//waschedlint:hotpath
+func (e *engine) deliberate(n int) {
+	//waschedlint:allow hotalloc the boundary closure is counted in the bench allocs/op trajectory
+	f := func() int { return n }
+	_ = f
+}

@@ -1,0 +1,139 @@
+// The lockdiscipline corpus: blocking operations under a provably held
+// sync.Mutex/RWMutex are findings; branch-dependent locks, unlocked
+// sections, non-blocking polls and goroutine hand-offs are not.
+package corpus
+
+import (
+	"net/http"
+	"os"
+	"sync"
+	"time"
+)
+
+type store struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	path string
+	ch   chan int
+	quit chan struct{}
+}
+
+// Direct file I/O inside the critical section.
+func (s *store) writeHeld(b []byte) {
+	s.mu.Lock()
+	os.WriteFile(s.path, b, 0o644) // want `blocking call os.WriteFile while "s.mu" is held`
+	s.mu.Unlock()
+}
+
+// Unlocking first is the fix.
+func (s *store) writeReleased(b []byte) {
+	s.mu.Lock()
+	p := s.path
+	s.mu.Unlock()
+	os.WriteFile(p, b, 0o644)
+}
+
+// A deferred unlock holds the lock for the whole body.
+func (s *store) sleepDeferred() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `blocking call time.Sleep while "s.mu" is held`
+}
+
+// Held on one path only: not provably held at the join.
+func (s *store) branchy(cond bool, b []byte) {
+	if cond {
+		s.mu.Lock()
+		s.mu.Unlock()
+	}
+	os.WriteFile(s.path, b, 0o644)
+}
+
+// Held on both branch arms: provably held at the join.
+func (s *store) bothArms(cond bool, b []byte) {
+	if cond {
+		s.mu.Lock()
+	} else {
+		s.mu.Lock()
+	}
+	os.WriteFile(s.path, b, 0o644) // want `blocking call os.WriteFile while "s.mu" is held`
+	s.mu.Unlock()
+}
+
+// Channel operations block too.
+func (s *store) recvHeld() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want `channel receive while "s.mu" is held`
+}
+
+func (s *store) sendHeld(v int) {
+	s.mu.Lock()
+	s.ch <- v // want `channel send while "s.mu" is held`
+	s.mu.Unlock()
+}
+
+// A select with a default clause is a non-blocking poll; without one it
+// parks the goroutine with the lock held.
+func (s *store) pollHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.quit:
+	default:
+	}
+}
+
+func (s *store) parkHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `blocking select while "s.mu" is held`
+	case <-s.quit:
+	case v := <-s.ch:
+		_ = v
+	}
+}
+
+// The read side of an RWMutex still parks every writer behind the I/O.
+func (s *store) httpUnderRLock(c *http.Client, req *http.Request) {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	c.Do(req) // want `blocking call \(\*http.Client\).Do while "s.rw" is held`
+}
+
+// persist blocks through a package-local helper chain: the summary
+// carries the effect to the call site inside the critical section.
+func (s *store) persist(b []byte) error {
+	return writeAtomic(s.path, b)
+}
+
+func writeAtomic(path string, b []byte) error {
+	if err := os.WriteFile(path+".tmp", b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(path+".tmp", path)
+}
+
+func (s *store) saveHeld(b []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.persist(b) // want `call to persist → writeAtomic \(which reaches blocking call os.WriteFile\) while "s.mu" is held`
+}
+
+// Work handed to another goroutine leaves the critical section.
+func (s *store) spawnHeld(b []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go os.WriteFile(s.path, b, 0o644)
+	go func() {
+		time.Sleep(time.Millisecond)
+	}()
+}
+
+// A deliberate exception carries its rationale in an allow directive.
+func (s *store) deliberate(b []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//waschedlint:allow lockdiscipline the journal mutex exists to serialize exactly this write
+	os.WriteFile(s.path, b, 0o644)
+}

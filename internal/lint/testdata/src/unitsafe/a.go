@@ -1,0 +1,106 @@
+// The unitsafe corpus: bytes, GiB, rates and times must not mix. The GiB
+// constant is the conversion operator (multiply: GiB→bytes, divide:
+// bytes→GiB); unit-named identifiers seed the dimensions; locals inherit
+// units through assignments and lose them on conflicting paths.
+package corpus
+
+// GiB mirrors pfs.GiB: the bytes-per-GiB conversion factor.
+const GiB = float64(1 << 30)
+
+// Correct conversions carry no findings.
+func convert(capGiB float64) float64 {
+	capBytes := capGiB * GiB
+	back := capBytes / GiB
+	return back
+}
+
+// Scaling twice lands in exbibytes.
+func doubleScale(capGiB float64) float64 {
+	return capGiB * GiB * GiB // want `double scaling: capGiB \* GiB is already bytes-valued and is multiplied by the GiB factor again`
+}
+
+func doubleDescale(fileBytes float64) float64 {
+	g := fileBytes / GiB
+	return g / GiB // want `double scaling: g is already GiB-valued and is divided by the GiB factor again`
+}
+
+// A bytes-scale epsilon added to a GiB-scale quantity is a quiet MiB of
+// slack — the validator bug class.
+func overCapacity(occGiB, capGiB, epsBytes float64) bool {
+	return occGiB > capGiB+epsBytes // want `cross-unit \+: capGiB is GiB-valued but epsBytes is bytes-valued`
+}
+
+// Same-scale epsilons are fine.
+func overCapacityFixed(occGiB, capGiB, epsGiB float64) bool {
+	return occGiB > capGiB+epsGiB
+}
+
+// Comparing across the conversion boundary.
+func compareRaw(totalBytes, quotaGiB float64) bool {
+	return totalBytes > quotaGiB // want `cross-unit comparison: totalBytes is bytes-valued but quotaGiB is GiB-valued`
+}
+
+func compareConverted(totalBytes, quotaGiB float64) bool {
+	return totalBytes > quotaGiB*GiB
+}
+
+// Rates: bytes/seconds make bytes/s, and rate×time round-trips to bytes.
+func rates(totalBytes, elapsedSeconds, fileBytes float64) float64 {
+	bps := totalBytes / elapsedSeconds
+	gps := bps / GiB
+	moved := bps * elapsedSeconds
+	_ = moved + fileBytes
+	return gps + bps // want `cross-unit \+: gps is GiB/s-valued but bps is bytes/s-valued`
+}
+
+// Units follow locals through assignments.
+func propagate(fileBytes float64) bool {
+	b := fileBytes
+	g := b / GiB
+	return g > fileBytes // want `cross-unit comparison: g is GiB-valued but fileBytes is bytes-valued`
+}
+
+// A local assigned different units on different paths is unknown: no
+// finding, by design.
+func diverge(cond bool, aBytes, aGiB, fileBytes float64) bool {
+	var v float64
+	if cond {
+		v = aBytes
+	} else {
+		v = aGiB
+	}
+	return v > fileBytes
+}
+
+// Assignment into a unit-named variable is checked even before use.
+func assignSlip(capGiB float64) float64 {
+	var totalBytes float64
+	totalBytes = capGiB // want `cross-unit assignment: totalBytes is bytes-valued but gets a GiB value`
+	return totalBytes
+}
+
+func accumulateSlip(totalBytes, dirtyGiB float64) float64 {
+	totalBytes += dirtyGiB // want `cross-unit \+=: totalBytes is bytes-valued but dirtyGiB is GiB-valued`
+	return totalBytes
+}
+
+// Node-seconds never mix with plain seconds.
+func nodeTime(usedNodeSeconds, wallSeconds float64) bool {
+	return usedNodeSeconds < wallSeconds // want `cross-unit comparison: usedNodeSeconds is node·seconds-valued but wallSeconds is seconds-valued`
+}
+
+// Bandwidth-named fields are byte rates.
+type volume struct {
+	Bandwidth float64
+	CapGiB    float64
+}
+
+func volumeCheck(v volume) bool {
+	return v.Bandwidth > v.CapGiB // want `cross-unit comparison: v.Bandwidth is bytes/s-valued but v.CapGiB is GiB-valued`
+}
+
+// A deliberate mixed-unit line documents itself.
+func deliberate(scoreBytes, weightGiB float64) float64 {
+	//waschedlint:allow unitsafe the score blends scales on purpose; it is unitless by construction
+	return scoreBytes + weightGiB
+}

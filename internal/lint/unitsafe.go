@@ -1,0 +1,485 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"wasched/internal/lint/analysis"
+)
+
+// Unitsafe tracks physical dimensions — bytes, GiB, bytes/s, GiB/s,
+// seconds, node·seconds — through expressions and local assignments, and
+// flags arithmetic that mixes them: adding a GiB-valued quantity to a
+// bytes-valued epsilon, comparing bytes to GiB, or scaling by the GiB
+// conversion factor twice (`x*pfs.GiB*pfs.GiB`). The PR 8 burst-buffer
+// tier mixes all of these within single functions, and a wrong epsilon
+// scale is invisible to the type checker (everything is float64) and to
+// the validators (1e-3 GiB is a quiet 1 MiB of slack).
+//
+// Units are seeded two ways: the conversion factor itself (a constant
+// named GiB, e.g. pfs.GiB — multiplying converts GiB→bytes, dividing
+// converts back), and naming conventions on fields, params, constants
+// and methods (…Bytes, …GiB, …GiBps, …Seconds, …NodeSeconds, Bandwidth/
+// Throughput ≡ bytes/s). Locals inherit units from their initializers
+// through a forward dataflow over the CFG; a variable assigned different
+// units on different paths degrades to unknown, and unknown mixes with
+// everything — the analyzer only reports provable cross-unit arithmetic.
+var Unitsafe = &analysis.Analyzer{
+	Name: "unitsafe",
+	Doc:  "no cross-unit arithmetic: bytes, GiB, rates and times don't mix untagged",
+	Run:  runUnitsafe,
+}
+
+// unit is a physical dimension.
+type unit int
+
+const (
+	uUnknown unit = iota
+	uBytes
+	uGiB
+	uBytesPerSec
+	uGiBPerSec
+	uSeconds
+	uNodeSeconds
+	// uGiBFactor is the GiB conversion constant itself (float64(1<<30)):
+	// not a quantity, an operator.
+	uGiBFactor
+)
+
+func (u unit) String() string {
+	switch u {
+	case uBytes:
+		return "bytes"
+	case uGiB:
+		return "GiB"
+	case uBytesPerSec:
+		return "bytes/s"
+	case uGiBPerSec:
+		return "GiB/s"
+	case uSeconds:
+		return "seconds"
+	case uNodeSeconds:
+		return "node·seconds"
+	case uGiBFactor:
+		return "the GiB factor"
+	}
+	return "unknown"
+}
+
+// unitEnv maps local variables to their inferred units.
+type unitEnv map[types.Object]unit
+
+func runUnitsafe(pass *analysis.Pass) error {
+	u := &unitChecker{pass: pass}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body == nil {
+				return true
+			}
+			u.checkBody(body)
+			return true
+		})
+	}
+	return nil
+}
+
+type unitChecker struct {
+	pass *analysis.Pass
+	// reporting is set only during the final replay walk, never while the
+	// solver iterates to fixpoint.
+	reporting bool
+	reported  map[token.Pos]bool
+}
+
+func (u *unitChecker) checkBody(body *ast.BlockStmt) {
+	g := analysis.NewCFG(body)
+	transfer := func(env unitEnv, n ast.Node) unitEnv { return u.applyNode(env, n) }
+	in, seen := analysis.Forward(g, unitEnv{}, transfer, mergeEnvs, equalEnvs)
+
+	u.reporting = true
+	u.reported = map[token.Pos]bool{}
+	for i, blk := range g.Blocks {
+		if !seen[i] {
+			continue
+		}
+		env := in[i]
+		for _, node := range blk.Nodes {
+			env = u.applyNode(env, node)
+		}
+	}
+	u.reporting = false
+}
+
+// applyNode evaluates one CFG node: units flow through assignments, and
+// every evaluated expression gets its sub-expressions checked.
+func (u *unitChecker) applyNode(env unitEnv, n ast.Node) unitEnv {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		return u.applyAssign(env, n)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != len(vs.Names) {
+					continue
+				}
+				for i, name := range vs.Names {
+					ru := u.unitOf(env, vs.Values[i])
+					if obj := u.pass.TypesInfo.Defs[name]; obj != nil && ru != uUnknown && ru != uGiBFactor {
+						env = setEnv(env, obj, ru)
+					}
+				}
+			}
+		}
+		return env
+	case *ast.ExprStmt:
+		u.unitOf(env, n.X)
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			u.unitOf(env, r)
+		}
+	case *ast.SendStmt:
+		u.unitOf(env, n.Value)
+	case *ast.RangeStmt:
+		u.unitOf(env, n.X)
+	case *ast.IncDecStmt:
+		// x++ keeps x's unit.
+	case *ast.GoStmt, *ast.DeferStmt:
+		// Deferred/concurrent calls: checked when their bodies are.
+	case ast.Expr:
+		// Control expressions (if/for conditions, switch tags, case lists).
+		u.unitOf(env, n)
+	}
+	return env
+}
+
+func (u *unitChecker) applyAssign(env unitEnv, a *ast.AssignStmt) unitEnv {
+	if len(a.Lhs) != len(a.Rhs) {
+		// Multi-value call or comma-ok: evaluate for reports, drop units.
+		for _, r := range a.Rhs {
+			u.unitOf(env, r)
+		}
+		for _, l := range a.Lhs {
+			if obj := u.lhsObject(l); obj != nil {
+				env = setEnv(env, obj, uUnknown)
+			}
+		}
+		return env
+	}
+	for i, lhs := range a.Lhs {
+		ru := u.unitOf(env, a.Rhs[i])
+		obj := u.lhsObject(lhs)
+		lu := u.unitOf(env, lhs)
+		switch a.Tok {
+		case token.ASSIGN, token.DEFINE:
+			// A unit-named variable taking a provably different unit is a
+			// conversion slip even before the value is used.
+			if lu != uUnknown && ru != uUnknown && lu != ru && lu != uGiBFactor && ru != uGiBFactor {
+				u.reportf(a.Rhs[i].Pos(), "cross-unit assignment: %s is %s-valued but gets a %s value",
+					types.ExprString(lhs), lu, ru)
+			}
+			if obj != nil {
+				env = setEnv(env, obj, ru)
+			}
+		case token.ADD_ASSIGN, token.SUB_ASSIGN:
+			if lu != uUnknown && ru != uUnknown && lu != ru && lu != uGiBFactor && ru != uGiBFactor {
+				u.reportf(a.Rhs[i].Pos(), "cross-unit %s: %s is %s-valued but %s is %s-valued",
+					a.Tok, types.ExprString(lhs), lu, types.ExprString(a.Rhs[i]), ru)
+			}
+		case token.MUL_ASSIGN:
+			if ru == uGiBFactor {
+				env = u.scaleAssign(env, obj, lhs, a.Rhs[i], lu, true)
+			}
+		case token.QUO_ASSIGN:
+			if ru == uGiBFactor {
+				env = u.scaleAssign(env, obj, lhs, a.Rhs[i], lu, false)
+			}
+		}
+	}
+	return env
+}
+
+// scaleAssign handles x *= GiB and x /= GiB.
+func (u *unitChecker) scaleAssign(env unitEnv, obj types.Object, lhs, rhs ast.Expr, lu unit, mul bool) unitEnv {
+	nu, bad := scaleByGiB(lu, mul)
+	if bad {
+		dir := "multiplied by"
+		if !mul {
+			dir = "divided by"
+		}
+		u.reportf(rhs.Pos(), "double scaling: %s is already %s-valued and is %s the GiB factor again",
+			types.ExprString(lhs), lu, dir)
+	}
+	if obj != nil {
+		env = setEnv(env, obj, nu)
+	}
+	return env
+}
+
+func (u *unitChecker) lhsObject(lhs ast.Expr) types.Object {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := u.pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return u.pass.TypesInfo.Uses[id]
+}
+
+// unitOf computes the unit of e under env, reporting cross-unit
+// arithmetic along the way (when in the reporting pass).
+func (u *unitChecker) unitOf(env unitEnv, e ast.Expr) unit {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return u.unitOf(env, e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.ARROW {
+			return uUnknown
+		}
+		return u.unitOf(env, e.X)
+	case *ast.StarExpr:
+		return u.unitOf(env, e.X)
+	case *ast.IndexExpr:
+		u.unitOf(env, e.Index)
+		return u.unitOf(env, e.X)
+	case *ast.Ident:
+		return u.identUnit(env, e)
+	case *ast.SelectorExpr:
+		return u.identUnit(env, e.Sel)
+	case *ast.CallExpr:
+		return u.callUnit(env, e)
+	case *ast.BinaryExpr:
+		return u.binaryUnit(env, e)
+	}
+	return uUnknown
+}
+
+func (u *unitChecker) identUnit(env unitEnv, id *ast.Ident) unit {
+	obj := u.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = u.pass.TypesInfo.Defs[id]
+	}
+	if obj == nil {
+		return uUnknown
+	}
+	if c, ok := obj.(*types.Const); ok && c.Name() == "GiB" {
+		return uGiBFactor
+	}
+	if uu, ok := env[obj]; ok {
+		return uu
+	}
+	if !isNumeric(obj.Type()) {
+		return uUnknown
+	}
+	return unitFromName(id.Name)
+}
+
+func (u *unitChecker) callUnit(env unitEnv, call *ast.CallExpr) unit {
+	// A conversion keeps its operand's unit.
+	if tv, ok := u.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return u.unitOf(env, call.Args[0])
+	}
+	// Evaluate arguments for their own cross-unit findings.
+	for _, a := range call.Args {
+		u.unitOf(env, a)
+	}
+	if fn := analysis.CalleeFunc(u.pass.TypesInfo, call); fn != nil {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Results().Len() == 1 && isNumeric(sig.Results().At(0).Type()) {
+			return unitFromName(fn.Name())
+		}
+	}
+	return uUnknown
+}
+
+func (u *unitChecker) binaryUnit(env unitEnv, e *ast.BinaryExpr) unit {
+	lu := u.unitOf(env, e.X)
+	ru := u.unitOf(env, e.Y)
+	switch e.Op {
+	case token.MUL:
+		if lu == uGiBFactor || ru == uGiBFactor {
+			q, qExpr := lu, e.X
+			if lu == uGiBFactor {
+				q, qExpr = ru, e.Y
+			}
+			if q == uGiBFactor {
+				u.reportf(e.Pos(), "double scaling: the GiB factor multiplied by itself")
+				return uUnknown
+			}
+			nu, bad := scaleByGiB(q, true)
+			if bad {
+				u.reportf(e.Pos(), "double scaling: %s is already %s-valued and is multiplied by the GiB factor again",
+					types.ExprString(qExpr), q)
+			}
+			return nu
+		}
+		if (lu == uSeconds && ru == uBytesPerSec) || (lu == uBytesPerSec && ru == uSeconds) {
+			return uBytes
+		}
+		if (lu == uSeconds && ru == uGiBPerSec) || (lu == uGiBPerSec && ru == uSeconds) {
+			return uGiB
+		}
+		return uUnknown
+	case token.QUO:
+		if ru == uGiBFactor {
+			nu, bad := scaleByGiB(lu, false)
+			if bad {
+				u.reportf(e.Pos(), "double scaling: %s is already %s-valued and is divided by the GiB factor again",
+					types.ExprString(e.X), lu)
+			}
+			return nu
+		}
+		switch {
+		case lu == uBytes && ru == uSeconds:
+			return uBytesPerSec
+		case lu == uGiB && ru == uSeconds:
+			return uGiBPerSec
+		case lu == uBytes && ru == uBytesPerSec:
+			return uSeconds
+		case lu == uGiB && ru == uGiBPerSec:
+			return uSeconds
+		}
+		return uUnknown
+	case token.ADD, token.SUB:
+		if crossUnit(lu, ru) {
+			u.reportf(e.Pos(), "cross-unit %s: %s is %s-valued but %s is %s-valued",
+				e.Op, types.ExprString(e.X), lu, types.ExprString(e.Y), ru)
+			return uUnknown
+		}
+		if lu == uUnknown {
+			return ru
+		}
+		return lu
+	case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+		if crossUnit(lu, ru) {
+			u.reportf(e.Pos(), "cross-unit comparison: %s is %s-valued but %s is %s-valued",
+				types.ExprString(e.X), lu, types.ExprString(e.Y), ru)
+		}
+		return uUnknown
+	}
+	return uUnknown
+}
+
+// crossUnit reports a provable dimension mismatch: both sides known,
+// different, and neither is the bare conversion factor.
+func crossUnit(a, b unit) bool {
+	return a != uUnknown && b != uUnknown && a != b && a != uGiBFactor && b != uGiBFactor
+}
+
+// scaleByGiB applies the conversion factor: GiB-denominated quantities
+// become byte-denominated when multiplied (and vice versa when divided);
+// quantities already on the byte side get flagged (bad=true). Unknown
+// operands are assumed to be converting correctly.
+func scaleByGiB(q unit, mul bool) (nu unit, bad bool) {
+	if mul {
+		switch q {
+		case uGiB, uUnknown:
+			return uBytes, false
+		case uGiBPerSec:
+			return uBytesPerSec, false
+		case uBytes:
+			return uBytes, true
+		case uBytesPerSec:
+			return uBytesPerSec, true
+		}
+		return uUnknown, false
+	}
+	switch q {
+	case uBytes, uUnknown:
+		return uGiB, false
+	case uBytesPerSec:
+		return uGiBPerSec, false
+	case uGiB:
+		return uGiB, true
+	case uGiBPerSec:
+		return uGiBPerSec, true
+	}
+	return uUnknown, false
+}
+
+// unitFromName classifies an identifier by the repo's naming conventions.
+// Most specific first: …NodeSeconds before …Seconds, …GiBps and
+// …BytesPerSec before …GiB/…Bytes.
+func unitFromName(name string) unit {
+	switch {
+	case strings.Contains(name, "NodeSeconds") || strings.Contains(name, "NodeSecs"):
+		return uNodeSeconds
+	case strings.Contains(name, "GiBps") || strings.Contains(name, "Gibps") || strings.Contains(name, "GiBPerSec"):
+		return uGiBPerSec
+	case strings.Contains(name, "BytesPerSec") || strings.Contains(name, "Bandwidth") || strings.Contains(name, "Throughput"):
+		return uBytesPerSec
+	case strings.Contains(name, "GiB"):
+		return uGiB
+	case strings.Contains(name, "Bytes") || strings.HasPrefix(name, "bytes"):
+		return uBytes
+	case strings.Contains(name, "Seconds") || strings.HasPrefix(name, "seconds") || strings.HasSuffix(name, "Secs"):
+		return uSeconds
+	}
+	return uUnknown
+}
+
+func isNumeric(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}
+
+func (u *unitChecker) reportf(pos token.Pos, format string, args ...any) {
+	if !u.reporting || u.reported[pos] {
+		return
+	}
+	u.reported[pos] = true
+	u.pass.Reportf(pos, format, args...)
+}
+
+func setEnv(env unitEnv, obj types.Object, uu unit) unitEnv {
+	out := make(unitEnv, len(env)+1)
+	for k, v := range env {
+		out[k] = v
+	}
+	if uu == uUnknown || uu == uGiBFactor {
+		delete(out, obj)
+		if _, had := env[obj]; !had {
+			return env
+		}
+		out2 := make(unitEnv, len(env))
+		for k, v := range env {
+			if k != obj {
+				out2[k] = v
+			}
+		}
+		return out2
+	}
+	out[obj] = uu
+	return out
+}
+
+func mergeEnvs(a, b unitEnv) unitEnv {
+	out := unitEnv{}
+	for k, v := range a {
+		if bv, ok := b[k]; ok && bv == v {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func equalEnvs(a, b unitEnv) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}

@@ -50,8 +50,9 @@ type Stream struct {
 	started  bool // past the MDS create phase
 	finished bool
 	cancel   bool
-	event    des.Event    // next boundary: completion or burst expiry
+	event    des.Event // next boundary: completion or burst expiry
 	complete func()
+	boundary func() // the boundary-event callback, built once at open
 }
 
 // Node returns the client node the stream belongs to.
@@ -224,6 +225,19 @@ func (fs *FileSystem) StartStream(node string, kind OpKind, volume int, bytes fl
 		panic(fmt.Sprintf("pfs: stream size must be positive, got %g", bytes))
 	}
 	s := &Stream{fs: fs, node: node, kind: kind, volume: volume, total: bytes, complete: onComplete}
+	// The boundary callback is built once here: every recompute reschedules
+	// every active stream's boundary, and a fresh closure per reschedule
+	// was the recompute loop's only allocation.
+	s.boundary = func() {
+		s.event = des.Event{}
+		fs.sync()
+		if s.total-s.done <= 1 { // within a byte: finished
+			fs.finish(s)
+			return
+		}
+		// Burst expired (or numerical shortfall): recompute rates.
+		fs.recompute()
+	}
 	c := fs.nodeCounters(node)
 	if kind == Write {
 		c.WriteOps++
@@ -306,6 +320,8 @@ func (s *Stream) inBurst() bool {
 // recompute solves for every active stream's rate and reschedules each
 // stream's next boundary event (completion or burst expiry). Must be called
 // with counters synced to now.
+//
+//waschedlint:hotpath
 func (fs *FileSystem) recompute() {
 	fs.recomputes++
 	cfg := &fs.cfg
@@ -401,16 +417,7 @@ func (fs *FileSystem) scheduleBoundary(s *Stream, now des.Time) {
 	if d < 0 {
 		d = 0
 	}
-	s.event = fs.eng.At(now.Add(d), "pfs/stream", func() {
-		s.event = des.Event{}
-		fs.sync()
-		if s.total-s.done <= 1 { // within a byte: finished
-			fs.finish(s)
-			return
-		}
-		// Burst expired (or numerical shortfall): recompute rates.
-		fs.recompute()
-	})
+	s.event = fs.eng.At(now.Add(d), "pfs/stream", s.boundary)
 }
 
 func (fs *FileSystem) finish(s *Stream) {

@@ -73,6 +73,8 @@ type Runner struct {
 // caller-supplied Round — the entry point for incremental sessions, which
 // build the Round from carried state (Session.BeginRound) rather than
 // asking the policy for a fresh one.
+//
+//waschedlint:hotpath
 func (rn *Runner) RunRound(p Policy, rt Round, in RoundInput, opt Options) []Decision {
 	window := in.Waiting
 	if opt.MaxJobTest > 0 && len(window) > opt.MaxJobTest {

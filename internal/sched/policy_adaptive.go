@@ -134,17 +134,29 @@ type splitEntry struct {
 // With TwoGroup disabled it returns (0, 0): only genuinely zero-throughput
 // jobs form the zero group and no adjustment applies.
 func (p AdaptivePolicy) twoGroupSplit(waiting []*Job) (rStar, rZeroBar float64) {
-	rStar, rZeroBar, _ = p.twoGroupSplitInto(waiting, nil)
-	return rStar, rZeroBar
+	var sc splitScratch
+	return p.twoGroupSplitInto(waiting, &sc)
 }
 
-// twoGroupSplitInto is twoGroupSplit with a caller-supplied scratch slice
-// (pass scratch[:0] to reuse its backing array across rounds — adaptive
-// sessions call this every round, and the entry slice was the split's
-// dominant allocation). The returned slice is the grown scratch.
-func (p AdaptivePolicy) twoGroupSplitInto(waiting []*Job, entries []splitEntry) (rStar, rZeroBar float64, scratch []splitEntry) {
+// splitScratch is the two-group split's reusable buffer. It implements
+// sort.Interface on a pointer receiver so the per-round ratio sort costs
+// nothing: a *splitScratch is pointer-shaped (no boxing allocation) and
+// there is no sort.Slice closure to heap-allocate.
+type splitScratch struct {
+	entries []splitEntry
+}
+
+func (s *splitScratch) Len() int           { return len(s.entries) }
+func (s *splitScratch) Less(a, b int) bool { return s.entries[a].ratio < s.entries[b].ratio }
+func (s *splitScratch) Swap(a, b int)      { s.entries[a], s.entries[b] = s.entries[b], s.entries[a] }
+
+// twoGroupSplitInto is twoGroupSplit with a caller-supplied scratch
+// buffer, reused across rounds — adaptive sessions call this every round,
+// and the entry slice was the split's dominant allocation.
+func (p AdaptivePolicy) twoGroupSplitInto(waiting []*Job, sc *splitScratch) (rStar, rZeroBar float64) {
+	sc.entries = sc.entries[:0]
 	if !p.TwoGroup || len(waiting) == 0 {
-		return 0, 0, entries
+		return 0, 0
 	}
 	frac := p.QoSFraction
 	if frac == 0 {
@@ -167,20 +179,21 @@ func (p AdaptivePolicy) twoGroupSplitInto(waiting []*Job, entries []splitEntry) 
 		if ns <= 0 {
 			continue
 		}
-		entries = append(entries, splitEntry{
+		sc.entries = append(sc.entries, splitEntry{
 			ratio:   rate / float64(j.Nodes),
 			nodeSec: ns,
 			rate:    rate,
 		})
 		totalNodeSec += ns
 	}
+	entries := sc.entries
 	if len(entries) == 0 {
-		return 0, 0, entries
+		return 0, 0
 	}
 	if totalNodeSec == 0 {
-		return 0, 0, entries
+		return 0, 0
 	}
-	sort.Slice(entries, func(a, b int) bool { return entries[a].ratio < entries[b].ratio })
+	sort.Sort(sc)
 	need := frac * totalNodeSec
 	cum := 0.0
 	i := 0
@@ -203,9 +216,9 @@ func (p AdaptivePolicy) twoGroupSplitInto(waiting []*Job, entries []splitEntry) 
 		}
 	}
 	if zeroNodeSec == 0 {
-		return rStar, 0, entries
+		return rStar, 0
 	}
-	return rStar, zeroLoad / zeroNodeSec, entries
+	return rStar, zeroLoad / zeroNodeSec
 }
 
 type adaptiveRound struct {

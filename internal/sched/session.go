@@ -100,6 +100,7 @@ type nodeSession struct {
 	rounds int
 }
 
+//waschedlint:hotpath
 func (s *nodeSession) BeginRound(in RoundInput) Round {
 	if s.rounds++; s.rounds%trimEvery == 0 {
 		s.base.TrimBefore(in.Now)
@@ -112,10 +113,12 @@ func (s *nodeSession) BeginRound(in RoundInput) Round {
 	return &s.round
 }
 
+//waschedlint:hotpath
 func (s *nodeSession) JobStarted(j *Job) {
 	s.base.Add(j.StartedAt, j.StartedAt.Add(j.Limit), float64(j.Nodes))
 }
 
+//waschedlint:hotpath
 func (s *nodeSession) JobFinished(j *Job, end des.Time) {
 	if limEnd := j.StartedAt.Add(j.Limit); end < limEnd {
 		s.base.Add(end, limEnd, -float64(j.Nodes))
@@ -146,6 +149,7 @@ func newIOSession(p IOAwarePolicy) *ioSession {
 	}
 }
 
+//waschedlint:hotpath
 func (s *ioSession) BeginRound(in RoundInput) Round {
 	if s.rounds++; s.rounds%trimEvery == 0 {
 		s.baseNode.TrimBefore(in.Now)
@@ -175,12 +179,14 @@ func (s *ioSession) BeginRound(in RoundInput) Round {
 	return &s.round
 }
 
+//waschedlint:hotpath
 func (s *ioSession) JobStarted(j *Job) {
 	end := j.StartedAt.Add(j.Limit)
 	s.baseNode.Add(j.StartedAt, end, float64(j.Nodes))
 	s.baseRate.Add(j.StartedAt, end, s.p.clampRate(j.Rate))
 }
 
+//waschedlint:hotpath
 func (s *ioSession) JobFinished(j *Job, end des.Time) {
 	limEnd := j.StartedAt.Add(j.Limit)
 	if end >= limEnd {
@@ -200,10 +206,11 @@ type adaptiveSession struct {
 	p       AdaptivePolicy
 	inner   *ioSession
 	at      *restrack.BandwidthTracker
-	entries []splitEntry
+	scratch splitScratch
 	round   adaptiveRound
 }
 
+//waschedlint:hotpath
 func (s *adaptiveSession) BeginRound(in RoundInput) Round {
 	rt := s.inner.BeginRound(in).(*ioAwareRound)
 
@@ -227,8 +234,7 @@ func (s *adaptiveSession) BeginRound(in RoundInput) Round {
 		target = vIO * float64(s.p.TotalNodes) / nodeSec
 	}
 
-	var rStar, rZeroBar float64
-	rStar, rZeroBar, s.entries = s.p.twoGroupSplitInto(in.Waiting, s.entries[:0])
+	rStar, rZeroBar := s.p.twoGroupSplitInto(in.Waiting, &s.scratch)
 	adjTarget := target - float64(s.p.TotalNodes)*rZeroBar
 	if adjTarget < 0 {
 		adjTarget = 0
@@ -250,7 +256,10 @@ func (s *adaptiveSession) BeginRound(in RoundInput) Round {
 	return &s.round
 }
 
-func (s *adaptiveSession) JobStarted(j *Job)                { s.inner.JobStarted(j) }
+//waschedlint:hotpath
+func (s *adaptiveSession) JobStarted(j *Job) { s.inner.JobStarted(j) }
+
+//waschedlint:hotpath
 func (s *adaptiveSession) JobFinished(j *Job, end des.Time) { s.inner.JobFinished(j, end) }
 
 // planSession is the incremental form of PlanPolicy: node, burst-buffer
@@ -268,6 +277,7 @@ type planSession struct {
 	rounds   int
 }
 
+//waschedlint:hotpath
 func (s *planSession) BeginRound(in RoundInput) Round {
 	if s.rounds++; s.rounds%trimEvery == 0 {
 		s.baseNode.TrimBefore(in.Now)
@@ -301,6 +311,7 @@ func (s *planSession) BeginRound(in RoundInput) Round {
 	return &s.round
 }
 
+//waschedlint:hotpath
 func (s *planSession) JobStarted(j *Job) {
 	end := j.StartedAt.Add(j.Limit)
 	s.baseNode.Add(j.StartedAt, end, float64(j.Nodes))
@@ -310,6 +321,7 @@ func (s *planSession) JobStarted(j *Job) {
 	}
 }
 
+//waschedlint:hotpath
 func (s *planSession) JobFinished(j *Job, end des.Time) {
 	limEnd := j.StartedAt.Add(j.Limit)
 	if end >= limEnd {
@@ -333,6 +345,7 @@ type bbSession struct {
 	rounds int
 }
 
+//waschedlint:hotpath
 func (s *bbSession) BeginRound(in RoundInput) Round {
 	if s.rounds++; s.rounds%trimEvery == 0 {
 		s.baseBB.TrimBefore(in.Now)
@@ -343,11 +356,13 @@ func (s *bbSession) BeginRound(in RoundInput) Round {
 	return &s.round
 }
 
+//waschedlint:hotpath
 func (s *bbSession) JobStarted(j *Job) {
 	s.inner.JobStarted(j)
 	s.baseBB.Add(j.StartedAt, j.StartedAt.Add(j.Limit), clampNonNeg(j.BBBytes))
 }
 
+//waschedlint:hotpath
 func (s *bbSession) JobFinished(j *Job, end des.Time) {
 	s.inner.JobFinished(j, end)
 	if limEnd := j.StartedAt.Add(j.Limit); end < limEnd {

@@ -485,6 +485,8 @@ func newBBReplay(cfg ReplayConfig) *bbReplay {
 
 // admit reserves j's demand if it fits the free pool; a false return defers
 // the start to a later round. Jobs without demand always pass.
+//
+//waschedlint:hotpath
 func (b *bbReplay) admit(j *SimJob) bool {
 	if b == nil || !(j.BBBytes > 0) {
 		return true
@@ -500,6 +502,8 @@ func (b *bbReplay) admit(j *SimJob) bool {
 // Reservations release on the round boundary at or after their drain-end —
 // never early — so round-based admission is conservative with respect to
 // the continuous-time occupancy the validator sweeps.
+//
+//waschedlint:hotpath
 func (b *bbReplay) release(now des.Time) {
 	if b == nil || len(b.drains) == 0 {
 		return
@@ -522,6 +526,8 @@ func (b *bbReplay) release(now des.Time) {
 // reservation release at the drain's end. The replay folds stage-in into the
 // job's runtime window (done at start + bytes/stage-rate, capped at the
 // job's end) and drains the full reservation after the job ends.
+//
+//waschedlint:hotpath
 func (b *bbReplay) complete(sim *SimJob, jt *trace.JobTrace, start, end des.Time) {
 	if b == nil || !(sim.BBBytes > 0) {
 		return

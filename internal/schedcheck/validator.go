@@ -131,6 +131,11 @@ func ValidateJobs(jobs []trace.JobTrace, opts ValidateOptions) Result {
 // burst-buffer demands are megabytes and up.
 const bbBytesEps = 1e-3
 
+// bbGiBEps is the GiB-scale sibling for the sampled occupancy series,
+// which records GiB: adding the bytes-scale epsilon to a GiB-valued
+// bound would quietly grant ~1 MiB of slack.
+const bbGiBEps = bbBytesEps / pfs.GiB
+
 // checkBBTraces enforces the burst-buffer invariants over completed job
 // traces:
 //
@@ -419,7 +424,7 @@ func ValidateRun(rec *trace.Recorder, opts ValidateOptions) Result {
 	if opts.BBCapacity > 0 {
 		capGiB := opts.BBCapacity / pfs.GiB
 		for i, v := range rec.BBOccupancy.Values {
-			if v > capGiB+bbBytesEps {
+			if v > capGiB+bbGiBEps {
 				res.violatef("bb-capacity", "occupancy sample %d: %.3f GiB on a %.3f GiB pool at t=%.0fs",
 					i, v, capGiB, rec.BBOccupancy.Times[i])
 				break
@@ -431,10 +436,10 @@ func ValidateRun(rec *trace.Recorder, opts ValidateOptions) Result {
 		if slack == 0 {
 			slack = 0.25
 		}
-		limitGiB := opts.ThroughputLimit / pfs.GiB
+		limitGiBps := opts.ThroughputLimit / pfs.GiB
 		over, worst := 0, 0.0
 		for _, v := range rec.Throughput.Values {
-			if v > limitGiB*(1+slack) {
+			if v > limitGiBps*(1+slack) {
 				over++
 				if v > worst {
 					worst = v
@@ -443,7 +448,7 @@ func ValidateRun(rec *trace.Recorder, opts ValidateOptions) Result {
 		}
 		if over > 0 {
 			res.warnf("throughput-limit", "%d/%d samples above %.1f GiB/s (+%.0f%% slack), worst %.1f GiB/s",
-				over, rec.Throughput.Len(), limitGiB, slack*100, worst)
+				over, rec.Throughput.Len(), limitGiBps, slack*100, worst)
 		}
 	}
 	return res
