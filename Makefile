@@ -1,7 +1,7 @@
 # Development targets. `make check` is the pre-merge gate: static vetting,
 # the waschedlint analyzer suite, the full test suite under the race
-# detector, the burst-buffer replay smoke test (all invariant checks on),
-# the sweep checkpoint/resume smoke test, the distributed
+# detector, the burst-buffer and token-bucket replay smoke tests (all
+# invariant checks on), the sweep checkpoint/resume smoke test, the distributed
 # (coordinator + loopback workers) smoke test, the chaos crash-recovery
 # smoke test (seeded faults + coordinator kill/restart), and a
 # short-budget run of every fuzz target (seed corpus + a few seconds of
@@ -18,7 +18,7 @@ CHAOSADDR := 127.0.0.1:39141
 # duplicates, injected 500s and delays, all on the seeded schedule.
 CHAOSWIRE := drop=0.05,droprsp=0.05,dup=0.1,err=0.1,delay=0.2:5ms
 
-.PHONY: build vet lint test race fuzz bbcheck sweep-smoke gridsweep-smoke gridchaos-smoke bench-replay bench-replay-check check
+.PHONY: build vet lint test race fuzz bbcheck tbfcheck sweep-smoke gridsweep-smoke gridchaos-smoke bench-replay bench-replay-check check
 
 build:
 	$(GO) build ./...
@@ -116,6 +116,14 @@ bbcheck:
 	$(GO) run ./cmd/wasched replay testdata/swf/synthetic-10k.swf -policy plan -bb-capacity-gib 64 -bb-fraction 0.3 -checks -quiet
 	$(GO) run ./cmd/wasched replay testdata/swf/synthetic-10k.swf -policy bb-io-aware -bb-capacity-gib 64 -bb-fraction 0.3 -checks -quiet
 
+# Token-bucket end-to-end smoke: replay the bundled 10k-job trace through
+# both token policies with every invariant check on (per-round checks plus
+# the bucket-conservation and borrow-attribution validators). The capacity
+# defaults to the corpus fill rate, so every bucket sees contention.
+tbfcheck:
+	$(GO) run ./cmd/wasched replay testdata/swf/synthetic-10k.swf -policy tbf -checks -quiet
+	$(GO) run ./cmd/wasched replay testdata/swf/synthetic-10k.swf -policy tbf-straggler -checks -quiet
+
 # Archive-trace replay benchmark: replay the bundled 10k-job SWF trace
 # through all four policies, append the measured jobs/s to the
 # BENCH_replay.json trajectory, and fail on a >20% regression against the
@@ -134,5 +142,6 @@ fuzz:
 	$(GO) test ./internal/sched -run='^$$' -fuzz=FuzzRunRound -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/sched -run='^$$' -fuzz=FuzzTwoGroupSplit -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/lint/analysis -run='^$$' -fuzz=FuzzParseAllows -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/tbf -run='^$$' -fuzz=FuzzRedistribute -fuzztime=$(FUZZTIME)
 
-check: vet lint race bbcheck sweep-smoke gridsweep-smoke gridchaos-smoke fuzz
+check: vet lint race bbcheck tbfcheck sweep-smoke gridsweep-smoke gridchaos-smoke fuzz

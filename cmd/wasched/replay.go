@@ -24,6 +24,10 @@ import (
 func replayPolicies(name string, nodes int, limit, bbCap float64) ([]sched.Policy, []float64, error) {
 	mk := func(label string) (sched.Policy, float64, error) {
 		switch label {
+		case "tbf":
+			return sched.TBFPolicy{TotalNodes: nodes}, 0, nil
+		case "tbf-straggler":
+			return sched.TBFPolicy{TotalNodes: nodes, Straggler: true}, 0, nil
 		case "default":
 			return sched.NodePolicy{TotalNodes: nodes}, 0, nil
 		case "io-aware":
@@ -40,7 +44,7 @@ func replayPolicies(name string, nodes int, limit, bbCap float64) ([]sched.Polic
 				Capacity: bbCap,
 			}, limit, nil
 		default:
-			return nil, 0, fmt.Errorf("unknown policy %q (want default, io-aware, adaptive, adaptive-naive, plan, bb-io-aware or all)", label)
+			return nil, 0, fmt.Errorf("unknown policy %q (want default, io-aware, adaptive, adaptive-naive, plan, bb-io-aware, tbf, tbf-straggler or all)", label)
 		}
 	}
 	labels := []string{name}
@@ -63,7 +67,7 @@ func replayPolicies(name string, nodes int, limit, bbCap float64) ([]sched.Polic
 // runReplay implements `wasched replay <trace.swf[.gz]> [flags]`.
 func runReplay(args []string) error {
 	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
-	policy := fs.String("policy", "all", "policy: default, io-aware, adaptive, adaptive-naive, plan, bb-io-aware or all")
+	policy := fs.String("policy", "all", "policy: default, io-aware, adaptive, adaptive-naive, plan, bb-io-aware, tbf, tbf-straggler or all")
 	nodes := fs.Int("nodes", 15, "cluster size (the paper's Stria partition)")
 	coresPerNode := fs.Int("cores-per-node", 56, "cores per node for SWF processor→node conversion")
 	limitGiB := fs.Float64("limit-gib", 20, "policy throughput limit R_limit, GiB/s")
@@ -76,6 +80,9 @@ func runReplay(args []string) error {
 	bbPerNode := fs.Float64("bb-gib-per-node", 4, "BB reservation per node for assigned jobs, GiB")
 	bbStage := fs.Float64("bb-stage-gibps", 2, "BB stage-in rate, GiB/s (0 = instant)")
 	bbDrain := fs.Float64("bb-drain-gibps", 1, "BB stage-out drain rate, GiB/s (0 = instant)")
+	tbfCapGiB := fs.Float64("tbf-capacity-gib", 0, "token-bucket aggregate fill rate, GiB/s (0 = auto for tbf policies, off otherwise)")
+	tbfBurst := fs.Float64("tbf-burst-s", 0, "token-bucket burst depth, seconds of fill (0 = default 60)")
+	tbfServers := fs.Int("tbf-servers", 0, "token-layer server count for straggler health (0 = default 8)")
 	maxRounds := fs.Int("max-rounds", 0, "round budget (0 = sized from the trace span)")
 	checks := fs.Bool("checks", false, "run the per-round invariant checks (slower)")
 	quiet := fs.Bool("quiet", false, "suppress live progress on stderr")
@@ -97,6 +104,11 @@ func runReplay(args []string) error {
 
 	if *bbFraction > 0 && *bbCapGiB <= 0 {
 		return fmt.Errorf("-bb-fraction needs -bb-capacity-gib: jobs with BB demand can never start against an absent pool")
+	}
+	// The tbf policies need a token pool; default it to the corpus fill
+	// capacity so `-policy tbf` works out of the box on any trace.
+	if (*policy == "tbf" || *policy == "tbf-straggler") && *tbfCapGiB <= 0 {
+		*tbfCapGiB = schedcheck.CorpusTBFCapacity / pfs.GiB
 	}
 	opts := workload.DefaultSWFOptions()
 	opts.CoresPerNode = *coresPerNode
@@ -146,6 +158,16 @@ func runReplay(args []string) error {
 			cfg.BBCapacity = bbCap
 			cfg.BBStageRate = *bbStage * pfs.GiB
 			cfg.BBDrainRate = *bbDrain * pfs.GiB
+		}
+		if *tbfCapGiB > 0 {
+			cfg.TBFCapacity = *tbfCapGiB * pfs.GiB
+			cfg.TBFBurst = des.FromSeconds(*tbfBurst)
+			if cfg.TBFServers = *tbfServers; cfg.TBFServers <= 0 {
+				cfg.TBFServers = schedcheck.CorpusTBFServers
+			}
+			if tp, ok := p.(sched.TBFPolicy); ok {
+				cfg.TBFStraggler = tp.Straggler
+			}
 		}
 		if cfg.MaxRounds == 0 {
 			cfg.MaxRounds = replayRoundBudget(jobs, cfg.Interval)

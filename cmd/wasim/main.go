@@ -3,9 +3,10 @@
 // Usage:
 //
 //	wasim -file workload.txt [-conf slurm.conf]
-//	      [-policy default|easy|io-aware|adaptive|adaptive-naive|plan]
+//	      [-policy default|easy|io-aware|adaptive|adaptive-naive|plan|tbf|tbf-straggler]
 //	      [-limit GIBPS] [-nodes N] [-seed N] [-pretrain]
 //	      [-bb-capacity-gib G] [-bb-aware]
+//	      [-tbf-capacity-gib G] [-tbf-burst-s S] [-tbf-servers N]
 //	      [-csv series.csv] [-jobs-csv jobs.csv] [-plot]
 //
 // With -bb-capacity-gib, a shared burst-buffer tier of that size is
@@ -14,6 +15,12 @@
 // PFS after. `-policy plan` co-schedules compute nodes and BB space;
 // -bb-aware instead keeps the chosen policy and adds BB admission
 // awareness to its backfill.
+//
+// With -tbf-capacity-gib, the client-side token-bucket bandwidth layer is
+// attached: every running job holds a bucket filled at its fair share of
+// the capacity and the PFS enforces the per-node rate caps. `-policy tbf`
+// and `-policy tbf-straggler` require it (or default it to 10 GiB/s), but
+// the layer composes with any policy.
 //
 // With -conf, the slurm.conf-style file (see internal/slurmconf) provides
 // the base configuration; explicit flags override it.
@@ -50,11 +57,14 @@ func main() {
 func run() error {
 	file := flag.String("file", "", "workload trace file (required)")
 	confPath := flag.String("conf", "", "slurm.conf-style configuration file")
-	policyName := flag.String("policy", "default", "default, easy, io-aware, adaptive, adaptive-naive or plan")
+	policyName := flag.String("policy", "default", "default, easy, io-aware, adaptive, adaptive-naive, plan, tbf or tbf-straggler")
 	limit := flag.Float64("limit", 20, "throughput limit in GiB/s for io-aware/adaptive")
 	nodes := flag.Int("nodes", 15, "compute node count")
 	bbCapGiB := flag.Float64("bb-capacity-gib", 0, "shared burst-buffer pool, GiB (0 = no BB tier)")
 	bbAware := flag.Bool("bb-aware", false, "wrap the policy with BB admission awareness (needs -bb-capacity-gib)")
+	tbfCapGiB := flag.Float64("tbf-capacity-gib", 0, "token-bucket aggregate fill rate, GiB/s (0 = auto for tbf policies, off otherwise)")
+	tbfBurst := flag.Float64("tbf-burst-s", 0, "token-bucket burst depth, seconds of fill (0 = default 60)")
+	tbfServers := flag.Int("tbf-servers", 0, "token-layer server count for straggler health (0 = from the PFS config)")
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	pretrain := flag.Bool("pretrain", false, "pre-train the estimator on isolated runs")
 	csvOut := flag.String("csv", "", "write sampled series CSV to this file")
@@ -121,6 +131,10 @@ func run() error {
 			cfg.Scheduler.Policy = core.AdaptiveNaive
 		case "plan":
 			cfg.Scheduler.Policy = core.Plan
+		case "tbf":
+			cfg.Scheduler.Policy = core.TBF
+		case "tbf-straggler":
+			cfg.Scheduler.Policy = core.TBFStraggler
 		default:
 			return fmt.Errorf("unknown policy %q", *policyName)
 		}
@@ -133,6 +147,18 @@ func run() error {
 	}
 	if *bbAware {
 		cfg.Scheduler.BBAware = true
+	}
+	// The tbf policy kinds need a token pool; default it so `-policy tbf`
+	// works out of the box. An explicit capacity attaches the layer under
+	// any policy.
+	if *tbfCapGiB <= 0 && (cfg.Scheduler.Policy == core.TBF || cfg.Scheduler.Policy == core.TBFStraggler) &&
+		cfg.TBF.CapacityBytesPerSec == 0 {
+		*tbfCapGiB = 10
+	}
+	if *tbfCapGiB > 0 {
+		cfg.TBF.CapacityBytesPerSec = *tbfCapGiB * pfs.GiB
+		cfg.TBF.BurstSeconds = *tbfBurst
+		cfg.TBF.Servers = *tbfServers
 	}
 	sys, err := core.NewSystem(cfg)
 	if err != nil {

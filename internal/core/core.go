@@ -32,6 +32,7 @@ import (
 	"wasched/internal/sched"
 	"wasched/internal/slurm"
 	"wasched/internal/sos"
+	"wasched/internal/tbf"
 	"wasched/internal/trace"
 	"wasched/internal/workload"
 )
@@ -57,6 +58,12 @@ const (
 	// Plan is the plan-based burst-buffer co-scheduler (requires
 	// Config.BB.CapacityBytes > 0; ThroughputLimit optional).
 	Plan
+	// TBF is the node-only scheduler running above the decentralized
+	// token-bucket bandwidth layer (requires Config.TBF to be enabled):
+	// central I/O reservation is replaced by client-side throttling.
+	TBF
+	// TBFStraggler is TBF with straggler-aware allowance weighting.
+	TBFStraggler
 )
 
 // String names the policy kind.
@@ -74,6 +81,10 @@ func (k PolicyKind) String() string {
 		return "adaptive-naive"
 	case Plan:
 		return "plan"
+	case TBF:
+		return "tbf"
+	case TBFStraggler:
+		return "tbf-straggler"
 	default:
 		return fmt.Sprintf("PolicyKind(%d)", int(k))
 	}
@@ -113,6 +124,11 @@ type Config struct {
 	// BB configures the burst-buffer tier; CapacityBytes = 0 (the
 	// default) builds no tier and rejects BB-requesting jobs.
 	BB bb.Config
+	// TBF configures the client-side token-bucket bandwidth layer;
+	// CapacityBytesPerSec = 0 (the default) builds no limiter. The layer
+	// is execution-time control and composes with any policy, but the
+	// TBF and TBFStraggler policy kinds require it.
+	TBF tbf.Config
 	// TracePeriod is the run recorder's sampling period (0 = 5 s).
 	TracePeriod des.Duration
 }
@@ -188,6 +204,14 @@ func (c Config) basePolicy() (sched.Policy, int, error) {
 			ThroughputLimit: c.Scheduler.ThroughputLimit,
 			IgnoreMeasured:  c.Scheduler.IgnoreMeasured,
 		}, backfillMax, nil
+	case TBF, TBFStraggler:
+		if c.TBF.CapacityBytesPerSec <= 0 {
+			return nil, 0, fmt.Errorf("core: %v policy needs a positive TBF.CapacityBytesPerSec", c.Scheduler.Policy)
+		}
+		return sched.TBFPolicy{
+			TotalNodes: c.Nodes,
+			Straggler:  c.Scheduler.Policy == TBFStraggler,
+		}, backfillMax, nil
 	default:
 		return nil, 0, fmt.Errorf("core: unknown policy kind %v", c.Scheduler.Policy)
 	}
@@ -205,6 +229,9 @@ type System struct {
 	Recorder   *trace.Recorder
 	// BB is the burst-buffer tier; nil when Config.BB.CapacityBytes = 0.
 	BB *bb.Tier
+	// TBF is the token-bucket bandwidth limiter; nil when
+	// Config.TBF.CapacityBytesPerSec = 0.
+	TBF *tbf.Limiter
 
 	cfg       Config
 	submitted int
@@ -250,6 +277,17 @@ func NewSystem(cfg Config) (*System, error) {
 		}
 		ctl.AttachBB(tier)
 	}
+	if cfg.Scheduler.Policy == TBFStraggler && cfg.Scheduler.Custom == nil {
+		cfg.TBF.Straggler = true
+	}
+	var lim *tbf.Limiter
+	if cfg.TBF.CapacityBytesPerSec > 0 {
+		lim, err = tbf.New(eng, fs, cfg.TBF)
+		if err != nil {
+			return nil, err
+		}
+		ctl.AttachTBF(lim)
+	}
 	period := cfg.TracePeriod
 	if period <= 0 {
 		period = 5 * des.Second
@@ -257,6 +295,9 @@ func NewSystem(cfg Config) (*System, error) {
 	rec := trace.NewRecorder(eng, fs, cl, ctl, period)
 	if tier != nil {
 		rec.SetBB(tier)
+	}
+	if lim != nil {
+		rec.SetTBF(lim)
 	}
 	return &System{
 		Eng:        eng,
@@ -268,6 +309,7 @@ func NewSystem(cfg Config) (*System, error) {
 		Controller: ctl,
 		Recorder:   rec,
 		BB:         tier,
+		TBF:        lim,
 		cfg:        cfg,
 	}, nil
 }
@@ -379,7 +421,8 @@ func (s *System) measureIsolated(spec slurm.JobSpec) (analytics.Estimate, error)
 	cfg := DefaultConfig()
 	cfg.Nodes = s.cfg.Nodes
 	cfg.FS = s.cfg.FS
-	cfg.BB = s.cfg.BB // BB-requesting specs need a tier on the scratch system too
+	cfg.BB = s.cfg.BB   // BB-requesting specs need a tier on the scratch system too
+	cfg.TBF = s.cfg.TBF // measure under the same throttling regime the real run sees
 	cfg.Seed = s.cfg.Seed ^ 0x9E3779B97F4A7C15 // independent timeline per system seed
 	cfg.TracePeriod = des.Second
 	scratch, err := NewSystem(cfg)

@@ -23,6 +23,7 @@ func TestPolicyKindString(t *testing.T) {
 	cases := map[PolicyKind]string{
 		Default: "default", EASY: "easy", IOAware: "io-aware",
 		Adaptive: "adaptive", AdaptiveNaive: "adaptive-naive",
+		TBF: "tbf", TBFStraggler: "tbf-straggler",
 	}
 	for k, want := range cases {
 		if k.String() != want {
@@ -59,6 +60,70 @@ func TestNewSystemValidation(t *testing.T) {
 	cfg.FS.Volumes = 0
 	if _, err := NewSystem(cfg); err == nil {
 		t.Fatal("bad fs config must fail")
+	}
+	cfg = DefaultConfig()
+	cfg.Scheduler.Policy = TBF // no token layer configured
+	if _, err := NewSystem(cfg); err == nil {
+		t.Fatal("tbf without capacity must fail")
+	}
+	cfg = DefaultConfig()
+	cfg.Scheduler.Policy = TBFStraggler
+	if _, err := NewSystem(cfg); err == nil {
+		t.Fatal("tbf-straggler without capacity must fail")
+	}
+}
+
+// TestTBFSystemLifecycle runs a small workload under the token-bucket
+// layer end to end: jobs complete, the ledger conserves tokens, and the
+// recorder picks up the per-job token accounts.
+func TestTBFSystemLifecycle(t *testing.T) {
+	for _, kind := range []PolicyKind{TBF, TBFStraggler} {
+		cfg := quietConfig()
+		cfg.Scheduler.Policy = kind
+		cfg.TBF.CapacityBytesPerSec = 15 * pfs.GiB
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if sys.TBF == nil {
+			t.Fatalf("%v: no limiter built", kind)
+		}
+		for i := 0; i < 4; i++ {
+			sys.MustSubmit(workload.WriteJob(2))
+		}
+		sys.Start()
+		if err := sys.RunToCompletion(50 * des.Hour); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		ledger := sys.TBF.Ledger()
+		if len(ledger) != 4 {
+			t.Fatalf("%v: ledger holds %d entries, want 4", kind, len(ledger))
+		}
+		var borrowed, lent float64
+		for _, e := range ledger {
+			if e.Delivered > e.Granted+1+1e-9*e.Granted {
+				t.Fatalf("%v: job %s delivered %g > granted %g", kind, e.JobID, e.Delivered, e.Granted)
+			}
+			if e.Delivered <= 0 {
+				t.Fatalf("%v: job %s delivered nothing", kind, e.JobID)
+			}
+			borrowed += e.Borrowed
+			lent += e.Lent
+		}
+		if borrowed > lent+1 {
+			t.Fatalf("%v: borrowed %g > lent %g", kind, borrowed, lent)
+		}
+		jt := sys.Recorder.Jobs()
+		if len(jt) == 0 {
+			t.Fatalf("%v: no job traces", kind)
+		}
+		granted := 0.0
+		for _, j := range jt {
+			granted += j.TBFGranted
+		}
+		if granted <= 0 {
+			t.Fatalf("%v: job traces carry no token accounts", kind)
+		}
 	}
 }
 

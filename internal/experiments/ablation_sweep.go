@@ -36,6 +36,7 @@ func AblationGrids() []AblationGrid {
 		{"ablation-plateau", "two-group benefit in the plateau regime (W2, shallow queue)", AblationPlateau},
 		{"ablation-checkpoint", "checkpoint/restart read+write workload: default vs io-aware vs adaptive", AblationCheckpoint},
 		{"ablation-burstbuffer", "BB-bottlenecked workload: BB-blind policies vs plan co-reservation (replayer)", AblationBurstBuffer},
+		{"ablation-tokenbucket", "central I/O reservation vs decentralized token buckets vs straggler-aware (replayer, 3 seeds)", AblationTokenBucket},
 	}
 }
 

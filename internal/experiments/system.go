@@ -21,6 +21,7 @@ import (
 	"wasched/internal/schedcheck"
 	"wasched/internal/slurm"
 	"wasched/internal/stats"
+	"wasched/internal/tbf"
 	"wasched/internal/trace"
 )
 
@@ -48,6 +49,11 @@ type Options struct {
 	// controller (stage-in before start, drain after end, both through
 	// the shared PFS).
 	BB bb.Config
+	// TBF, when CapacityBytesPerSec is set, attaches the client-side
+	// token-bucket bandwidth layer: every running job gets a bucket
+	// filled at its fair share of the capacity, and the PFS enforces the
+	// resulting per-node rate caps.
+	TBF tbf.Config
 }
 
 // DefaultOptions returns the shared experimental setup: 15 nodes, the
@@ -86,6 +92,7 @@ func Build(opts Options) (*System, error) {
 		Control:     opts.Slurm,
 		TracePeriod: opts.SamplePeriod,
 		BB:          opts.BB,
+		TBF:         opts.TBF,
 	}
 	return core.NewSystem(cfg)
 }
@@ -198,6 +205,10 @@ func policyLimit(p sched.Policy) float64 {
 		return q.ThroughputLimit
 	case sched.BBAwarePolicy:
 		return policyLimit(q.Inner)
+	case sched.TBFAwarePolicy:
+		// The token layer throttles at the clients, not at admission: the
+		// wrapper adds no R_limit of its own, only the inner policy's.
+		return policyLimit(q.Inner)
 	default:
 		return 0
 	}
@@ -238,11 +249,19 @@ func summarize(sys *System, label string) *RunResult {
 	if sys.BB != nil {
 		vopts.BBCapacity = sys.BB.Capacity()
 	}
+	if sys.TBF != nil {
+		vopts.TBF = true
+	}
 	res.Invariants = schedcheck.ValidateRun(sys.Recorder, vopts)
 	if sys.BB != nil {
 		// The tier's ledger is the ground truth for stage/drain timing; the
 		// trace-level sweep sees only what the recorder attributed to jobs.
 		res.Invariants.Merge(schedcheck.ValidateBB(sys.BB.Ledger(), sys.BB.Capacity()))
+	}
+	if sys.TBF != nil {
+		// Same split as BB: the limiter's ledger is the token ground truth,
+		// the trace sweep checks what the recorder attributed per job.
+		res.Invariants.Merge(schedcheck.ValidateTBF(sys.TBF.Ledger()))
 	}
 	return res
 }

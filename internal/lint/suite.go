@@ -61,18 +61,22 @@ func hasPathPrefix(path, prefix string) bool {
 //     gridfarm worker/coordinator client paths and the CLIs. A request
 //     without a deadline hangs a worker forever on a half-open socket.
 //   - floatguard runs where rate/throughput arithmetic lives: the
-//     scheduler policies and the resource/file-system models.
+//     scheduler policies, the resource/file-system models and the
+//     token-bucket layer (fair-share division and borrow scaling are
+//     ratio-heavy).
 //   - lockdiscipline and goroleak run on the concurrent fabric — the
 //     farm pool, the gridfarm coordinator/worker, the chaos harness and
 //     (goroleak) the CLIs that launch servers: one blocking call under a
 //     coordinator mutex stalls every worker, and one detached goroutine
 //     outlives the drill that owns it.
 //   - unitsafe runs where bytes/GiB/rate/time arithmetic mixes: the
-//     scheduler, the resource trackers, the pfs and bb models and the
-//     validators that check them.
+//     scheduler, the resource trackers, the pfs, bb and tbf models and
+//     the validators that check them.
 //   - hotalloc runs on the replay hot path's packages (des, sched, pfs,
-//     schedcheck, bb); it only fires inside //waschedlint:hotpath
-//     functions and their package-local callees.
+//     schedcheck, bb, tbf); it only fires inside //waschedlint:hotpath
+//     functions and their package-local callees. The tbf tick runs once
+//     per simulated second, so its settle/redistribute/cap pass must not
+//     allocate.
 func Suite() []ScopedAnalyzer {
 	return []ScopedAnalyzer{
 		{
@@ -109,6 +113,7 @@ func Suite() []ScopedAnalyzer {
 				"wasched/internal/restrack",
 				"wasched/internal/pfs",
 				"wasched/internal/bb",
+				"wasched/internal/tbf",
 			},
 		},
 		{
@@ -135,6 +140,7 @@ func Suite() []ScopedAnalyzer {
 				"wasched/internal/restrack",
 				"wasched/internal/pfs",
 				"wasched/internal/bb",
+				"wasched/internal/tbf",
 				"wasched/internal/schedcheck",
 			},
 		},
@@ -146,6 +152,7 @@ func Suite() []ScopedAnalyzer {
 				"wasched/internal/pfs",
 				"wasched/internal/schedcheck",
 				"wasched/internal/bb",
+				"wasched/internal/tbf",
 			},
 		},
 	}

@@ -123,3 +123,33 @@ func bbOccupancyFraction(t tier) float64 {
 func bbClampedDrain(bytes, drainRate float64) float64 {
 	return clampNonNeg(bytes / drainRate)
 }
+
+// Token-bucket arithmetic (internal/tbf is in the analyzer's scope):
+// fair-share division and borrow scaling are the NaN factories — an empty
+// bucket set or a zero claim total must be guarded before dividing.
+
+func tbfFairShare(capacity float64, buckets int) float64 {
+	return capacity / float64(buckets) // want `float division by buckets may produce NaN/Inf`
+}
+
+func tbfFairShareGuarded(capacity float64, buckets int) float64 {
+	if buckets < 1 {
+		return 0
+	}
+	return capacity / float64(buckets)
+}
+
+func tbfBorrowScale(pool, claim, totalClaim float64) float64 {
+	return claim * pool / totalClaim // want `float division by totalClaim may produce NaN/Inf`
+}
+
+func tbfBorrowScaleGuarded(pool, claim, totalClaim float64) float64 {
+	if totalClaim > 0 {
+		return claim * pool / totalClaim
+	}
+	return 0
+}
+
+func tbfRefillClamped(balance, share float64) float64 {
+	return clampNonNeg(balance / share)
+}

@@ -102,3 +102,43 @@ func (e *engine) deliberate(n int) {
 	f := func() int { return n }
 	_ = f
 }
+
+// A token-bucket-shaped tick: the per-interval settle/redistribute pass
+// runs once per simulated second, so scratch state must live on the
+// limiter, not be rebuilt per tick.
+
+type tokenLimiter struct {
+	order  []*tokenBucket
+	deltas []float64
+	caps   map[string]float64
+}
+
+type tokenBucket struct {
+	balance float64
+	nodes   []string
+}
+
+//waschedlint:hotpath
+func (l *tokenLimiter) tick() {
+	// Retained scratch reused per tick: no findings.
+	l.deltas = l.deltas[:0]
+	for _, b := range l.order {
+		l.deltas = append(l.deltas, b.balance)
+	}
+
+	claims := map[*tokenBucket]float64{} // want `map literal allocates in hot path: tick`
+	_ = claims
+
+	for _, b := range l.order {
+		l.settle(b)
+	}
+}
+
+// settle is hot by reachability from tick.
+func (l *tokenLimiter) settle(b *tokenBucket) {
+	var perNode []float64
+	for range b.nodes {
+		perNode = append(perNode, b.balance) // want `append to a fresh local slice grows in hot path \(reuse a retained buffer\): settle \(hot via tick\)`
+	}
+	_ = perNode
+}

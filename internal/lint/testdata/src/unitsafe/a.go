@@ -104,3 +104,25 @@ func deliberate(scoreBytes, weightGiB float64) float64 {
 	//waschedlint:allow unitsafe the score blends scales on purpose; it is unitless by construction
 	return scoreBytes + weightGiB
 }
+
+// Token buckets: token balances are byte-valued, fill rates are bytes/s,
+// and allowance = rate × interval lands back in bytes. Comparing a
+// balance against a fill rate skips the interval factor — the bucket bug
+// class.
+func tokenRefill(fillBytesPerSec, intervalSeconds, balanceBytes float64) float64 {
+	refill := fillBytesPerSec * intervalSeconds
+	return balanceBytes + refill
+}
+
+func tokenOverdraft(balanceBytes, fillBytesPerSec float64) bool {
+	return balanceBytes < fillBytesPerSec // want `cross-unit comparison: balanceBytes is bytes-valued but fillBytesPerSec is bytes/s-valued`
+}
+
+func tokenBurstDepth(fillBytesPerSec, burstSeconds, capGiB float64) bool {
+	depth := fillBytesPerSec * burstSeconds
+	return depth > capGiB // want `cross-unit comparison: depth is bytes-valued but capGiB is GiB-valued`
+}
+
+func tokenBurstDepthConverted(fillBytesPerSec, burstSeconds, capGiB float64) bool {
+	return fillBytesPerSec*burstSeconds > capGiB*GiB
+}

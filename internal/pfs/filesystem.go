@@ -96,11 +96,17 @@ type FileSystem struct {
 	volDegrade    []float64 // nil until first injection; factor per volume
 	globalDegrade float64   // 0 means 1 (healthy)
 
+	// nodeCaps holds client-side per-node rate caps in bytes/s, installed
+	// by the token-bucket limiter (SetNodeRateCaps). Nil or empty means no
+	// throttling; the caller retains ownership of the map.
+	nodeCaps map[string]float64
+
 	// Solver scratch, reused across recompute() calls: the solver runs on
 	// every stream boundary and noise tick, so per-call slice allocations
 	// dominate the replay hot path without this.
-	volCountScratch  []int
-	srvDemandScratch []float64
+	volCountScratch   []int
+	srvDemandScratch  []float64
+	nodeDemandScratch map[string]float64
 
 	recomputes uint64
 }
@@ -113,13 +119,14 @@ func New(eng *des.Engine, cfg Config, seed uint64) (*FileSystem, error) {
 		return nil, err
 	}
 	fs := &FileSystem{
-		eng:             eng,
-		cfg:             cfg,
-		perNode:         make(map[string]*Counters),
-		volLogNoise:     make([]float64, cfg.Volumes),
-		noiseRNG:        des.NewRNG(seed, "pfs/noise"),
-		lastSync:        eng.Now(),
-		volCountScratch: make([]int, cfg.Volumes),
+		eng:               eng,
+		cfg:               cfg,
+		perNode:           make(map[string]*Counters),
+		volLogNoise:       make([]float64, cfg.Volumes),
+		noiseRNG:          des.NewRNG(seed, "pfs/noise"),
+		lastSync:          eng.Now(),
+		volCountScratch:   make([]int, cfg.Volumes),
+		nodeDemandScratch: make(map[string]float64),
 	}
 	if cfg.Servers > 0 {
 		fs.srvDemandScratch = make([]float64, cfg.Servers)
@@ -349,6 +356,32 @@ func (fs *FileSystem) recompute() {
 		s.rate = math.Min(cap, share)
 		totalDemand += s.rate
 	}
+	// Client-side token-bucket throttling: streams on a capped node share
+	// its allowance proportionally, before server and backend contention —
+	// the throttle lives on the client, like a Lustre TBF/NRS rule.
+	if len(fs.nodeCaps) > 0 {
+		demand := fs.nodeDemandScratch
+		clear(demand)
+		for _, s := range fs.streams {
+			if _, ok := fs.nodeCaps[s.node]; ok {
+				demand[s.node] += s.rate
+			}
+		}
+		totalDemand = 0
+		for _, s := range fs.streams {
+			if capBW, ok := fs.nodeCaps[s.node]; ok {
+				if d := demand[s.node]; d > capBW {
+					if capBW <= 0 {
+						s.rate = 0
+					} else {
+						//waschedlint:allow floatguard d > capBW >= 0 on this branch, so the denominator is positive
+						s.rate *= capBW / d
+					}
+				}
+			}
+			totalDemand += s.rate
+		}
+	}
 	// Optional OSS layer: streams on the same server share its bandwidth
 	// proportionally when oversubscribed.
 	if cfg.Servers > 0 {
@@ -484,6 +517,64 @@ func (fs *FileSystem) CurrentNodeRates(dst map[string]float64) map[string]float6
 	}
 	for _, s := range fs.streams {
 		dst[s.node] += s.rate
+	}
+	return dst
+}
+
+// SetNodeRateCaps installs per-client-node rate caps in bytes/s and
+// re-solves stream rates immediately. A node absent from the map is
+// uncapped; a zero cap stalls the node's streams until the cap is raised.
+// The caller retains ownership of the map and may mutate entries between
+// calls — the solver reads the live reference on every recompute — but
+// must call SetNodeRateCaps again (or trigger any other recompute) for
+// rate changes on already-active streams to take effect. Passing nil
+// removes all caps. This is the enforcement hook of the internal/tbf
+// token-bucket limiter.
+func (fs *FileSystem) SetNodeRateCaps(caps map[string]float64) {
+	fs.sync()
+	fs.nodeCaps = caps
+	fs.recompute()
+}
+
+// ServerHealth reports each OSS server's current relative health — the
+// mean of its volumes' noise × degradation bandwidth factors, so 1 is
+// nominal and values well below 1 mark a straggling server. The result is
+// written into dst (grown when too small) and returned; it is empty when
+// the configuration has no server layer. The token-bucket limiter's
+// straggler-aware mode reads this to deprioritize I/O bound for slow
+// servers, the client-visible counterpart of AdapTBF's straggling-OST
+// detection.
+func (fs *FileSystem) ServerHealth(dst []float64) []float64 {
+	srv := fs.cfg.Servers
+	if srv <= 0 {
+		return dst[:0]
+	}
+	if cap(dst) < srv {
+		dst = make([]float64, srv)
+	}
+	dst = dst[:srv]
+	for i := range dst {
+		dst[i] = 0
+	}
+	for v := 0; v < fs.cfg.Volumes; v++ {
+		f := fs.noiseFactor(fs.volLogNoise[v])
+		if fs.volDegrade != nil {
+			f *= fs.volDegrade[v]
+		}
+		dst[v%srv] += f
+	}
+	for i := range dst {
+		// Volumes map to servers round-robin, so server i's volume count
+		// follows from the counts alone.
+		n := fs.cfg.Volumes / srv
+		if i < fs.cfg.Volumes%srv {
+			n++
+		}
+		if n > 0 {
+			dst[i] /= float64(n)
+		} else {
+			dst[i] = 1
+		}
 	}
 	return dst
 }

@@ -81,6 +81,16 @@ func NewSession(p Policy) Session {
 			inner: inner,
 			bt:    restrack.NewBandwidthTracker(pol.Capacity),
 		}
+	case TBFPolicy:
+		// Token-bucket policies schedule on nodes only (bandwidth is
+		// regulated client-side), so the node session is exact for them.
+		pol.validate()
+		return &nodeSession{p: NodePolicy{TotalNodes: pol.TotalNodes}, work: restrack.NewNodeTracker(pol.TotalNodes)}
+	case TBFAwarePolicy:
+		// The tbf+ wrapper changes no decision; the session is the inner
+		// policy's.
+		pol.validate()
+		return NewSession(pol.Inner)
 	default:
 		return nil
 	}

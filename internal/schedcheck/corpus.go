@@ -58,6 +58,11 @@ func CorpusExec(nodes int, limit float64) farm.Exec {
 			diff.BBDrainRate = CorpusBBDrainRate
 			labels = append(labels, BBPolicyLabels()...)
 		}
+		if kind.HasTBF() {
+			diff.TBFCapacity = CorpusTBFCapacity
+			diff.TBFServers = CorpusTBFServers
+			labels = append(labels, TBFPolicyLabels()...)
+		}
 		res := RunDifferential(w, diff)
 		if err := res.Check.Err(); err != nil {
 			return nil, err

@@ -35,6 +35,17 @@ type DiffConfig struct {
 	// throughputs in bytes/s (0 = instantaneous).
 	BBStageRate float64
 	BBDrainRate float64
+	// TBFCapacity, when positive, adds the token-bucket policies (tbf,
+	// tbf-straggler) plus property M6 to the differential. Unlike the
+	// burst buffer, the token layer is armed per-variant — it is the
+	// policy family's own control plane, not a property of the cluster —
+	// so the central-reservation policies replay unthrottled.
+	TBFCapacity float64
+	// TBFBurst is the bucket depth in fill time (0 = the emulation
+	// default); TBFServers arms the per-server straggler environment for
+	// the tbf variants (both see it; only tbf-straggler dodges it).
+	TBFBurst   des.Duration
+	TBFServers int
 }
 
 // DiffResult is one workload replayed through every policy, plus the
@@ -59,6 +70,10 @@ const (
 	labelPlan     = "plan"
 	labelBBIO     = "bb-io-aware"
 	labelPlanInf  = "plan-inf"
+
+	labelTBF          = "tbf"
+	labelTBFStraggler = "tbf-straggler"
+	labelTBFInf       = "tbf-inf"
 )
 
 // PolicyLabels lists the four paper policies replayed by RunDifferential.
@@ -70,6 +85,12 @@ func PolicyLabels() []string {
 // differential when DiffConfig.BBCapacity is set.
 func BBPolicyLabels() []string {
 	return []string{labelPlan, labelBBIO}
+}
+
+// TBFPolicyLabels lists the token-bucket policies that join the
+// differential when DiffConfig.TBFCapacity is set.
+func TBFPolicyLabels() []string {
+	return []string{labelTBF, labelTBFStraggler}
 }
 
 // RunDifferential replays one workload through all four paper policies (plus
@@ -97,10 +118,16 @@ func BBPolicyLabels() []string {
 //	    DiffConfig.BBCapacity is set (both replays still run under the
 //	    same finite-pool admission emulation, which identical decisions
 //	    traverse identically).
+//	M6 (token elision): the tbf policy with an infinite token fill rate
+//	    produces a schedule byte-identical to the unthrottled node-only
+//	    baseline. Every bucket covers its demand exactly (got == need, so
+//	    the granted fraction is 1.0 bitwise) and every end extension is
+//	    exactly zero — throttling with infinite tokens must be inert.
+//	    Checked only when DiffConfig.TBFCapacity is set.
 //
-// M3, M4 and M5 are conditional — on workload shape, or on a configured
-// burst buffer — and checked only when their precondition holds; M1 and M2
-// always apply.
+// M3, M4, M5 and M6 are conditional — on workload shape, or on a
+// configured burst buffer or token layer — and checked only when their
+// precondition holds; M1 and M2 always apply.
 func RunDifferential(workload []SimJob, cfg DiffConfig) *DiffResult {
 	nodes := cfg.Nodes
 	if nodes <= 0 {
@@ -115,33 +142,53 @@ func RunDifferential(workload []SimJob, cfg DiffConfig) *DiffResult {
 		label  string
 		policy sched.Policy
 		limit  float64 // for the replay bandwidth invariant; 0 = no check
+		// Per-variant token-bucket emulation (the token layer belongs to
+		// the tbf policy family, not the cluster).
+		tbfCap       float64
+		tbfServers   int
+		tbfStraggler bool
 	}
 	variants := []variant{
-		{labelDefault, sched.NodePolicy{TotalNodes: nodes}, 0},
-		{labelIOAware, sched.IOAwarePolicy{TotalNodes: nodes, ThroughputLimit: limit}, limit},
-		{labelAdaptive, sched.AdaptivePolicy{TotalNodes: nodes, ThroughputLimit: limit, TwoGroup: true}, limit},
-		{labelNaive, sched.AdaptivePolicy{TotalNodes: nodes, ThroughputLimit: limit, TwoGroup: false}, limit},
-		{labelInf, sched.IOAwarePolicy{TotalNodes: nodes, ThroughputLimit: InfLimit}, 0},
+		{label: labelDefault, policy: sched.NodePolicy{TotalNodes: nodes}},
+		{label: labelIOAware, policy: sched.IOAwarePolicy{TotalNodes: nodes, ThroughputLimit: limit}, limit: limit},
+		{label: labelAdaptive, policy: sched.AdaptivePolicy{TotalNodes: nodes, ThroughputLimit: limit, TwoGroup: true}, limit: limit},
+		{label: labelNaive, policy: sched.AdaptivePolicy{TotalNodes: nodes, ThroughputLimit: limit, TwoGroup: false}, limit: limit},
+		{label: labelInf, policy: sched.IOAwarePolicy{TotalNodes: nodes, ThroughputLimit: InfLimit}},
 	}
 	if cfg.BBCapacity > 0 {
 		variants = append(variants,
-			variant{labelPlan, sched.PlanPolicy{TotalNodes: nodes, BBCapacity: cfg.BBCapacity, ThroughputLimit: limit}, limit},
-			variant{labelBBIO, sched.BBAwarePolicy{Inner: sched.IOAwarePolicy{TotalNodes: nodes, ThroughputLimit: limit}, Capacity: cfg.BBCapacity}, limit},
-			variant{labelPlanInf, sched.PlanPolicy{TotalNodes: nodes, BBCapacity: InfLimit}, 0},
+			variant{label: labelPlan, policy: sched.PlanPolicy{TotalNodes: nodes, BBCapacity: cfg.BBCapacity, ThroughputLimit: limit}, limit: limit},
+			variant{label: labelBBIO, policy: sched.BBAwarePolicy{Inner: sched.IOAwarePolicy{TotalNodes: nodes, ThroughputLimit: limit}, Capacity: cfg.BBCapacity}, limit: limit},
+			variant{label: labelPlanInf, policy: sched.PlanPolicy{TotalNodes: nodes, BBCapacity: InfLimit}},
+		)
+	}
+	if cfg.TBFCapacity > 0 {
+		variants = append(variants,
+			variant{label: labelTBF, policy: sched.TBFPolicy{TotalNodes: nodes},
+				tbfCap: cfg.TBFCapacity, tbfServers: cfg.TBFServers},
+			variant{label: labelTBFStraggler, policy: sched.TBFPolicy{TotalNodes: nodes, Straggler: true},
+				tbfCap: cfg.TBFCapacity, tbfServers: cfg.TBFServers, tbfStraggler: true},
+			// The M6 baseline: infinite fill, uniform servers — the token
+			// layer must be bitwise inert.
+			variant{label: labelTBFInf, policy: sched.TBFPolicy{TotalNodes: nodes}, tbfCap: InfLimit},
 		)
 	}
 
 	res := &DiffResult{Results: make(map[string]*ReplayResult, len(variants))}
 	for _, v := range variants {
 		r := Replay(workload, ReplayConfig{
-			Policy:      v.policy,
-			Options:     cfg.Options,
-			Interval:    cfg.Interval,
-			Nodes:       nodes,
-			Limit:       v.limit,
-			BBCapacity:  cfg.BBCapacity,
-			BBStageRate: cfg.BBStageRate,
-			BBDrainRate: cfg.BBDrainRate,
+			Policy:       v.policy,
+			Options:      cfg.Options,
+			Interval:     cfg.Interval,
+			Nodes:        nodes,
+			Limit:        v.limit,
+			BBCapacity:   cfg.BBCapacity,
+			BBStageRate:  cfg.BBStageRate,
+			BBDrainRate:  cfg.BBDrainRate,
+			TBFCapacity:  v.tbfCap,
+			TBFBurst:     cfg.TBFBurst,
+			TBFServers:   v.tbfServers,
+			TBFStraggler: v.tbfStraggler,
 		})
 		res.Results[v.label] = r
 		for _, viol := range r.Check.Violations {
@@ -176,6 +223,11 @@ func RunDifferential(workload []SimJob, cfg DiffConfig) *DiffResult {
 	if cfg.BBCapacity > 0 {
 		// M5: unbounded-pool plan ≡ node-only.
 		compareStarts(res, labelPlanInf, labelDefault, "m5-bb-elision")
+	}
+
+	if cfg.TBFCapacity > 0 {
+		// M6: infinite token fill ≡ unthrottled node-only baseline.
+		compareStarts(res, labelTBFInf, labelDefault, "m6-token-elision")
 	}
 	return res
 }

@@ -44,6 +44,9 @@ func TestDifferentialCorpus(t *testing.T) {
 		if WorkloadKind(p.Kind).HasBB() {
 			want += len(BBPolicyLabels())
 		}
+		if WorkloadKind(p.Kind).HasTBF() {
+			want += len(TBFPolicyLabels())
+		}
 		if p.Jobs == 0 || len(p.Makespans) != want {
 			t.Fatalf("%s: degenerate payload %+v", o.Cell, p)
 		}

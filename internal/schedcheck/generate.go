@@ -48,16 +48,30 @@ const (
 	// job end only two or three jobs fit at once and co-reservation is
 	// the difference between a clean pipeline and deferral churn.
 	KindBBTight WorkloadKind = "bb-tight"
+	// KindTBFContended oversubscribes the token layer: concurrent true
+	// rates sum to several times the corpus fill capacity, so every
+	// bucket runs dry, jobs stretch toward their limits, and the
+	// fair-share and straggler arithmetic is exercised hard.
+	KindTBFContended WorkloadKind = "tbf-contended"
+	// KindTBFSkewed splits the mix between near-idle and bandwidth-hungry
+	// classes running side by side — the adaptive-borrowing regime, where
+	// idle jobs' unused tokens keep starved peers moving.
+	KindTBFSkewed WorkloadKind = "tbf-skewed"
 )
 
 // Kinds lists the full corpus in a stable order.
 func Kinds() []WorkloadKind {
-	return []WorkloadKind{KindPaperish, KindMixed, KindRandom, KindHomogeneous, KindZeroRate, KindAdversarial, KindBBMixed, KindBBTight}
+	return []WorkloadKind{KindPaperish, KindMixed, KindRandom, KindHomogeneous, KindZeroRate, KindAdversarial, KindBBMixed, KindBBTight, KindTBFContended, KindTBFSkewed}
 }
 
 // HasBB reports whether the kind's workloads carry burst-buffer demand;
 // corpus runs give those kinds the Corpus BB pool.
 func (k WorkloadKind) HasBB() bool { return k == KindBBMixed || k == KindBBTight }
+
+// HasTBF reports whether the kind's workloads are built to contend for
+// the token-bucket layer; corpus runs give those kinds the Corpus TBF
+// configuration and the tbf differential variants.
+func (k WorkloadKind) HasTBF() bool { return k == KindTBFContended || k == KindTBFSkewed }
 
 // The burst-buffer pool shared by the BB corpus kinds: the pool size and
 // the emulated stage-in/stage-out throughputs. The pool is sized so that
@@ -66,6 +80,15 @@ const (
 	CorpusBBCapacity  = 32 * pfs.GiB
 	CorpusBBStageRate = 2 * pfs.GiB
 	CorpusBBDrainRate = 1 * pfs.GiB
+)
+
+// The token-bucket configuration shared by the TBF corpus kinds: the
+// aggregate fill rate is sized so the contended kind oversubscribes it
+// several times over, and the server count arms the straggler emulation
+// for the tbf-straggler differential variant.
+const (
+	CorpusTBFCapacity = 10 * pfs.GiB
+	CorpusTBFServers  = 8
 )
 
 // perThreadRate approximates the calibrated per-thread write rate used to
@@ -284,6 +307,100 @@ func Generate(kind WorkloadKind, seed uint64, nodes int, limit float64) []SimJob
 				BBBytes:     c.bb,
 			})
 			at = at.Add(des.Duration(rng.IntN(60)) * des.Second)
+		}
+		return jobs
+	case KindTBFContended:
+		// Class-consistent demand (rates drawn once per class, like
+		// KindRandom): concurrent true rates sum to several times
+		// CorpusTBFCapacity, so buckets run dry and jobs stretch.
+		type class struct {
+			nodes  int
+			limit  des.Duration
+			actual des.Duration
+			rate   float64
+		}
+		classes := make([]class, 5)
+		for i := range classes {
+			actual := des.Duration(120+rng.IntN(300)) * des.Second
+			classes[i] = class{
+				nodes: 1 + rng.IntN(3),
+				// Limits three to four times the unthrottled runtime: room
+				// to stretch under throttling without tripping the
+				// starvation budget, while the timeout clamp still bites
+				// for the worst-starved jobs.
+				limit:  actual*3 + des.Duration(rng.IntN(300))*des.Second,
+				actual: actual,
+				// 1–4 GiB/s per job on a 10 GiB/s token pool.
+				rate: (1 + 3*rng.Float64()) * pfs.GiB,
+			}
+		}
+		n := 24 + rng.IntN(16)
+		jobs := make([]SimJob, 0, n)
+		at := des.Time(0)
+		for i := 0; i < n; i++ {
+			ci := rng.IntN(len(classes))
+			c := classes[ci]
+			jobs = append(jobs, SimJob{
+				ID:          fmt.Sprintf("tbc-%03d", i),
+				Fingerprint: fmt.Sprintf("tbc-class-%d", ci),
+				Nodes:       c.nodes,
+				Limit:       c.limit,
+				Actual:      c.actual,
+				Rate:        c.rate,
+				EstRate:     c.rate,
+				EstRuntime:  c.actual,
+				Submit:      at,
+			})
+			if rng.IntN(2) == 0 {
+				at = at.Add(des.Duration(rng.IntN(90)) * des.Second)
+			}
+		}
+		return jobs
+	case KindTBFSkewed:
+		// Half the classes barely touch the PFS, half are bandwidth-hungry:
+		// the idle buckets' surplus feeds the starved peers through the
+		// lending pool, which is exactly the adaptive-borrowing machinery.
+		type class struct {
+			nodes  int
+			limit  des.Duration
+			actual des.Duration
+			rate   float64
+		}
+		classes := make([]class, 6)
+		for i := range classes {
+			actual := des.Duration(120+rng.IntN(240)) * des.Second
+			c := class{
+				nodes:  1 + rng.IntN(3),
+				limit:  actual*3 + des.Duration(rng.IntN(240))*des.Second,
+				actual: actual,
+			}
+			if i%2 == 0 {
+				c.rate = rng.Float64() * 0.1 * pfs.GiB // near-idle lender
+			} else {
+				c.rate = (2 + 2*rng.Float64()) * pfs.GiB // starved borrower
+			}
+			classes[i] = c
+		}
+		n := 24 + rng.IntN(16)
+		jobs := make([]SimJob, 0, n)
+		at := des.Time(0)
+		for i := 0; i < n; i++ {
+			ci := rng.IntN(len(classes))
+			c := classes[ci]
+			jobs = append(jobs, SimJob{
+				ID:          fmt.Sprintf("tbs-%03d", i),
+				Fingerprint: fmt.Sprintf("tbs-class-%d", ci),
+				Nodes:       c.nodes,
+				Limit:       c.limit,
+				Actual:      c.actual,
+				Rate:        c.rate,
+				EstRate:     c.rate,
+				EstRuntime:  c.actual,
+				Submit:      at,
+			})
+			if rng.IntN(3) == 0 {
+				at = at.Add(des.Duration(rng.IntN(60)) * des.Second)
+			}
 		}
 		return jobs
 	default:

@@ -63,6 +63,26 @@ type ReplayConfig struct {
 	// past the job's end.
 	BBStageRate float64
 	BBDrainRate float64
+	// TBFCapacity, when positive, turns on the client-side token-bucket
+	// emulation: every running job holds a bucket filled at its fair
+	// share of this aggregate rate (bytes/s), burst-bounded, and a job
+	// whose granted tokens fall short of its true I/O demand runs
+	// correspondingly slower (its end extends, capped at its limit).
+	// Under-consuming jobs lend unused tokens to starved peers with
+	// decay-based reclamation — the AdapTBF protocol the tbf policy
+	// family assumes.
+	TBFCapacity float64
+	// TBFBurst is the bucket depth in fill time (0 = 60 s): a bucket
+	// holds at most share × burst bytes of unspent tokens.
+	TBFBurst des.Duration
+	// TBFServers, when positive, turns on the per-server straggler
+	// emulation: each job's streams land on a deterministic server and
+	// slow servers inflate the tokens the job needs per byte.
+	TBFServers int
+	// TBFStraggler enables straggler-aware request ordering: the token
+	// layer shifts a job's requests toward healthy servers, recovering
+	// most of the straggler penalty (Tavakoli et al.).
+	TBFStraggler bool
 	// MaxRounds bounds the replay (0 = 50000); exceeding it is reported
 	// as a starvation violation. Archive-scale traces need an explicit
 	// budget: a day of simulated time is 2880 rounds.
@@ -158,8 +178,16 @@ func Replay(workload []SimJob, cfg ReplayConfig) *ReplayResult {
 	}
 	sort.SliceStable(pending, func(a, b int) bool { return pending[a].Submit < pending[b].Submit })
 
-	res := &ReplayResult{Policy: cfg.Policy.Name(), Starts: make(map[string]des.Time, len(workload))}
+	res := &ReplayResult{
+		Policy: cfg.Policy.Name(),
+		// Sized up front: every job completes exactly once, and growing the
+		// slice in place keeps the replay's alloc count independent of the
+		// JobTrace footprint (the bench-replay allocs/op gate).
+		Jobs:   make([]trace.JobTrace, 0, len(workload)),
+		Starts: make(map[string]des.Time, len(workload)),
+	}
 	bbState := newBBReplay(cfg)
+	tbfState := newTBFReplay(cfg)
 	var (
 		running      []*runJob
 		waiting      []*SimJob    // arrival order, as the controller holds it
@@ -177,6 +205,9 @@ func Replay(workload []SimJob, cfg ReplayConfig) *ReplayResult {
 			break
 		}
 		now := des.Time(round) * des.Time(interval)
+		// The token layer advances over the interval just elapsed before
+		// the completion sweep, so throttled ends are final when checked.
+		tbfState.tick(running, now, interval)
 		// Completions first, as the controller's end events precede the
 		// round that reacts to them.
 		completed := false
@@ -195,6 +226,7 @@ func Replay(workload []SimJob, cfg ReplayConfig) *ReplayResult {
 					Priority:    r.sim.Priority,
 				}
 				bbState.complete(r.sim, &jt, r.view.StartedAt, r.end)
+				tbfState.complete(r.sim, &jt)
 				res.Jobs = append(res.Jobs, jt)
 				if r.end > res.Makespan {
 					res.Makespan = r.end
@@ -268,6 +300,7 @@ func Replay(workload []SimJob, cfg ReplayConfig) *ReplayResult {
 			}
 			v.StartedAt = now
 			session.JobStarted(v)
+			tbfState.register(j)
 			running = append(running, &runJob{sim: j, view: v, end: now.Add(j.Actual)})
 			res.Starts[j.ID] = now
 		}
@@ -282,7 +315,7 @@ func Replay(workload []SimJob, cfg ReplayConfig) *ReplayResult {
 		clear(started)
 	}
 	if !cfg.SkipRoundChecks {
-		res.Check.Merge(ValidateJobs(res.Jobs, ValidateOptions{Nodes: cfg.Nodes, BBCapacity: cfg.BBCapacity}))
+		res.Check.Merge(ValidateJobs(res.Jobs, ValidateOptions{Nodes: cfg.Nodes, BBCapacity: cfg.BBCapacity, TBF: cfg.TBFCapacity > 0}))
 	}
 	return res
 }
@@ -348,8 +381,16 @@ func replayReference(workload []SimJob, cfg ReplayConfig) *ReplayResult {
 	}
 	sort.SliceStable(pending, func(a, b int) bool { return pending[a].Submit < pending[b].Submit })
 
-	res := &ReplayResult{Policy: cfg.Policy.Name(), Starts: make(map[string]des.Time, len(workload))}
+	res := &ReplayResult{
+		Policy: cfg.Policy.Name(),
+		// Sized up front: every job completes exactly once, and growing the
+		// slice in place keeps the replay's alloc count independent of the
+		// JobTrace footprint (the bench-replay allocs/op gate).
+		Jobs:   make([]trace.JobTrace, 0, len(workload)),
+		Starts: make(map[string]des.Time, len(workload)),
+	}
 	bbState := newBBReplay(cfg)
+	tbfState := newTBFReplay(cfg)
 	var running []*runJob
 	var waiting []*SimJob
 	next := 0 // index into pending of the next arrival
@@ -361,6 +402,9 @@ func replayReference(workload []SimJob, cfg ReplayConfig) *ReplayResult {
 			break
 		}
 		now := des.Time(round) * des.Time(interval)
+		// The token layer advances over the interval just elapsed before
+		// the completion sweep, so throttled ends are final when checked.
+		tbfState.tick(running, now, interval)
 		// Completions first, as the controller's end events precede the
 		// round that reacts to them.
 		kept := running[:0]
@@ -378,6 +422,7 @@ func replayReference(workload []SimJob, cfg ReplayConfig) *ReplayResult {
 					Priority:    r.sim.Priority,
 				}
 				bbState.complete(r.sim, &jt, r.view.StartedAt, r.end)
+				tbfState.complete(r.sim, &jt)
 				res.Jobs = append(res.Jobs, jt)
 				if r.end > res.Makespan {
 					res.Makespan = r.end
@@ -442,13 +487,14 @@ func replayReference(workload []SimJob, cfg ReplayConfig) *ReplayResult {
 			}
 			v := views[j.ID]
 			v.StartedAt = now
+			tbfState.register(j)
 			running = append(running, &runJob{sim: j, view: v, end: now.Add(j.Actual)})
 			res.Starts[j.ID] = now
 		}
 		waiting = keptWaiting
 	}
 	if !cfg.SkipRoundChecks {
-		res.Check.Merge(ValidateJobs(res.Jobs, ValidateOptions{Nodes: cfg.Nodes, BBCapacity: cfg.BBCapacity}))
+		res.Check.Merge(ValidateJobs(res.Jobs, ValidateOptions{Nodes: cfg.Nodes, BBCapacity: cfg.BBCapacity, TBF: cfg.TBFCapacity > 0}))
 	}
 	return res
 }
@@ -549,6 +595,326 @@ func (b *bbReplay) complete(sim *SimJob, jt *trace.JobTrace, start, end des.Time
 	jt.BBComputeStart = staged.Seconds()
 	jt.BBDrainEnd = drainEnd.Seconds()
 	jt.BBDrained = sim.BBBytes
+}
+
+// Token-bucket emulation constants. The burst default is two scheduling
+// rounds of fill; the credit decay halves a lender's reclaimable credit
+// every round ("decay-based reclamation" — unclaimed credit fades and the
+// system returns to plain fair share); the straggler alpha is the fraction
+// of the health gap a straggler-aware client recovers by reordering its
+// requests toward healthy servers.
+const (
+	tbfDefaultBurstSec = 60.0
+	tbfCreditDecay     = 0.5
+	tbfStragglerAlpha  = 0.6
+	tbfHealthMin       = 0.4
+)
+
+// tbfReplay emulates the client-side token-bucket bandwidth layer during a
+// replay: one bucket per running job, filled each round at the job's fair
+// share of the configured aggregate capacity (burst-bounded), with
+// under-consuming jobs lending unused tokens to starved peers
+// (decay-based reclamation gives past lenders priority on the shared
+// pool). A job granted fraction f of its demand progresses at f× speed,
+// so its end extends by (1−f)·dt per round, capped at its limit — the
+// timeout semantics of the live controller. All methods are nil-safe, so
+// a replay without TBFCapacity pays only a pointer check per round and
+// the replay benchmark's allocation profile is untouched. Replay and
+// replayReference share this state machine so the incremental path stays
+// byte-identical to the oracle.
+//
+// The slowdown is accounted in time, not bytes: with an infinite fill
+// rate every bucket covers its demand exactly (got == need, f == 1.0
+// bitwise), every extension is exactly zero, and the schedule is
+// byte-identical to the unthrottled baseline — the M6 metamorphic
+// property the differential harness enforces.
+type tbfReplay struct {
+	capacity float64 // aggregate fill rate, bytes/s
+	burstSec float64 // bucket depth in seconds of fair-share fill
+	servers  int     // 0 = uniform PFS, no straggler emulation
+	aware    bool    // straggler-aware request ordering
+	buckets  map[*SimJob]*tbfBucket
+	round    int64 // tick counter, drives the per-server health schedule
+}
+
+// tbfBucket is one running job's token state plus its lifetime totals for
+// the trace invariants (delivered ≤ granted, borrowed attributable).
+type tbfBucket struct {
+	balance float64 // unspent tokens, bytes
+	credit  float64 // lent tokens still reclaimable (decays per round)
+	server  int
+
+	granted   float64 // tokens received: own fill + borrowed
+	delivered float64 // tokens spent on actual I/O
+	borrowed  float64 // tokens received from the shared lend pool
+	lent      float64 // tokens lent into the pool
+
+	// Per-tick scratch (valid within one tick call).
+	roundNeed float64
+	roundGot  float64
+	roundDT   float64
+}
+
+func newTBFReplay(cfg ReplayConfig) *tbfReplay {
+	if cfg.TBFCapacity <= 0 {
+		return nil
+	}
+	burst := cfg.TBFBurst.Seconds()
+	if burst <= 0 {
+		burst = tbfDefaultBurstSec
+	}
+	return &tbfReplay{
+		capacity: cfg.TBFCapacity,
+		burstSec: burst,
+		servers:  cfg.TBFServers,
+		aware:    cfg.TBFStraggler,
+		buckets:  make(map[*SimJob]*tbfBucket),
+	}
+}
+
+// register opens a bucket for a job that just started, pinning its streams
+// to a deterministic server when the straggler emulation is on.
+func (b *tbfReplay) register(j *SimJob) {
+	if b == nil {
+		return
+	}
+	bk := &tbfBucket{}
+	if b.servers > 0 {
+		// FNV-1a over the ID: a stable server assignment shared by both
+		// replay paths with no RNG state to carry.
+		h := uint32(2166136261)
+		for i := 0; i < len(j.ID); i++ {
+			h ^= uint32(j.ID[i])
+			h *= 16777619
+		}
+		bk.server = int(h % uint32(b.servers))
+	}
+	b.buckets[j] = bk
+}
+
+// health is the deterministic per-(round, server) straggler schedule: most
+// servers run at full speed, but a quarter of (round, server) pairs are
+// stragglers at 0.4–0.65× — the balls-into-bins tail the pfs model
+// exhibits, reduced to a pure function so both replay paths see the same
+// environment with no shared RNG.
+func (b *tbfReplay) health(server int) float64 {
+	x := uint64(b.round)*0x9e3779b97f4a7c15 ^ (uint64(server)+1)*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	u := float64(x>>11) / float64(1<<53)
+	if u > 0.25 {
+		return 1.0
+	}
+	return tbfHealthMin + u
+}
+
+// tick advances the token layer over the interval ending at now: refill at
+// fair share, consume against demand, lend surplus to starved peers
+// (reclaim-first, then pro-rata), and stretch the ends of jobs whose
+// grants fell short. Iteration is over the running slice — never the
+// bucket map — so both replay paths process jobs in the same order.
+//
+//waschedlint:hotpath
+func (b *tbfReplay) tick(running []*runJob, now des.Time, interval des.Duration) {
+	if b == nil {
+		return
+	}
+	b.round++
+	n := len(running)
+	if n == 0 {
+		return
+	}
+	share := b.capacity / float64(n) //waschedlint:allow floatguard n >= 1 here
+	burst := share * b.burstSec
+	prev := now.Add(-interval)
+	intervalSec := interval.Seconds()
+
+	hBest := 1.0
+	if b.servers > 0 && b.aware {
+		hBest = b.health(0)
+		for s := 1; s < b.servers; s++ {
+			if h := b.health(s); h > hBest {
+				hBest = h
+			}
+		}
+	}
+
+	totalDeficit, totalSurplus := 0.0, 0.0
+	for _, r := range running {
+		bk := b.buckets[r.sim]
+		if bk == nil {
+			continue
+		}
+		dt := intervalSec
+		if r.end < now {
+			dt = r.end.Sub(prev).Seconds()
+		}
+		if dt <= 0 {
+			bk.roundNeed, bk.roundGot, bk.roundDT = 0, 0, 0
+			totalSurplus += bk.balance
+			continue
+		}
+		// Refill at fair share into the burst-bounded bucket; granted
+		// counts only what actually lands.
+		refill := share * dt
+		if room := burst - bk.balance; refill > room {
+			refill = room
+		}
+		if refill > 0 {
+			bk.balance += refill
+			bk.granted += refill
+		}
+		need := 0.0
+		if r.sim.Rate > 0 {
+			h := 1.0
+			if b.servers > 0 {
+				h = b.health(bk.server)
+				if b.aware {
+					h += tbfStragglerAlpha * (hBest - h)
+				}
+			}
+			// A job on a slow server needs more token-bytes per byte of
+			// useful I/O; straggler-aware ordering recovers most of it.
+			need = r.sim.Rate * dt / h //waschedlint:allow floatguard h >= tbfHealthMin
+		}
+		got := need
+		if got > bk.balance {
+			got = bk.balance
+		}
+		bk.balance -= got
+		bk.delivered += got
+		bk.roundNeed, bk.roundGot, bk.roundDT = need, got, dt
+		totalDeficit += need - got
+		totalSurplus += bk.balance
+	}
+
+	if totalDeficit > 0 && totalSurplus > 0 {
+		pool := totalDeficit
+		if pool > totalSurplus {
+			pool = totalSurplus
+		}
+		lendFrac := pool / totalSurplus //waschedlint:allow floatguard surplus > 0 checked
+		for _, r := range running {
+			bk := b.buckets[r.sim]
+			if bk == nil || bk.balance <= 0 {
+				continue
+			}
+			lend := bk.balance * lendFrac
+			bk.balance -= lend
+			bk.lent += lend
+			bk.credit += lend
+		}
+		// Reclaim first: past lenders with outstanding credit have
+		// priority claim on the pool, up to min(credit, deficit).
+		totalClaim := 0.0
+		for _, r := range running {
+			bk := b.buckets[r.sim]
+			if bk == nil {
+				continue
+			}
+			c := bk.roundNeed - bk.roundGot
+			if c > bk.credit {
+				c = bk.credit
+			}
+			if c > 0 {
+				totalClaim += c
+			}
+		}
+		if totalClaim > 0 {
+			frac := 1.0
+			if totalClaim > pool {
+				frac = pool / totalClaim //waschedlint:allow floatguard claim > 0 checked
+			}
+			for _, r := range running {
+				bk := b.buckets[r.sim]
+				if bk == nil {
+					continue
+				}
+				c := bk.roundNeed - bk.roundGot
+				if c > bk.credit {
+					c = bk.credit
+				}
+				if c <= 0 {
+					continue
+				}
+				take := c * frac
+				bk.credit -= take
+				bk.roundGot += take
+				bk.borrowed += take
+				bk.granted += take
+				bk.delivered += take
+				pool -= take
+				totalDeficit -= take
+			}
+		}
+		// Remaining pool pro-rata over the remaining deficits.
+		if pool > 0 && totalDeficit > 0 {
+			frac := pool / totalDeficit //waschedlint:allow floatguard deficit > 0 checked
+			if frac > 1 {
+				frac = 1
+			}
+			for _, r := range running {
+				bk := b.buckets[r.sim]
+				if bk == nil {
+					continue
+				}
+				d := bk.roundNeed - bk.roundGot
+				if d <= 0 {
+					continue
+				}
+				take := d * frac
+				bk.roundGot += take
+				bk.borrowed += take
+				bk.granted += take
+				bk.delivered += take
+			}
+		}
+	}
+
+	for _, r := range running {
+		bk := b.buckets[r.sim]
+		if bk == nil {
+			continue
+		}
+		bk.credit *= tbfCreditDecay
+		if bk.credit < 1 {
+			bk.credit = 0 // sub-byte credit: reclaimed by decay
+		}
+		if bk.roundNeed <= 0 || bk.roundDT <= 0 {
+			continue
+		}
+		f := bk.roundGot / bk.roundNeed //waschedlint:allow floatguard need > 0 checked
+		if f >= 1 {
+			continue
+		}
+		end := r.end.Add(des.FromSeconds(bk.roundDT * (1 - f)))
+		if lim := r.view.StartedAt.Add(r.view.Limit); end > lim {
+			end = lim
+		}
+		r.end = end
+	}
+}
+
+// complete fills jt's token-bucket fields for a finished job and closes
+// its bucket.
+//
+//waschedlint:hotpath
+func (b *tbfReplay) complete(sim *SimJob, jt *trace.JobTrace) {
+	if b == nil {
+		return
+	}
+	bk := b.buckets[sim]
+	if bk == nil {
+		return
+	}
+	jt.TBFGranted = bk.granted
+	jt.TBFDelivered = bk.delivered
+	jt.TBFBorrowed = bk.borrowed
+	jt.TBFLent = bk.lent
+	delete(b.buckets, sim)
 }
 
 // checkRound enforces the single-round safety invariants on one backfill

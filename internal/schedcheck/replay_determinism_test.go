@@ -60,6 +60,10 @@ func scheduleDigest(r *ReplayResult) string {
 			fmt.Fprintf(&b, "  bb bytes=%.9g staged=%.9g compute=%.9g drainend=%.9g drained=%.9g\n",
 				j.BBBytes, j.BBStageInDone, j.BBComputeStart, j.BBDrainEnd, j.BBDrained)
 		}
+		if j.TBFGranted > 0 || j.TBFDelivered > 0 {
+			fmt.Fprintf(&b, "  tbf granted=%.9g delivered=%.9g borrowed=%.9g lent=%.9g\n",
+				j.TBFGranted, j.TBFDelivered, j.TBFBorrowed, j.TBFLent)
+		}
 	}
 	for _, v := range r.Check.Violations {
 		fmt.Fprintf(&b, "violation %s: %s\n", v.Invariant, v.Detail)
@@ -107,6 +111,27 @@ func TestReplayMatchesReferenceOnCorpus(t *testing.T) {
 					if got != want {
 						t.Fatalf("policy %s: incremental replay diverged from reference\n--- incremental ---\n%s--- reference ---\n%s",
 							v.label, clipDigest(got), clipDigest(want))
+					}
+				}
+				if kind.HasTBF() {
+					// The token layer extends job ends round by round, the
+					// regime where the incremental session's reservation
+					// reuse is most likely to diverge from the oracle.
+					for _, straggler := range []bool{false, true} {
+						cfg := ReplayConfig{
+							Policy:       sched.TBFPolicy{TotalNodes: nodes, Straggler: straggler},
+							Options:      sched.Options{MaxJobTest: sched.SlurmDefaultTestLimit},
+							Nodes:        nodes,
+							TBFCapacity:  CorpusTBFCapacity,
+							TBFServers:   CorpusTBFServers,
+							TBFStraggler: straggler,
+						}
+						got := scheduleDigest(Replay(workload, cfg))
+						want := scheduleDigest(replayReference(workload, cfg))
+						if got != want {
+							t.Fatalf("tbf(straggler=%v): incremental replay diverged from reference\n--- incremental ---\n%s--- reference ---\n%s",
+								straggler, clipDigest(got), clipDigest(want))
+						}
 					}
 				}
 			})

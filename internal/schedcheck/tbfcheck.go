@@ -1,0 +1,66 @@
+package schedcheck
+
+import (
+	"math"
+
+	"wasched/internal/tbf"
+)
+
+// ValidateTBF checks the token-bucket limiter's closed ledger for the
+// bucket-conservation invariants (the full-simulation counterpart of
+// checkTBFTraces, which checks the same identities on replayed job
+// traces):
+//
+//   - every token field is finite and non-negative (tbf-conservation);
+//   - delivered ≤ granted per job: a job can never move more bytes than
+//     the tokens it was issued (tbf-conservation);
+//   - borrowed ≤ granted per job: borrow receipts are part of the grant,
+//     never beyond it (tbf-conservation);
+//   - an entry ends no earlier than it registered (tbf-conservation);
+//   - Σ borrowed ≤ Σ lent across the ledger: every borrowed token is
+//     attributable to a lender (tbf-borrow-attribution).
+func ValidateTBF(ledger []tbf.LedgerEntry) Result {
+	var res Result
+	totalBorrowed, totalLent := 0.0, 0.0
+	for _, e := range ledger {
+		res.JobsChecked++
+		bad := false
+		for _, f := range [...]struct {
+			name string
+			v    float64
+		}{
+			{"granted", e.Granted},
+			{"delivered", e.Delivered},
+			{"borrowed", e.Borrowed},
+			{"lent", e.Lent},
+		} {
+			if math.IsNaN(f.v) || math.IsInf(f.v, 0) || f.v < 0 {
+				res.violatef("tbf-conservation", "ledger job %s: %s tokens %g (must be finite and non-negative)",
+					e.JobID, f.name, f.v)
+				bad = true
+			}
+		}
+		if bad {
+			continue
+		}
+		if e.Ended < e.Registered {
+			res.violatef("tbf-conservation", "ledger job %s ended at %v, before it registered at %v",
+				e.JobID, e.Ended, e.Registered)
+		}
+		if tbfExceeds(e.Delivered, e.Granted) {
+			res.violatef("tbf-conservation", "ledger job %s delivered %.6g token-bytes but was granted only %.6g",
+				e.JobID, e.Delivered, e.Granted)
+		}
+		if tbfExceeds(e.Borrowed, e.Granted) {
+			res.violatef("tbf-conservation", "ledger job %s borrowed %.6g token-bytes, more than its %.6g total grant",
+				e.JobID, e.Borrowed, e.Granted)
+		}
+		totalBorrowed += e.Borrowed
+		totalLent += e.Lent
+	}
+	if tbfExceeds(totalBorrowed, totalLent) {
+		res.violatef("tbf-borrow-attribution", "%.6g token-bytes borrowed but only %.6g lent — borrows must be attributable to lenders",
+			totalBorrowed, totalLent)
+	}
+	return res
+}

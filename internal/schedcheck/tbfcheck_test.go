@@ -1,0 +1,165 @@
+package schedcheck
+
+import (
+	"math"
+	"testing"
+
+	"wasched/internal/des"
+	"wasched/internal/pfs"
+	"wasched/internal/tbf"
+	"wasched/internal/trace"
+)
+
+// tle is a well-formed ledger entry; the forged-trace tests mutate one
+// field at a time and expect the matching violation.
+func tle(id string, granted, delivered, borrowed, lent float64) tbf.LedgerEntry {
+	return tbf.LedgerEntry{
+		JobID:      id,
+		Registered: des.TimeFromSeconds(10),
+		Ended:      des.TimeFromSeconds(200),
+		Granted:    granted,
+		Delivered:  delivered,
+		Borrowed:   borrowed,
+		Lent:       lent,
+	}
+}
+
+func TestValidateTBFClean(t *testing.T) {
+	ledger := []tbf.LedgerEntry{
+		tle("a", 1000, 900, 200, 0),
+		tle("b", 500, 100, 0, 300),
+		tle("idle", 400, 0, 0, 0),
+	}
+	res := ValidateTBF(ledger)
+	wantClean(t, res)
+	if res.JobsChecked != 3 {
+		t.Fatalf("JobsChecked = %d, want 3", res.JobsChecked)
+	}
+}
+
+func TestValidateTBFToleratesRounding(t *testing.T) {
+	// Within the absolute + relative epsilon: accumulator noise on large
+	// totals must not fire.
+	big := 1e13
+	wantClean(t, ValidateTBF([]tbf.LedgerEntry{tle("a", big, big+0.5+big*1e-10, 0, 0)}))
+}
+
+func TestValidateTBFDeliveredOverGranted(t *testing.T) {
+	wantViolation(t, ValidateTBF([]tbf.LedgerEntry{tle("a", 1000, 1010, 0, 0)}), "tbf-conservation")
+}
+
+func TestValidateTBFBorrowedOverGranted(t *testing.T) {
+	wantViolation(t, ValidateTBF([]tbf.LedgerEntry{tle("a", 1000, 500, 1200, 1200)}), "tbf-conservation")
+}
+
+func TestValidateTBFNegativeAndNonFinite(t *testing.T) {
+	for _, forge := range []func(*tbf.LedgerEntry){
+		func(e *tbf.LedgerEntry) { e.Granted = -1 },
+		func(e *tbf.LedgerEntry) { e.Delivered = math.NaN() },
+		func(e *tbf.LedgerEntry) { e.Borrowed = math.Inf(1) },
+		func(e *tbf.LedgerEntry) { e.Lent = -0.5 },
+	} {
+		e := tle("a", 1000, 900, 0, 0)
+		forge(&e)
+		wantViolation(t, ValidateTBF([]tbf.LedgerEntry{e}), "tbf-conservation")
+	}
+}
+
+func TestValidateTBFEndedBeforeRegistered(t *testing.T) {
+	e := tle("a", 1000, 900, 0, 0)
+	e.Ended = des.TimeFromSeconds(5)
+	wantViolation(t, ValidateTBF([]tbf.LedgerEntry{e}), "tbf-conservation")
+}
+
+func TestValidateTBFUnattributedBorrow(t *testing.T) {
+	// Per-job identities hold, but 400 bytes were borrowed against only
+	// 100 lent across the whole ledger.
+	ledger := []tbf.LedgerEntry{
+		tle("a", 1000, 900, 400, 0),
+		tle("b", 500, 100, 0, 100),
+	}
+	wantViolation(t, ValidateTBF(ledger), "tbf-borrow-attribution")
+}
+
+// tbfjt is jt plus a token account, for the replay-trace invariant path.
+func tbfjt(id string, granted, delivered, borrowed, lent float64) trace.JobTrace {
+	j := jt(id, 1, 0, 0, 100)
+	j.TBFGranted = granted
+	j.TBFDelivered = delivered
+	j.TBFBorrowed = borrowed
+	j.TBFLent = lent
+	return j
+}
+
+func TestTBFTracesClean(t *testing.T) {
+	jobs := []trace.JobTrace{
+		tbfjt("a", 1000, 900, 200, 0),
+		tbfjt("b", 500, 100, 0, 300),
+	}
+	wantClean(t, ValidateJobs(jobs, ValidateOptions{Nodes: 8, TBF: true}))
+}
+
+func TestTBFTracesForged(t *testing.T) {
+	for name, tc := range map[string]struct {
+		jobs []trace.JobTrace
+		want string
+	}{
+		"delivered-over-granted": {
+			jobs: []trace.JobTrace{tbfjt("a", 1000, 1100, 0, 0)},
+			want: "tbf-conservation",
+		},
+		"borrowed-over-granted": {
+			jobs: []trace.JobTrace{tbfjt("a", 1000, 500, 1500, 1500)},
+			want: "tbf-conservation",
+		},
+		"negative-balance": {
+			jobs: []trace.JobTrace{tbfjt("a", -1000, 0, 0, 0)},
+			want: "tbf-conservation",
+		},
+		"nan-grant": {
+			jobs: []trace.JobTrace{tbfjt("a", math.NaN(), 0, 0, 0)},
+			want: "tbf-conservation",
+		},
+		"unattributed-borrow": {
+			jobs: []trace.JobTrace{
+				tbfjt("a", 1000, 900, 500, 0),
+				tbfjt("b", 500, 100, 0, 50),
+			},
+			want: "tbf-borrow-attribution",
+		},
+	} {
+		res := ValidateJobs(tc.jobs, ValidateOptions{Nodes: 8, TBF: true})
+		t.Run(name, func(t *testing.T) { wantViolation(t, res, tc.want) })
+	}
+}
+
+// TestTBFTracesOffByDefault pins that forged token fields are ignored
+// when the run never armed the token layer.
+func TestTBFTracesOffByDefault(t *testing.T) {
+	wantClean(t, ValidateJobs([]trace.JobTrace{tbfjt("a", 1000, 1100, 0, 0)}, ValidateOptions{Nodes: 8}))
+}
+
+// TestFullSimLedgerValidates closes the loop: a real limiter run's ledger
+// must pass ValidateTBF.
+func TestFullSimLedgerValidates(t *testing.T) {
+	eng := des.NewEngine()
+	fs, err := pfs.New(eng, pfs.DefaultConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lim, err := tbf.New(eng, fs, tbf.Config{CapacityBytesPerSec: 8 * 1024 * 1024, BurstSeconds: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lim.Register("job-a", []string{"n0"})
+	lim.Register("job-b", []string{"n1"})
+	fs.StartStream("n0", pfs.Write, 0, 64*1024*1024, nil)
+	eng.Run(des.TimeFromSeconds(300))
+	lim.Unregister("job-a")
+	lim.Unregister("job-b")
+	res := ValidateTBF(lim.Ledger())
+	wantClean(t, res)
+	if res.JobsChecked != 2 {
+		t.Fatalf("JobsChecked = %d, want 2", res.JobsChecked)
+	}
+}

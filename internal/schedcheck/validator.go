@@ -35,6 +35,11 @@ type ValidateOptions struct {
 	// positive, the burst-buffer invariants (bb-capacity, bb-stage-in,
 	// bb-drain-attribution) are enforced over traces carrying BBBytes.
 	BBCapacity float64
+	// TBF, when true, enforces the token-bucket invariants
+	// (tbf-conservation, tbf-borrow-attribution) over traces carrying
+	// token accounting — set it for runs under the client-side bandwidth
+	// layer.
+	TBF bool
 }
 
 // ValidateJobs enforces the schedule-level invariants over completed job
@@ -124,7 +129,64 @@ func ValidateJobs(jobs []trace.JobTrace, opts ValidateOptions) Result {
 	if opts.BBCapacity > 0 {
 		checkBBTraces(started, opts.BBCapacity, &res)
 	}
+	if opts.TBF {
+		checkTBFTraces(started, &res)
+	}
 	return res
+}
+
+// checkTBFTraces enforces the token-bucket conservation invariants over
+// completed job traces:
+//
+//   - tbf-conservation: every token field is finite and non-negative, a
+//     job's delivered bytes never exceed the tokens granted to it (no
+//     bucket runs a negative balance), and the borrowed part never
+//     exceeds the grant it is part of;
+//   - tbf-borrow-attribution: across the schedule, borrowed tokens are
+//     attributable to lenders — the sum of borrows cannot exceed the sum
+//     of lends.
+func checkTBFTraces(jobs []trace.JobTrace, res *Result) {
+	totalBorrowed, totalLent := 0.0, 0.0
+	for _, j := range jobs {
+		for _, f := range [...]struct {
+			name string
+			v    float64
+		}{
+			{"granted", j.TBFGranted},
+			{"delivered", j.TBFDelivered},
+			{"borrowed", j.TBFBorrowed},
+			{"lent", j.TBFLent},
+		} {
+			if math.IsNaN(f.v) || math.IsInf(f.v, 0) || f.v < 0 {
+				res.violatef("tbf-conservation", "job %s: %s tokens %g (must be finite and non-negative)",
+					j.ID, f.name, f.v)
+			}
+		}
+		if tbfExceeds(j.TBFDelivered, j.TBFGranted) {
+			res.violatef("tbf-conservation", "job %s delivered %.6g token-bytes but was granted only %.6g",
+				j.ID, j.TBFDelivered, j.TBFGranted)
+		}
+		if tbfExceeds(j.TBFBorrowed, j.TBFGranted) {
+			res.violatef("tbf-conservation", "job %s borrowed %.6g token-bytes, more than its %.6g total grant",
+				j.ID, j.TBFBorrowed, j.TBFGranted)
+		}
+		totalBorrowed += j.TBFBorrowed
+		totalLent += j.TBFLent
+	}
+	if tbfExceeds(totalBorrowed, totalLent) {
+		res.violatef("tbf-borrow-attribution", "%.6g token-bytes borrowed but only %.6g lent — borrows must be attributable to lenders",
+			totalBorrowed, totalLent)
+	}
+}
+
+// tbfBytesEps is the absolute slack for token-byte comparisons; the
+// relative term in tbfExceeds absorbs accumulator rounding on totals that
+// reach 1e13 bytes and beyond over a long run.
+const tbfBytesEps = 1.0
+
+// tbfExceeds reports whether a exceeds b beyond token rounding noise.
+func tbfExceeds(a, b float64) bool {
+	return a > b+tbfBytesEps+1e-9*math.Abs(b)
 }
 
 // bbBytesEps absorbs float association noise in byte-valued sweeps; real
@@ -427,6 +489,20 @@ func ValidateRun(rec *trace.Recorder, opts ValidateOptions) Result {
 			if v > capGiB+bbGiBEps {
 				res.violatef("bb-capacity", "occupancy sample %d: %.3f GiB on a %.3f GiB pool at t=%.0fs",
 					i, v, capGiB, rec.BBOccupancy.Times[i])
+				break
+			}
+		}
+	}
+	if opts.TBF {
+		// Bucket conservation, sampled: the cumulative delivered total can
+		// never lead the cumulative granted total (both in GiB).
+		for i, d := range rec.TBFDelivered.Values {
+			if i >= rec.TBFGranted.Len() {
+				break
+			}
+			if g := rec.TBFGranted.Values[i]; tbfExceeds(d*pfs.GiB, g*pfs.GiB) {
+				res.violatef("tbf-conservation", "sample %d at t=%.0fs: %.6f GiB delivered but only %.6f GiB granted",
+					i, rec.TBFDelivered.Times[i], d, g)
 				break
 			}
 		}

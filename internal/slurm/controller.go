@@ -34,6 +34,16 @@ type BurstBuffer interface {
 	JobEnded(jobID string, requeued bool)
 }
 
+// TokenLimiter is the controller's view of the client-side token-bucket
+// bandwidth layer (internal/tbf.Limiter implements it). Every started job
+// gets a bucket for the lifetime of its attempt — the layer is pure
+// execution-time control, so unlike the burst buffer it needs no
+// admission gate and works under any scheduling policy.
+type TokenLimiter interface {
+	Register(jobID string, nodes []string)
+	Unregister(jobID string)
+}
+
 // JobState is the lifecycle state of a job record.
 type JobState int
 
@@ -269,6 +279,7 @@ type Controller struct {
 
 	bb         BurstBuffer
 	bbDeferred uint64
+	tbf        TokenLimiter
 }
 
 // New creates a controller. svc may be nil when the policy ignores
@@ -307,6 +318,15 @@ func (c *Controller) AttachBB(b BurstBuffer) {
 // BBDeferred returns how many start decisions were deferred because the
 // burst-buffer pool could not admit them that round.
 func (c *Controller) BBDeferred() uint64 { return c.bbDeferred }
+
+// AttachTBF wires the token-bucket bandwidth limiter into the start/end
+// path. Call once during system assembly.
+func (c *Controller) AttachTBF(l TokenLimiter) {
+	if c.tbf != nil {
+		panic("slurm: token limiter already attached")
+	}
+	c.tbf = l
+}
 
 // OnEvent registers a lifecycle listener (used by the trace recorder).
 func (c *Controller) OnEvent(fn func(Event)) { c.listeners = append(c.listeners, fn) }
@@ -631,6 +651,9 @@ func (c *Controller) startJob(r *JobRecord) {
 	r.view.StartedAt = r.Start
 	c.removePending(r)
 	c.runningID[r.ID] = r
+	if c.tbf != nil {
+		c.tbf.Register(r.ID, exec.Nodes)
+	}
 	r.timeout = c.eng.After(r.Spec.Limit, "slurm/timeout/"+r.ID, func() {
 		c.cl.Kill(r.ID)
 	})
@@ -666,6 +689,9 @@ func (c *Controller) jobEnded(r *JobRecord, e *cluster.Execution) {
 		if c.bb != nil && r.Spec.BBBytes > 0 {
 			c.bb.JobEnded(r.ID, true)
 		}
+		if c.tbf != nil {
+			c.tbf.Unregister(r.ID)
+		}
 		c.emit(EventRequeue, r)
 		r.Start = 0
 		r.End = 0
@@ -689,6 +715,9 @@ func (c *Controller) jobEnded(r *JobRecord, e *cluster.Execution) {
 	c.done = append(c.done, r)
 	if c.bb != nil && r.Spec.BBBytes > 0 {
 		c.bb.JobEnded(r.ID, false)
+	}
+	if c.tbf != nil {
+		c.tbf.Unregister(r.ID)
 	}
 	if c.svc != nil {
 		c.svc.JobCompleted(r.view.Fingerprint, r.Nodes, r.Start, r.End)

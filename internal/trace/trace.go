@@ -124,6 +124,18 @@ type JobTrace struct {
 	// live tier's ledger) or nothing drained.
 	BBDrainEnd float64
 	BBDrained  float64
+
+	// Token-bucket accounting, filled when the job ran under the
+	// client-side bandwidth layer (internal/tbf, or the replayer's
+	// emulation of it); all zero otherwise. TBFGranted is the total
+	// token-bytes the job received (own fill plus borrowed), TBFDelivered
+	// the token-bytes it spent on I/O (bucket conservation requires
+	// Delivered ≤ Granted), TBFBorrowed the part of Granted received from
+	// the shared lend pool, and TBFLent the tokens the job lent into it.
+	TBFGranted   float64
+	TBFDelivered float64
+	TBFBorrowed  float64
+	TBFLent      float64
 }
 
 // Wait returns the queue wait Q_j in seconds.
@@ -156,10 +168,18 @@ type Recorder struct {
 	BBOccupancy Series
 	BBStageRate Series
 	BBDrainRate Series
+	// TBFGranted and TBFDelivered sample the token-bucket layer's
+	// cumulative granted and delivered token totals in GiB. Bucket
+	// conservation requires delivered ≤ granted at every sample
+	// (schedcheck's tbf-conservation invariant). All-zero without an
+	// attached limiter (SetTBF).
+	TBFGranted   Series
+	TBFDelivered Series
 
 	jobs []JobTrace
 	stop func()
 	bb   BBStats
+	tbf  TBFStats
 
 	// Sampling scratch, reused every tick.
 	rateScratch map[string]float64
@@ -182,6 +202,19 @@ type BBStats interface {
 // assembly, before the first sample tick.
 func (r *Recorder) SetBB(b BBStats) { r.bb = b }
 
+// TBFStats is the recorder's view of the token-bucket bandwidth layer
+// (internal/tbf.Limiter implements it): cumulative granted/delivered
+// token totals for the conservation series, and per-job lifetime totals
+// for the job traces.
+type TBFStats interface {
+	Totals() (granted, delivered float64)
+	JobTokens(jobID string) (granted, delivered, borrowed, lent float64, ok bool)
+}
+
+// SetTBF attaches a token-bucket limiter to the recorder. Call during
+// system assembly, before the first sample tick.
+func (r *Recorder) SetTBF(l TBFStats) { r.tbf = l }
+
 // NewRecorder attaches a recorder to the system. Samples are taken every
 // period until Stop (or forever; recording is cheap). Throughput is the
 // model's ground-truth aggregate rate — the analogue of the paper's
@@ -198,6 +231,8 @@ func NewRecorder(eng *des.Engine, fs *pfs.FileSystem, cl *cluster.Cluster, ctl *
 		BBOccupancy:       Series{Name: "bb_occupancy", Unit: "GiB"},
 		BBStageRate:       Series{Name: "bb_stage_rate", Unit: "GiB/s"},
 		BBDrainRate:       Series{Name: "bb_drain_rate", Unit: "GiB/s"},
+		TBFGranted:        Series{Name: "tbf_granted", Unit: "GiB"},
+		TBFDelivered:      Series{Name: "tbf_delivered", Unit: "GiB"},
 	}
 	r.stop = eng.Ticker(period, "trace/sample", func(now des.Time) {
 		t := now.Seconds()
@@ -222,6 +257,12 @@ func NewRecorder(eng *des.Engine, fs *pfs.FileSystem, cl *cluster.Cluster, ctl *
 		r.BBOccupancy.Append(t, occ/pfs.GiB)
 		r.BBStageRate.Append(t, stage/pfs.GiB)
 		r.BBDrainRate.Append(t, drain/pfs.GiB)
+		granted, delivered := 0.0, 0.0
+		if r.tbf != nil {
+			granted, delivered = r.tbf.Totals()
+		}
+		r.TBFGranted.Append(t, granted/pfs.GiB)
+		r.TBFDelivered.Append(t, delivered/pfs.GiB)
 		r.BusyNodes.Append(t, float64(cl.BusyNodes()))
 		r.Running.Append(t, float64(ctl.RunningCount()))
 		r.Queued.Append(t, float64(ctl.QueueLength()))
@@ -247,6 +288,10 @@ func NewRecorder(eng *des.Engine, fs *pfs.FileSystem, cl *cluster.Cluster, ctl *
 			// very event); the tier's ledger carries them for validation.
 			bbBytes, bbStaged, bbCompute, _ = r.bb.JobInfo(e.Job.ID)
 		}
+		var tbfGranted, tbfDelivered, tbfBorrowed, tbfLent float64
+		if r.tbf != nil {
+			tbfGranted, tbfDelivered, tbfBorrowed, tbfLent, _ = r.tbf.JobTokens(e.Job.ID)
+		}
 		r.jobs = append(r.jobs, JobTrace{
 			ID:          e.Job.ID,
 			Name:        e.Job.Spec.Name,
@@ -266,6 +311,11 @@ func NewRecorder(eng *des.Engine, fs *pfs.FileSystem, cl *cluster.Cluster, ctl *
 			BBBytes:        bbBytes,
 			BBStageInDone:  bbStaged,
 			BBComputeStart: bbCompute,
+
+			TBFGranted:   tbfGranted,
+			TBFDelivered: tbfDelivered,
+			TBFBorrowed:  tbfBorrowed,
+			TBFLent:      tbfLent,
 		})
 	})
 	return r
@@ -284,20 +334,22 @@ func (r *Recorder) Jobs() []JobTrace {
 // WriteCSV writes the sampled series as one CSV table:
 // time_s,<series...> rows aligned on the common sampling clock.
 func (r *Recorder) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintf(w, "time_s,%s_%s,%s_%s,%s,%s,%s,%s_gibps,%s_gibps,%s_gib,%s_gibps,%s_gibps\n",
+	if _, err := fmt.Fprintf(w, "time_s,%s_%s,%s_%s,%s,%s,%s,%s_gibps,%s_gibps,%s_gib,%s_gibps,%s_gibps,%s_gib,%s_gib\n",
 		r.Throughput.Name, "gibps", r.Attributed.Name, "gibps",
 		r.BusyNodes.Name, r.Running.Name, r.Queued.Name,
 		r.Target.Name, r.TwoGroupThreshold.Name,
-		r.BBOccupancy.Name, r.BBStageRate.Name, r.BBDrainRate.Name); err != nil {
+		r.BBOccupancy.Name, r.BBStageRate.Name, r.BBDrainRate.Name,
+		r.TBFGranted.Name, r.TBFDelivered.Name); err != nil {
 		return err
 	}
 	n := r.Throughput.Len()
 	for i := 0; i < n; i++ {
-		if _, err := fmt.Fprintf(w, "%.3f,%.6f,%.6f,%.0f,%.0f,%.0f,%.6f,%.6f,%.6f,%.6f,%.6f\n",
+		if _, err := fmt.Fprintf(w, "%.3f,%.6f,%.6f,%.0f,%.0f,%.0f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f\n",
 			r.Throughput.Times[i], r.Throughput.Values[i], r.Attributed.Values[i],
 			r.BusyNodes.Values[i], r.Running.Values[i], r.Queued.Values[i],
 			r.Target.Values[i], r.TwoGroupThreshold.Values[i],
-			r.BBOccupancy.Values[i], r.BBStageRate.Values[i], r.BBDrainRate.Values[i]); err != nil {
+			r.BBOccupancy.Values[i], r.BBStageRate.Values[i], r.BBDrainRate.Values[i],
+			r.TBFGranted.Values[i], r.TBFDelivered.Values[i]); err != nil {
 			return err
 		}
 	}
